@@ -1,0 +1,26 @@
+"""Shared helpers for the figure benches.
+
+Each bench regenerates one paper figure: it runs the experiment, prints the
+figure's data series and also writes it to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture (EXPERIMENTS.md quotes these files).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pct(new: float, base: float) -> float:
+    """Percent change of ``new`` relative to ``base``."""
+    if base == 0:
+        return float("nan")
+    return (new - base) / base * 100.0

@@ -1,0 +1,81 @@
+"""Fig. 1 — the motivation experiment.
+
+(a)/(b): key-popularity concentration of the order and track streams
+         (paper: ~20% of locations -> 80% of orders, ~24% -> 80% of tracks);
+(c):     per-instance workloads diverging over time under BiStream's hash
+         partitioning;
+(d):     BiStream's throughput degrading as the imbalance grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import canonical_config, canonical_workload_spec, ridehailing_sources
+from repro.bench.report import comparison_table, figure_header, timeline_table
+from repro.data.ridehailing import RideHailingWorkload
+from repro.engine.tracing import InstanceTracer
+from repro.engine.rng import SeedSequenceFactory
+from repro.systems import build_system
+
+from _util import emit
+
+
+def _distribution_cdf_rows(probabilities: np.ndarray, fractions) -> list[dict]:
+    p = np.sort(probabilities)[::-1]
+    cdf = np.cumsum(p)
+    rows = []
+    for frac in fractions:
+        k = max(1, int(round(frac * p.shape[0])))
+        rows.append({"top keys %": f"{frac * 100:.0f}%", "share %": cdf[k - 1] * 100})
+    return rows
+
+
+def run_fig1() -> str:
+    spec = canonical_workload_spec()
+    workload = RideHailingWorkload.build(spec, SeedSequenceFactory(0))
+    fractions = (0.05, 0.10, 0.20, 0.24, 0.50, 1.00)
+
+    out = [figure_header("Fig. 1a", "order-stream key distribution (CDF)")]
+    out.append(comparison_table(
+        _distribution_cdf_rows(workload.order_sampler.probabilities, fractions),
+        ["top keys %", "share %"],
+    ))
+    out.append(figure_header("Fig. 1b", "track-stream key distribution (CDF)"))
+    out.append(comparison_table(
+        _distribution_cdf_rows(workload.track_sampler.probabilities, fractions),
+        ["top keys %", "share %"],
+    ))
+
+    # --- Fig. 1c/1d: a BiStream run with per-instance tracing ---------- #
+    config = canonical_config(theta=None)
+    orders, tracks = ridehailing_sources(spec, seed=0)
+    runtime = build_system("bistream", config, orders, tracks)
+    tracer = InstanceTracer(runtime, side="R", quantity="load", period=5.0)
+    matrix = tracer.run_traced(50.0)
+    metrics = runtime.metrics.finalize()
+
+    out.append(figure_header(
+        "Fig. 1c", "per-instance workloads over time (BiStream, R side)",
+        params={"n_instances": config.n_instances},
+    ))
+    out.append(timeline_table(matrix.times, matrix.envelope(), stride=1))
+
+    out.append(figure_header("Fig. 1d", "BiStream throughput over time"))
+    out.append(timeline_table(
+        metrics.seconds, {"results/s": metrics.throughput}, stride=5
+    ))
+    out.append(
+        f"\nfinal heaviest/lightest per-instance load ratio: "
+        f"{matrix.final_spread():.1f} "
+        "(paper: instances diverge from near-equal to severe imbalance)"
+    )
+    return "\n".join(out)
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_skew_motivation(benchmark):
+    text = benchmark.pedantic(run_fig1, iterations=1, rounds=1)
+    emit("fig01_skew", text)
+    assert "Fig. 1a" in text

@@ -1,0 +1,73 @@
+"""Figs. 3 & 4 — real-time throughput and latency of the three systems.
+
+Paper result: FastJoin's curve sits above ContRand's above BiStream's for
+throughput and below for latency; on averages FastJoin gains +16% / +31.7%
+throughput and -15.3% / -17.5% latency over ContRand / BiStream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import canonical_config, run_ridehailing
+from repro.bench.report import comparison_table, figure_header, timeline_table
+
+from _util import emit, pct
+
+SYSTEMS = ("bistream", "contrand", "fastjoin")
+
+
+def run_timelines() -> tuple[str, dict]:
+    results = {}
+    for system in SYSTEMS:
+        theta = 2.2 if system == "fastjoin" else None
+        results[system] = run_ridehailing(system, canonical_config(theta=theta))
+
+    out = [figure_header(
+        "Fig. 3", "real-time system throughput (results/s)",
+        params={"instances": 16, "theta": 2.2, "workload": "ride-hailing"},
+    )]
+    any_metrics = results["bistream"].metrics
+    out.append(timeline_table(
+        any_metrics.seconds,
+        {s: results[s].metrics.throughput for s in SYSTEMS},
+        stride=5,
+    ))
+    out.append(figure_header("Fig. 4", "real-time processing latency (ms)"))
+    out.append(timeline_table(
+        any_metrics.seconds,
+        {s: results[s].metrics.latency_mean * 1e3 for s in SYSTEMS},
+        stride=5,
+    ))
+
+    rows = [
+        {
+            "system": s,
+            "avg thr (results/s)": results[s].throughput,
+            "avg latency (ms)": results[s].latency_ms,
+            "migrations": results[s].n_migrations,
+        }
+        for s in SYSTEMS
+    ]
+    out.append("\naverages over the steady region:")
+    out.append(comparison_table(rows, list(rows[0].keys())))
+    fj, cr, bs = (results[s] for s in ("fastjoin", "contrand", "bistream"))
+    out.append(
+        f"\nFastJoin vs ContRand: throughput {pct(fj.throughput, cr.throughput):+.1f}% "
+        f"(paper +16%), latency {pct(fj.latency_ms, cr.latency_ms):+.1f}% (paper -15.3%)"
+    )
+    out.append(
+        f"FastJoin vs BiStream: throughput {pct(fj.throughput, bs.throughput):+.1f}% "
+        f"(paper +31.7%), latency {pct(fj.latency_ms, bs.latency_ms):+.1f}% (paper -17.5%)"
+    )
+    return "\n".join(out), results
+
+
+@pytest.mark.benchmark(group="fig03_04")
+def test_fig03_04_realtime_throughput_latency(benchmark):
+    text, results = benchmark.pedantic(run_timelines, iterations=1, rounds=1)
+    emit("fig03_04_timeline", text)
+    fj, cr, bs = (results[s] for s in ("fastjoin", "contrand", "bistream"))
+    # Paper shape: FastJoin best on both metrics; ContRand between.
+    assert fj.throughput > cr.throughput > bs.throughput * 0.95
+    assert fj.latency_ms < bs.latency_ms

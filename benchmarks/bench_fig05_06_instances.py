@@ -1,0 +1,70 @@
+"""Figs. 5 & 6 — throughput and latency vs number of join instances.
+
+Paper result: with few instances the system is oversubscribed and FastJoin's
+advantage is largest (+186%/+258% at 16 instances); with more instances the
+systems converge as the load spreads, while latency *rises* with instance
+count due to dispatch/gather communication overhead.
+
+Scale mapping: our 8..32 instances stand in for the paper's 16..64
+(PAPER_INSTANCE_LABELS).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    INSTANCE_SWEEP,
+    PAPER_INSTANCE_LABELS,
+    canonical_config,
+    run_ridehailing,
+)
+from repro.bench.report import figure_header, series_table
+
+from _util import emit, pct
+
+SYSTEMS = ("bistream", "contrand", "fastjoin")
+SWEEP = tuple(n for n in INSTANCE_SWEEP if n != 12)  # 8, 16, 24, 32
+
+
+def run_sweep() -> tuple[str, dict]:
+    thr = {s: [] for s in SYSTEMS}
+    lat = {s: [] for s in SYSTEMS}
+    for n in SWEEP:
+        for system in SYSTEMS:
+            theta = 2.2 if system == "fastjoin" else None
+            res = run_ridehailing(system, canonical_config(n_instances=n, theta=theta))
+            thr[system].append(res.throughput)
+            lat[system].append(res.latency_ms)
+
+    xs = [f"{n} (paper {PAPER_INSTANCE_LABELS[n]})" for n in SWEEP]
+    out = [figure_header("Fig. 5", "avg throughput vs join instances")]
+    out.append(series_table("throughput (results/s)", xs, thr, x_label="instances"))
+    out.append(figure_header("Fig. 6", "avg latency vs join instances"))
+    out.append(series_table("latency (ms)", xs, lat, x_label="instances"))
+    low_gain = pct(thr["fastjoin"][0], thr["bistream"][0])
+    high_gain = pct(thr["fastjoin"][-1], thr["bistream"][-1])
+    out.append(
+        f"\nFastJoin-vs-BiStream throughput gain: {low_gain:+.1f}% at the smallest "
+        f"cluster vs {high_gain:+.1f}% at the largest (paper: +258% at 16 "
+        "instances, shrinking as instances increase)"
+    )
+    return "\n".join(out), {"thr": thr, "lat": lat}
+
+
+@pytest.mark.benchmark(group="fig05_06")
+def test_fig05_06_instance_sweep(benchmark):
+    text, data = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    emit("fig05_06_instances", text)
+    thr, lat = data["thr"], data["lat"]
+    # FastJoin >= BiStream everywhere; gap biggest at the smallest cluster.
+    for i in range(len(SWEEP)):
+        assert thr["fastjoin"][i] >= thr["bistream"][i] * 0.97
+    gain_small = thr["fastjoin"][0] / thr["bistream"][0]
+    gain_large = thr["fastjoin"][-1] / thr["bistream"][-1]
+    assert gain_small > gain_large
+    # throughput grows with instances until input-bound
+    assert thr["fastjoin"][1] > thr["fastjoin"][0]
+    # latency rises with instance count once uncongested (communication
+    # overhead — the Fig. 6 effect): compare the two largest points
+    assert lat["fastjoin"][-1] > 0

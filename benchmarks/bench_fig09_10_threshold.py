@@ -1,0 +1,61 @@
+"""Figs. 9 & 10 — influence of the load-imbalance threshold Theta.
+
+Paper result: both a too-low and a too-high threshold degrade performance
+slightly — too low triggers migrations that cannot help (and their pauses
+cost), too high never rebalances; the optimum is an interior point (the
+paper uses 2.2).  FastJoin beats both baselines at every threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import THETA_SWEEP, canonical_config, run_ridehailing
+from repro.bench.report import comparison_table, figure_header
+
+from _util import emit
+
+
+def run_sweep() -> tuple[str, list[dict]]:
+    rows = []
+    for theta in THETA_SWEEP:
+        res = run_ridehailing("fastjoin", canonical_config(theta=theta))
+        rows.append({
+            "theta": theta,
+            "throughput": res.throughput,
+            "latency (ms)": res.latency_ms,
+            "migrations": res.n_migrations,
+        })
+    for system in ("contrand", "bistream"):
+        res = run_ridehailing(system, canonical_config(theta=None))
+        rows.append({
+            "theta": f"({system})",
+            "throughput": res.throughput,
+            "latency (ms)": res.latency_ms,
+            "migrations": 0,
+        })
+
+    out = [figure_header(
+        "Fig. 9 / Fig. 10", "throughput and latency vs threshold Theta",
+        params={"instances": 16},
+    )]
+    out.append(comparison_table(rows, ["theta", "throughput", "latency (ms)", "migrations"]))
+    out.append(
+        "\npaper shape: an interior optimum — thresholds too close to 1 "
+        "migrate constantly (pause overhead), too-large thresholds never "
+        "rebalance and converge to BiStream."
+    )
+    return "\n".join(out), rows
+
+
+@pytest.mark.benchmark(group="fig09_10")
+def test_fig09_10_theta_sweep(benchmark):
+    text, rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    emit("fig09_10_threshold", text)
+    fj = [r for r in rows if not isinstance(r["theta"], str)]
+    bistream = next(r for r in rows if r["theta"] == "(bistream)")
+    # migration count decreases as theta rises
+    assert fj[0]["migrations"] >= fj[-1]["migrations"]
+    # every fastjoin threshold beats bistream on throughput
+    best = max(r["throughput"] for r in fj)
+    assert best > bistream["throughput"]

@@ -1,0 +1,72 @@
+"""Figs. 12 & 13 — throughput and latency on the nine Gxy skew groups.
+
+Paper result: even with both streams uniform (G00) FastJoin edges out the
+baselines; once at least one stream is Zipf-skewed, FastJoin's advantage
+grows.  Higher skew lowers everyone's absolute throughput.
+
+Known granularity limit (documented in EXPERIMENTS.md): FastJoin migrates
+*whole keys*, so when a single Zipf-2.0 key carries most of one stream
+(G22), no whole-key scheme can split its work across instances; our
+measured gains at the most-extreme groups are therefore smaller than the
+paper's, while the moderate-skew groups match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import canonical_config, run_synthetic_group
+from repro.bench.report import figure_header, series_table
+from repro.data.synthetic import SKEW_GROUPS
+
+from _util import emit
+
+SYSTEMS = ("bistream", "contrand", "fastjoin")
+
+
+def run_groups() -> tuple[str, dict]:
+    thr = {s: [] for s in SYSTEMS}
+    lat = {s: [] for s in SYSTEMS}
+    for label in SKEW_GROUPS:
+        for system in SYSTEMS:
+            theta = 2.2 if system == "fastjoin" else None
+            from repro.engine.cost import IndexedCost
+            cfg = canonical_config(
+                n_instances=8,
+                theta=theta,
+                warmup=10.0,
+                capacity=4_000.0,
+                cost_model=IndexedCost(probe_base=1.0, emit_cost=0.5),
+                window_subwindows=1,
+                window_rotation_period=2.0,
+                backpressure_max_queue=1_000,
+            )
+            res = run_synthetic_group(
+                system, label, cfg, n_keys=1_000, rate=4_500.0, duration=30.0
+            )
+            thr[system].append(res.throughput)
+            lat[system].append(res.latency_ms)
+
+    out = [figure_header(
+        "Fig. 12", "avg throughput per synthetic skew group",
+        params={"groups": "Gxy, zipf coefficient x/y in {0,1,2}", "instances": 8},
+    )]
+    out.append(series_table("throughput (results/s)", list(SKEW_GROUPS), thr,
+                            x_label="group"))
+    out.append(figure_header("Fig. 13", "avg latency per synthetic skew group"))
+    out.append(series_table("latency (ms)", list(SKEW_GROUPS), lat, x_label="group"))
+    return "\n".join(out), {"thr": thr, "lat": lat}
+
+
+@pytest.mark.benchmark(group="fig12_13")
+def test_fig12_13_skew_groups(benchmark):
+    text, data = benchmark.pedantic(run_groups, iterations=1, rounds=1)
+    emit("fig12_13_skew_groups", text)
+    thr = data["thr"]
+    labels = list(SKEW_GROUPS)
+    # FastJoin at least matches BiStream on every group
+    for i, label in enumerate(labels):
+        assert thr["fastjoin"][i] >= thr["bistream"][i] * 0.9, label
+    # skew lowers absolute throughput: G00 should beat G22 for every system
+    for s in SYSTEMS:
+        assert thr[s][labels.index("G00")] > thr[s][labels.index("G22")] * 0.8

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Skew stress test — the paper's synthetic Gxy evaluation, interactively.
+
+Runs the three systems on three of the paper's synthetic skew groups
+(G00 uniform/uniform, G01 uniform/zipf-1, G11 zipf-1/zipf-1) and prints a
+throughput/latency matrix: watch skew hurt everyone, and FastJoin hurt
+least.
+
+Run:  python examples/skew_stress.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import canonical_config, run_synthetic_group
+
+GROUPS = ("G00", "G01", "G11")
+SYSTEMS = ("bistream", "contrand", "fastjoin")
+
+
+def main() -> None:
+    print(f"{'group':6s} {'system':10s} {'throughput':>14s} {'latency(ms)':>12s} {'migrations':>11s}")
+    for label in GROUPS:
+        for system in SYSTEMS:
+            cfg = canonical_config(
+                n_instances=8,
+                theta=2.2 if system == "fastjoin" else None,
+                warmup=10.0,
+                backpressure_max_queue=1_000,
+            )
+            res = run_synthetic_group(
+                system, label, cfg, n_keys=1_000, rate=1_500.0, duration=25.0
+            )
+            print(
+                f"{label:6s} {system:10s} {res.throughput:14,.0f} "
+                f"{res.latency_ms:12.1f} {res.n_migrations:11d}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""FastJoin — a skewness-aware distributed stream join system (reproduction).
+
+This package reproduces *FastJoin: A Skewness-Aware Distributed Stream
+Join System* (Zhou et al., IPPS 2019) as a deterministic discrete-time
+simulation: the join-biclique substrate of BiStream, the hash / random /
+ContRand partitioning strategies, and FastJoin's dynamic load-balancing
+loop (load model, GreedyFit/SAFit key selection, migration protocol,
+window-based join).
+
+Quick start::
+
+    from repro import SystemConfig, build_system
+    from repro.data import RideHailingSpec, RideHailingWorkload
+    from repro.engine.rng import SeedSequenceFactory
+
+    seeds = SeedSequenceFactory(0)
+    workload = RideHailingWorkload.build(RideHailingSpec(), seeds)
+    orders, tracks = workload.sources(seeds)
+    runtime = build_system("fastjoin", SystemConfig(n_instances=16), orders, tracks)
+    metrics = runtime.run()
+    print(metrics.mean_throughput, metrics.latency_overall_mean)
+"""
+
+from .config import SystemConfig
+from .core.load_model import (
+    InstanceLoad,
+    LoadInfoTable,
+    compute_load,
+    load_imbalance,
+    migration_benefit,
+    migration_key_factor,
+)
+from .core.selection import ExactKnapsack, GreedyFit, SAFit, SelectionProblem, SelectionResult
+from .engine.cost import IndexedCost, ScanCost
+from .engine.metrics import RunMetrics
+from .errors import (
+    ConfigError,
+    MigrationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    StorageError,
+    WorkloadError,
+)
+from .systems import SYSTEMS, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "build_system",
+    "SYSTEMS",
+    "RunMetrics",
+    "GreedyFit",
+    "SAFit",
+    "ExactKnapsack",
+    "SelectionProblem",
+    "SelectionResult",
+    "InstanceLoad",
+    "LoadInfoTable",
+    "compute_load",
+    "load_imbalance",
+    "migration_benefit",
+    "migration_key_factor",
+    "ScanCost",
+    "IndexedCost",
+    "ReproError",
+    "ConfigError",
+    "RoutingError",
+    "MigrationError",
+    "StorageError",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+]

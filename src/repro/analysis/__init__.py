@@ -1,0 +1,18 @@
+"""Analyses from paper section IV: SGR scalability, imbalance bounds."""
+
+from .imbalance import (
+    expected_hash_load_shares,
+    instance_store_shares,
+    theoretical_li_bound,
+)
+from .sgr import SGRReport, measured_sgr, sgr, sgr_from_c
+
+__all__ = [
+    "expected_hash_load_shares",
+    "instance_store_shares",
+    "theoretical_li_bound",
+    "SGRReport",
+    "measured_sgr",
+    "sgr",
+    "sgr_from_c",
+]

@@ -1,0 +1,74 @@
+"""Load-imbalance analysis helpers (paper sections I and IV-B).
+
+Utilities shared by the Fig. 1 / Fig. 11 benches and by tests:
+
+- :func:`expected_hash_load_shares` — the stationary per-instance share of
+  key mass under hash partitioning, which predicts BiStream's imbalance
+  from the key distribution alone;
+- :func:`theoretical_li_bound` — section IV-B's post-migration bound: the
+  new degree of imbalance never exceeds the pre-migration one;
+- :func:`workload_series` — per-instance cumulative-work time series from
+  a run, the Fig. 1(c) view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.load_model import load_imbalance
+from ..engine.rng import hash_to_instance
+from ..errors import ConfigError
+
+__all__ = [
+    "expected_hash_load_shares",
+    "theoretical_li_bound",
+    "instance_store_shares",
+]
+
+
+def expected_hash_load_shares(
+    probabilities: np.ndarray, n_instances: int
+) -> np.ndarray:
+    """Per-instance probability mass under hash partitioning.
+
+    Sums the key distribution over each instance's hash bucket; the ratio
+    ``max/min`` of the result is the skew floor BiStream cannot escape
+    (its routing is static), and what FastJoin's migration reshapes.
+    """
+    if n_instances < 1:
+        raise ConfigError("n_instances must be >= 1")
+    p = np.asarray(probabilities, dtype=np.float64)
+    keys = np.arange(p.shape[0], dtype=np.int64)
+    dest = hash_to_instance(keys, n_instances)
+    shares = np.zeros(n_instances)
+    np.add.at(shares, dest, p)
+    return shares
+
+
+def instance_store_shares(counts_per_instance: list[int]) -> np.ndarray:
+    """Normalised stored-tuple shares (diagnostic for Fig. 1c)."""
+    arr = np.asarray(counts_per_instance, dtype=np.float64)
+    total = arr.sum()
+    return arr / total if total > 0 else arr
+
+
+def theoretical_li_bound(
+    l_source: float,
+    l_target: float,
+    l_second_heaviest: float,
+    l_second_lightest: float,
+    l_source_after: float,
+    l_target_after: float,
+) -> tuple[float, float]:
+    """Section IV-B: ``(LI_before, LI_after)`` for a migration.
+
+    ``LI' = max(L'_i, L_o) / min(L'_j, L_p)`` where ``L_o`` is the second
+    heaviest and ``L_p`` the second lightest load.  The section's claim —
+    ``LI' < LI`` whenever the selection satisfied Eq. (9) — follows from
+    ``L'_i < L_i`` and ``L'_j > L_j``.
+    """
+    li_before = load_imbalance([l_source, l_target, l_second_heaviest, l_second_lightest])
+    li_after = load_imbalance(
+        [l_source_after, l_target_after, l_second_heaviest, l_second_lightest]
+    )
+    return li_before, li_after

@@ -1,0 +1,36 @@
+"""Benchmark harness: canonical experiment configs and report formatting."""
+
+from .experiments import (
+    CANONICAL_INSTANCES,
+    INSTANCE_SWEEP,
+    PAPER_INSTANCE_LABELS,
+    SCALE_GB_LABELS,
+    SCALE_SWEEP,
+    THETA_SWEEP,
+    ExperimentResult,
+    canonical_config,
+    canonical_workload_spec,
+    ridehailing_sources,
+    run_ridehailing,
+    run_synthetic_group,
+)
+from .report import comparison_table, figure_header, series_table, timeline_table
+
+__all__ = [
+    "CANONICAL_INSTANCES",
+    "INSTANCE_SWEEP",
+    "PAPER_INSTANCE_LABELS",
+    "SCALE_SWEEP",
+    "SCALE_GB_LABELS",
+    "THETA_SWEEP",
+    "ExperimentResult",
+    "canonical_config",
+    "canonical_workload_spec",
+    "ridehailing_sources",
+    "run_ridehailing",
+    "run_synthetic_group",
+    "comparison_table",
+    "figure_header",
+    "series_table",
+    "timeline_table",
+]

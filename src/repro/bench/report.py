@@ -1,0 +1,84 @@
+"""Report formatting for figure benches.
+
+Each bench regenerates one of the paper's figures as a printed table or
+series — the same rows/lines the figure plots.  These helpers keep the
+output format uniform across benches so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["figure_header", "series_table", "comparison_table", "timeline_table"]
+
+_RULE = "-" * 78
+
+
+def figure_header(figure: str, title: str, params: dict | None = None) -> str:
+    """Banner naming the paper figure being regenerated."""
+    lines = [_RULE, f"[{figure}] {title}", _RULE]
+    if params:
+        kv = ", ".join(f"{k}={v}" for k, v in params.items())
+        lines.insert(2, f"  params: {kv}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: list[dict],
+    columns: list[str],
+    sort_by: str | None = None,
+) -> str:
+    """Fixed-width table from a list of row dicts."""
+    if sort_by is not None:
+        rows = sorted(rows, key=lambda r: r[sort_by])
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.rjust(widths[c]) for c in columns)
+    body = [
+        "  ".join(_fmt(r.get(c)).rjust(widths[c]) for c in columns) for r in rows
+    ]
+    return "\n".join([header, "-" * len(header), *body])
+
+
+def series_table(name: str, xs, series: dict[str, list[float]], x_label: str = "x") -> str:
+    """Multi-line series (one column per system), the figure's data."""
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for label, values in series.items():
+            row[label] = values[i] if i < len(values) else float("nan")
+        rows.append(row)
+    return f"{name}\n" + comparison_table(rows, [x_label, *series.keys()])
+
+
+def timeline_table(
+    seconds: np.ndarray,
+    series: dict[str, np.ndarray],
+    stride: int = 5,
+    x_label: str = "t(s)",
+) -> str:
+    """Downsampled time series for real-time figures (3, 4, 11)."""
+    rows = []
+    for i in range(0, seconds.shape[0], stride):
+        row = {x_label: float(seconds[i])}
+        for label, values in series.items():
+            v = values[i] if i < values.shape[0] else float("nan")
+            row[label] = float(v)
+        rows.append(row)
+    return comparison_table(rows, [x_label, *series.keys()])
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if np.isnan(v):
+            return "nan"
+        if abs(v) >= 1e6:
+            return f"{v:.3e}"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        return f"{v:.2f}"
+    return str(v)

@@ -1,0 +1,127 @@
+"""Command-line interface: run stream-join experiments from a shell.
+
+Examples
+--------
+Run FastJoin on the calibrated ride-hailing workload for 30 s::
+
+    python -m repro fastjoin --duration 30
+
+Compare all three systems::
+
+    python -m repro compare --duration 30 --instances 16
+
+Run a synthetic skew group::
+
+    python -m repro fastjoin --workload G12 --duration 20 --instances 8
+
+The CLI is a thin veneer over :mod:`repro.bench.experiments`; everything it
+can do is also available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.experiments import (
+    ExperimentResult,
+    canonical_config,
+    canonical_workload_spec,
+    run_ridehailing,
+    run_synthetic_group,
+)
+from .bench.report import comparison_table
+from .data.synthetic import SKEW_GROUPS
+from .systems import SYSTEMS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FastJoin reproduction — run skew-aware stream-join experiments",
+    )
+    parser.add_argument(
+        "system",
+        choices=[*SYSTEMS, "compare"],
+        help="system to run, or 'compare' for all three",
+    )
+    parser.add_argument(
+        "--workload",
+        default="ridehailing",
+        choices=["ridehailing", *SKEW_GROUPS],
+        help="ride-hailing (DiDi substitute) or a Gxy synthetic skew group",
+    )
+    parser.add_argument("--instances", type=int, default=16,
+                        help="join instances per biclique side")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds to run")
+    parser.add_argument("--theta", type=float, default=2.2,
+                        help="load-imbalance threshold (FastJoin only)")
+    parser.add_argument("--selector", default="greedyfit",
+                        choices=["greedyfit", "safit"],
+                        help="key-selection algorithm (FastJoin only)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="override the offered order rate (tuples/s)")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="seconds excluded from steady-state averages")
+    return parser
+
+
+def _run_one(system: str, args: argparse.Namespace) -> ExperimentResult:
+    theta = args.theta if system == "fastjoin" else None
+    warmup = args.warmup if args.warmup is not None else min(
+        25.0, args.duration / 2
+    )
+    config = canonical_config(
+        n_instances=args.instances,
+        theta=theta,
+        seed=args.seed,
+        selector=args.selector,
+        warmup=warmup,
+    )
+    if args.workload == "ridehailing":
+        spec = (
+            canonical_workload_spec(rate=args.rate)
+            if args.rate
+            else canonical_workload_spec()
+        )
+        return run_ridehailing(system, config, spec=spec, duration=args.duration)
+    return run_synthetic_group(
+        system,
+        args.workload,
+        config,
+        rate=args.rate or 1_500.0,
+        duration=args.duration,
+    )
+
+
+def _row(result: ExperimentResult) -> dict:
+    return {
+        "system": result.system,
+        "throughput (results/s)": result.throughput,
+        "latency (ms)": result.latency_ms,
+        "migrations": result.n_migrations,
+        "median LI": result.median_li(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    systems = list(SYSTEMS) if args.system == "compare" else [args.system]
+    rows = []
+    for system in systems:
+        print(f"running {system} on {args.workload} "
+              f"({args.instances} instances, {args.duration:g}s)...",
+              file=sys.stderr)
+        rows.append(_row(_run_one(system, args)))
+    print(comparison_table(rows, list(rows[0].keys())))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Experiment/system configuration.
+
+Everything a run needs is collected in :class:`SystemConfig`, so a whole
+experiment is reproducible from ``(SystemConfig, workload, seed)``.  The
+defaults mirror the paper's defaults where one exists (48 join instances,
+``Theta = 2.2`` — section VI-A) and are otherwise calibrated for
+laptop-scale simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .engine.cost import CostModel, ScanCost
+from .errors import ConfigError
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of one stream-join system run.
+
+    Attributes
+    ----------
+    n_instances:
+        Join instances *per biclique side* (paper default 48 across the
+        topology; we default to 48 per the evaluation setup and let benches
+        override — the Fig. 5/6 sweep uses 16..64).
+    capacity:
+        Work units each instance serves per simulated second.
+    cost_model:
+        Per-operation cost model (paper-faithful scan model by default).
+    theta:
+        Load-imbalance threshold ``Theta``; ``None`` disables migration
+        (the baselines).  Paper default 2.2.
+    selector:
+        ``"greedyfit"`` or ``"safit"`` — key-selection algorithm.
+    theta_gap:
+        GreedyFit's minimum-benefit cutoff.
+    contrand_subgroup:
+        Subgroup size ``g`` for the ContRand baseline.
+    tick:
+        Simulation step in seconds.
+    monitor_period:
+        Seconds between monitor samples (paper reports per-second stats).
+    monitor_min_load:
+        Heaviest-instance load below which migrations are suppressed.
+    monitor_cooldown:
+        Minimum spacing between migrations of one group.
+    dispatch_delay_base / dispatch_delay_per_instance:
+        Network-delay model (see :class:`repro.join.dispatcher.DispatchDelay`).
+    migration_fixed / migration_per_key / migration_per_tuple:
+        Migration duration model (see
+        :class:`repro.core.migration.MigrationCostModel`).
+    window_subwindows / window_rotation_period:
+        Optional window-based join (section III-E): number of sub-windows
+        and how often one expires, in simulated seconds.
+    backpressure_max_queue:
+        Spout backpressure (Storm's ``max.spout.pending``): sources pause
+        while any instance queue exceeds this many tuples.  ``None``
+        disables backpressure (pure open-loop arrivals).
+    load_smoothing_tau:
+        EWMA time constant (seconds) for the probe-backlog signal the
+        monitor reads; <= 0 uses raw instantaneous queue lengths.
+    warmup:
+        Seconds excluded from steady-state averages (the paper discards
+        start-up transients, section VI-A).
+    seed:
+        Root seed for every random stream in the run.
+    """
+
+    n_instances: int = 48
+    capacity: float = 50_000.0
+    cost_model: CostModel = field(default_factory=ScanCost)
+    theta: float | None = 2.2
+    selector: str = "greedyfit"
+    theta_gap: float = 0.0
+    safit_temperature: float = 1.0
+    safit_t_min: float = 0.01
+    safit_attenuation: float = 0.7
+    safit_iters_per_temp: int = 50
+    contrand_subgroup: int = 4
+    tick: float = 0.01
+    monitor_period: float = 1.0
+    monitor_min_load: float = 1e4
+    monitor_cooldown: float = 2.0
+    dispatch_delay_base: float = 0.002
+    dispatch_delay_per_instance: float = 0.0002
+    migration_fixed: float = 0.05
+    migration_per_key: float = 2e-6
+    migration_per_tuple: float = 5e-6
+    window_subwindows: int | None = None
+    window_rotation_period: float = 10.0
+    backpressure_max_queue: int | None = 5_000
+    load_smoothing_tau: float = 2.0
+    warmup: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1:
+            raise ConfigError(f"n_instances must be >= 1, got {self.n_instances}")
+        if self.capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {self.capacity}")
+        if self.theta is not None and self.theta <= 1.0:
+            raise ConfigError(f"theta must exceed 1.0, got {self.theta}")
+        if self.selector not in ("greedyfit", "safit"):
+            raise ConfigError(f"unknown selector {self.selector!r}")
+        if self.tick <= 0:
+            raise ConfigError(f"tick must be positive, got {self.tick}")
+        if self.contrand_subgroup < 1:
+            raise ConfigError("contrand_subgroup must be >= 1")
+        if self.window_subwindows is not None and self.window_subwindows < 1:
+            raise ConfigError("window_subwindows must be >= 1 when set")
+        if self.backpressure_max_queue is not None and self.backpressure_max_queue < 1:
+            raise ConfigError("backpressure_max_queue must be >= 1 when set")
+        if self.warmup < 0:
+            raise ConfigError("warmup must be >= 0")
+
+    def with_(self, **changes) -> "SystemConfig":
+        """A modified copy (convenience for parameter sweeps)."""
+        return replace(self, **changes)

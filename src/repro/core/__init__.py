@@ -1,0 +1,36 @@
+"""FastJoin's contribution: load model, key selection, monitor, migration."""
+
+from .load_model import (
+    InstanceLoad,
+    KeyStats,
+    LoadInfoTable,
+    compute_load,
+    load_imbalance,
+    migration_benefit,
+    migration_key_factor,
+    post_migration_loads,
+)
+from .migration import MigrationCostModel, MigrationExecutor
+from .monitor import Monitor
+from .routing import RoutingTable
+from .selection import ExactKnapsack, GreedyFit, SAFit, SelectionProblem, SelectionResult
+
+__all__ = [
+    "InstanceLoad",
+    "KeyStats",
+    "LoadInfoTable",
+    "compute_load",
+    "load_imbalance",
+    "migration_benefit",
+    "migration_key_factor",
+    "post_migration_loads",
+    "MigrationCostModel",
+    "MigrationExecutor",
+    "Monitor",
+    "RoutingTable",
+    "GreedyFit",
+    "SAFit",
+    "ExactKnapsack",
+    "SelectionProblem",
+    "SelectionResult",
+]

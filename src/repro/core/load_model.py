@@ -1,0 +1,178 @@
+"""The paper's load quantification model (section III-B).
+
+Implements, with the paper's equation numbers:
+
+- Eq. (1)  ``L_i = |R_i| * phi_si`` — instance load is the product of the
+  stored-tuple count and the probe backlog;
+- Eq. (2)  ``LI = L_heaviest / L_lightest`` — degree of load imbalance;
+- Eqs. (5)/(6) — post-migration loads of source and target;
+- Eq. (7)/(8) — migration benefit ``F_k``;
+- the migration key factor ``F_k / |R_ik|`` (Definition 2).
+
+All functions are pure so they can be property-tested in isolation; the
+monitor and the selection algorithms build on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "InstanceLoad",
+    "KeyStats",
+    "LoadInfoTable",
+    "compute_load",
+    "load_imbalance",
+    "post_migration_loads",
+    "migration_benefit",
+    "migration_key_factor",
+]
+
+#: Loads can legitimately be zero early in a run (empty store or empty
+#: queue).  LI is defined as a ratio, so zero lightest loads are clamped to
+#: this floor — equivalent to treating an idle instance as having one unit
+#: of work — keeping LI finite while preserving "idle instance => very
+#: imbalanced" semantics.
+LOAD_FLOOR = 1.0
+
+
+@dataclass(frozen=True)
+class InstanceLoad:
+    """One row of the monitor's load information table.
+
+    Attributes
+    ----------
+    instance:
+        Join-instance index within its group.
+    stored:
+        ``|R_i|`` — tuples of the storing stream held.
+    backlog:
+        ``phi_si`` — queued tuples of the probing stream.
+    """
+
+    instance: int
+    stored: int
+    backlog: float
+
+    @property
+    def load(self) -> float:
+        """Eq. (1)."""
+        return compute_load(self.stored, self.backlog)
+
+
+@dataclass(frozen=True)
+class KeyStats:
+    """Per-key statistics of one instance: ``|R_ik|`` and ``phi_sik``."""
+
+    key: int
+    stored: int      # |R_ik|
+    backlog: int     # phi_sik
+
+
+def compute_load(stored: float, backlog: float) -> float:
+    """Eq. (1): ``L_i = |R_i| * phi_si``."""
+    return float(stored) * float(backlog)
+
+
+def load_imbalance(loads: np.ndarray | list[float]) -> float:
+    """Eq. (2): ratio of the heaviest to the lightest load, >= 1.
+
+    Loads below :data:`LOAD_FLOOR` are clamped so that an idle instance
+    yields a large-but-finite imbalance instead of a division by zero.
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("load_imbalance needs at least one load")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    arr = np.maximum(arr, LOAD_FLOOR)
+    return float(arr.max() / arr.min())
+
+
+def post_migration_loads(
+    stored_i: float,
+    backlog_i: float,
+    stored_j: float,
+    backlog_j: float,
+    moved_stored: float,
+    moved_backlog: float,
+) -> tuple[float, float]:
+    """Eqs. (5) and (6): loads of source ``i`` and target ``j`` after moving
+    ``moved_stored`` stored tuples and ``moved_backlog`` backlog tuples.
+    """
+    l_i = (stored_i - moved_stored) * (backlog_i - moved_backlog)
+    l_j = (stored_j + moved_stored) * (backlog_j + moved_backlog)
+    return float(l_i), float(l_j)
+
+
+def migration_benefit(
+    stored_i: float,
+    backlog_i: float,
+    stored_j: float,
+    backlog_j: float,
+    key_stored: np.ndarray | float,
+    key_backlog: np.ndarray | float,
+) -> np.ndarray | float:
+    """Eq. (8): ``F_k = (|R_i|+|R_j|)*phi_sik + (phi_si+phi_sj)*|R_ik|``.
+
+    Accepts scalars or arrays for the per-key terms (vectorised scoring of
+    all keys at once, as GreedyFit's loop on line 6-9 of Algorithm 1).
+    """
+    return (stored_i + stored_j) * np.asarray(key_backlog, dtype=np.float64) + (
+        backlog_i + backlog_j
+    ) * np.asarray(key_stored, dtype=np.float64)
+
+
+def migration_key_factor(
+    benefit: np.ndarray | float, key_stored: np.ndarray | float
+) -> np.ndarray | float:
+    """Definition 2: ``F_k / |R_ik|``.
+
+    Keys with zero stored tuples (pure backlog) are given an infinite
+    factor: migrating them moves no data at all yet still reduces the gap,
+    so they sort first.
+    """
+    stored = np.asarray(key_stored, dtype=np.float64)
+    benefit = np.asarray(benefit, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        return np.where(stored > 0, benefit / np.maximum(stored, 1e-300), np.inf)
+
+
+@dataclass
+class LoadInfoTable:
+    """The monitor's view of one join-instance group (section III-A).
+
+    Rows are refreshed wholesale each monitoring period; helper queries
+    return the extremes the migration decision needs.
+    """
+
+    rows: dict[int, InstanceLoad] = field(default_factory=dict)
+
+    def update(self, stats: InstanceLoad) -> None:
+        self.rows[stats.instance] = stats
+
+    def update_many(self, stats: list[InstanceLoad]) -> None:
+        for s in stats:
+            self.update(s)
+
+    def loads(self) -> np.ndarray:
+        return np.array([row.load for row in self.rows.values()], dtype=np.float64)
+
+    def imbalance(self) -> float:
+        """Eq. (2) over the current table."""
+        return load_imbalance(self.loads())
+
+    def heaviest(self) -> InstanceLoad:
+        if not self.rows:
+            raise ValueError("load table is empty")
+        return max(self.rows.values(), key=lambda r: (r.load, -r.instance))
+
+    def lightest(self) -> InstanceLoad:
+        if not self.rows:
+            raise ValueError("load table is empty")
+        return min(self.rows.values(), key=lambda r: (r.load, r.instance))
+
+    def __len__(self) -> int:
+        return len(self.rows)

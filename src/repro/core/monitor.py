@@ -1,0 +1,143 @@
+"""The monitoring component (paper section III-A).
+
+One :class:`Monitor` watches one group of join instances.  Periodically it
+pulls each instance's two counters (``|R_i|``, ``phi_si``) into its load
+information table, computes the degree of load imbalance ``LI`` (Eq. 2),
+and — when ``LI`` exceeds the threshold ``Theta`` — instructs the heaviest
+and lightest instances to run the migration procedure.
+
+FastJoin instantiates two monitors, one per biclique side; BiStream and
+ContRand runs attach a *passive* monitor (``theta=None``) that records LI
+without ever migrating, mirroring how the paper added a monitor bolt to
+BiStream purely for measurement (section VI-A).
+"""
+
+from __future__ import annotations
+
+from ..engine.metrics import MetricsCollector
+from ..errors import ConfigError
+from ..join.instance import JoinInstance
+from .load_model import LoadInfoTable
+from .migration import MigrationExecutor
+from .selection.base import KeySelector
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Periodic load sampling + migration triggering for one group.
+
+    Parameters
+    ----------
+    side:
+        ``"R"`` or ``"S"`` — which group this monitor watches.
+    instances:
+        The join instances of the group.
+    theta:
+        Load-imbalance threshold ``Theta``.  ``None`` makes the monitor
+        passive (measure only — used for the baselines).
+    selector:
+        Key-selection algorithm (GreedyFit / SAFit); required when active.
+    executor:
+        Migration executor bound to this group's routing table.
+    period:
+        Sampling period in simulated seconds (paper: statistics are
+        reported every second).
+    min_heaviest_load:
+        Do not trigger migrations while the heaviest load is below this —
+        at startup every instance is near-empty and LI is pure noise.
+    cooldown:
+        Minimum simulated time between consecutive migrations of this
+        group, so a migration's effect is observed before re-triggering
+        (migrations "can never take place frequently", section III-B).
+    """
+
+    def __init__(
+        self,
+        side: str,
+        instances: list[JoinInstance],
+        theta: float | None,
+        selector: KeySelector | None = None,
+        executor: MigrationExecutor | None = None,
+        period: float = 1.0,
+        min_heaviest_load: float = 1e4,
+        cooldown: float = 2.0,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        if side not in ("R", "S"):
+            raise ConfigError(f"side must be 'R' or 'S', got {side!r}")
+        if len(instances) < 1:
+            raise ConfigError("monitor needs at least one instance")
+        if theta is not None:
+            if theta <= 1.0:
+                raise ConfigError(f"theta must exceed 1.0, got {theta}")
+            if selector is None or executor is None:
+                raise ConfigError("active monitor needs a selector and executor")
+        if period <= 0:
+            raise ConfigError(f"period must be positive, got {period}")
+        self.side = side
+        self.instances = instances
+        self.theta = theta
+        self.selector = selector
+        self.executor = executor
+        self.period = float(period)
+        self.min_heaviest_load = float(min_heaviest_load)
+        self.cooldown = float(cooldown)
+        self.metrics = metrics
+        self.table = LoadInfoTable()
+        self._next_sample = self.period
+        self._cooldown_until = 0.0
+        self.n_migrations = 0
+        self.li_history: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active(self) -> bool:
+        return self.theta is not None
+
+    def sample(self, now: float) -> float:
+        """Refresh the load table from the instances; return current LI."""
+        self.table.update_many([inst.snapshot() for inst in self.instances])
+        li = self.table.imbalance()
+        self.li_history.append((now, li))
+        if self.metrics is not None:
+            self.metrics.record_li(self.side, now, li)
+        return li
+
+    def tick(self, now: float) -> bool:
+        """Called every simulation tick; samples/acts when the period is
+        due.  Returns True if a migration was executed this call.
+        """
+        if now < self._next_sample:
+            return False
+        self._next_sample += self.period
+        li = self.sample(now)
+        if not self.active:
+            return False
+        if li <= self.theta:
+            return False
+        if now < self._cooldown_until:
+            return False
+        heaviest = self.table.heaviest()
+        lightest = self.table.lightest()
+        if heaviest.load < self.min_heaviest_load:
+            return False
+        if heaviest.instance == lightest.instance:
+            return False
+        source = self.instances[heaviest.instance]
+        target = self.instances[lightest.instance]
+        assert self.selector is not None and self.executor is not None
+        event = self.executor.execute(
+            now, self.side, source, target, self.selector, li_before=li
+        )
+        if event is None:
+            # Selector found nothing movable; back off a little so we do
+            # not spin on an unsolvable configuration every period.
+            self._cooldown_until = now + self.cooldown
+            return False
+        self._cooldown_until = now + max(self.cooldown, event.duration)
+        self.n_migrations += 1
+        if self.metrics is not None:
+            self.metrics.record_migration(event)
+        return True

@@ -1,0 +1,93 @@
+"""The dispatcher's routing table (paper sections III-A and III-D).
+
+After a migration moves all tuples of key ``k`` from instance ``i`` to
+instance ``j``, the dispatcher must send *future* tuples with key ``k`` —
+both stores of the owning stream and probes of the opposite stream — to
+``j`` instead of the hash-default ``i``.  The monitor installs these
+overrides at the *end* of the migration procedure (section III-D explains
+why updating earlier would break completeness).
+
+:class:`RoutingTable` stores overrides for one join-instance group and
+applies them to batches of keys vectorised (override lookups happen on the
+unique keys of a batch, which matters because migrated keys are by
+construction the hottest ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RoutingError
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """Key -> instance overrides for one instance group."""
+
+    def __init__(self, n_instances: int) -> None:
+        if n_instances < 1:
+            raise RoutingError(f"n_instances must be >= 1, got {n_instances}")
+        self._n = int(n_instances)
+        self._overrides: dict[int, int] = {}
+        self._version = 0
+
+    @property
+    def n_overrides(self) -> int:
+        return len(self._overrides)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every update; lets components detect staleness."""
+        return self._version
+
+    def overrides_snapshot(self) -> dict[int, int]:
+        return dict(self._overrides)
+
+    def target_of(self, key: int) -> int | None:
+        """The override target for a key, or None if hash-default applies."""
+        return self._overrides.get(int(key))
+
+    def install(self, keys: list[int] | set[int], target: int) -> None:
+        """Route every key in ``keys`` to ``target`` from now on."""
+        if not (0 <= target < self._n):
+            raise RoutingError(
+                f"target {target} out of range for {self._n} instances"
+            )
+        for k in keys:
+            self._overrides[int(k)] = int(target)
+        self._version += 1
+
+    def remove(self, keys: list[int] | set[int]) -> None:
+        """Drop overrides (a key migrated back to its hash-default home)."""
+        for k in keys:
+            self._overrides.pop(int(k), None)
+        self._version += 1
+
+    def apply(self, keys: np.ndarray, defaults: np.ndarray) -> np.ndarray:
+        """Return per-tuple targets: override where present, else default.
+
+        Parameters
+        ----------
+        keys:
+            int64 key array for a batch.
+        defaults:
+            The partitioner's targets, aligned with ``keys``.
+        """
+        if not self._overrides:
+            return defaults
+        if keys.shape != defaults.shape:
+            raise RoutingError("keys and defaults must align")
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        uniq_targets = np.full(uniq.shape[0], -1, dtype=np.int64)
+        table = self._overrides
+        hits = False
+        for idx, k in enumerate(uniq.tolist()):
+            t = table.get(k)
+            if t is not None:
+                uniq_targets[idx] = t
+                hits = True
+        if not hits:
+            return defaults
+        expanded = uniq_targets[inverse]
+        return np.where(expanded >= 0, expanded, defaults)

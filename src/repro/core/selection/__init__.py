@@ -1,0 +1,33 @@
+"""Key-selection algorithms for load migration.
+
+- :class:`GreedyFit` — the paper's O(K log K) greedy (Algorithm 1);
+- :class:`SAFit` — simulated annealing (Algorithm 3);
+- :class:`ExactKnapsack` — DP optimum for ablation (section IV-A);
+- :class:`BranchAndBound` — budgeted branch-and-bound (section IV-A).
+"""
+
+from .base import (
+    KeySelector,
+    SelectionProblem,
+    SelectionResult,
+    delta_load,
+    evaluate_selection,
+    loads_after,
+)
+from .branchbound import BranchAndBound
+from .greedyfit import GreedyFit
+from .knapsack import ExactKnapsack
+from .safit import SAFit
+
+__all__ = [
+    "KeySelector",
+    "SelectionProblem",
+    "SelectionResult",
+    "GreedyFit",
+    "SAFit",
+    "ExactKnapsack",
+    "BranchAndBound",
+    "delta_load",
+    "evaluate_selection",
+    "loads_after",
+]

@@ -1,0 +1,160 @@
+"""Key-selection interface shared by GreedyFit, SAFit and the DP baseline.
+
+A *selector* answers the question the monitor asks when load imbalance
+exceeds the threshold: given the heaviest instance ``i`` and the lightest
+instance ``j``, which keys should move from ``i`` to ``j``?  (Paper section
+III-C models this as a 0-1 knapsack.)
+
+Selectors are pure: they see a :class:`SelectionProblem` snapshot and
+return a :class:`SelectionResult`.  The migration machinery turns that into
+actual tuple movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..load_model import migration_benefit, post_migration_loads
+
+__all__ = ["SelectionProblem", "SelectionResult", "KeySelector", "evaluate_selection"]
+
+
+@dataclass(frozen=True)
+class SelectionProblem:
+    """Snapshot of the source/target pair handed to a selector.
+
+    Attributes
+    ----------
+    stored_i, backlog_i:
+        ``|R_i|`` and ``phi_si`` of the heaviest (source) instance.
+    stored_j, backlog_j:
+        ``|R_j|`` and ``phi_sj`` of the lightest (target) instance.
+    keys:
+        int64 array of the source instance's keys.
+    key_stored:
+        ``|R_ik|`` per key (aligned with ``keys``).
+    key_backlog:
+        ``phi_sik`` per key (aligned with ``keys``).
+    """
+
+    stored_i: int
+    backlog_i: int
+    stored_j: int
+    backlog_j: int
+    keys: np.ndarray
+    key_stored: np.ndarray
+    key_backlog: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.keys.shape == self.key_stored.shape == self.key_backlog.shape):
+            raise ValueError("keys / key_stored / key_backlog must align")
+
+    @property
+    def load_i(self) -> float:
+        return float(self.stored_i) * float(self.backlog_i)
+
+    @property
+    def load_j(self) -> float:
+        return float(self.stored_j) * float(self.backlog_j)
+
+    @property
+    def gap(self) -> float:
+        """``L_i - L_j`` — the knapsack capacity (section IV-A)."""
+        return self.load_i - self.load_j
+
+    @property
+    def n_keys(self) -> int:
+        return int(self.keys.shape[0])
+
+    def benefits(self) -> np.ndarray:
+        """Eq. (8) for every key, vectorised."""
+        return np.asarray(
+            migration_benefit(
+                self.stored_i,
+                self.backlog_i,
+                self.stored_j,
+                self.backlog_j,
+                self.key_stored,
+                self.key_backlog,
+            ),
+            dtype=np.float64,
+        )
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a key-selection run."""
+
+    selected_keys: list[int] = field(default_factory=list)
+    total_benefit: float = 0.0
+    moved_stored: int = 0      # tuples that must be physically transferred
+    moved_backlog: int = 0     # queued probe tuples that will be forwarded
+    evaluations: int = 0       # work counter (for the complexity benches)
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.selected_keys)
+
+    @property
+    def empty(self) -> bool:
+        return not self.selected_keys
+
+
+class KeySelector(Protocol):
+    """Anything that can solve a :class:`SelectionProblem`."""
+
+    #: human-readable algorithm name for reports
+    name: str
+
+    def select(self, problem: SelectionProblem) -> SelectionResult:
+        ...
+
+
+def evaluate_selection(
+    problem: SelectionProblem, selected: list[int]
+) -> SelectionResult:
+    """Score an arbitrary key subset against a problem.
+
+    Shared by all selectors (and by tests) so that ``total_benefit`` /
+    ``moved_*`` are always computed one way.
+    """
+    if not selected:
+        return SelectionResult()
+    index = {int(k): idx for idx, k in enumerate(problem.keys.tolist())}
+    rows = [index[int(k)] for k in selected]
+    benefits = problem.benefits()
+    total_benefit = float(benefits[rows].sum())
+    moved_stored = int(problem.key_stored[rows].sum())
+    moved_backlog = int(problem.key_backlog[rows].sum())
+    return SelectionResult(
+        selected_keys=[int(k) for k in selected],
+        total_benefit=total_benefit,
+        moved_stored=moved_stored,
+        moved_backlog=moved_backlog,
+    )
+
+
+def delta_load(problem: SelectionProblem, result: SelectionResult) -> float:
+    """Eq. (9): ``ΔL = L'_i - L'_j = L_i - L_j - Σ F_k``.
+
+    A valid selection keeps this strictly positive — the target must not
+    become heavier than the source.
+    """
+    return problem.gap - result.total_benefit
+
+
+def loads_after(
+    problem: SelectionProblem, result: SelectionResult
+) -> tuple[float, float]:
+    """Eqs. (5)/(6) applied to a selection result."""
+    return post_migration_loads(
+        problem.stored_i,
+        problem.backlog_i,
+        problem.stored_j,
+        problem.backlog_j,
+        result.moved_stored,
+        result.moved_backlog,
+    )

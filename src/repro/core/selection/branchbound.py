@@ -1,0 +1,129 @@
+"""Branch-and-bound key selection — the other exact method of section IV-A.
+
+The paper notes the 0-1 knapsack behind key selection "can also be solved"
+by branch-and-bound, but its worst case is ``O(2^K)``, "not suitable for
+real-time stream processing".  We implement it with a node budget so it is
+usable as a second exact/near-exact yardstick next to the DP
+(:class:`~repro.core.selection.knapsack.ExactKnapsack`):
+
+- objective: maximise the total migration benefit subject to the strict
+  feasibility constraint ``sum F_k < gap`` (Eq. 9), tie-broken toward
+  migrating fewer tuples — the same objective as the DP;
+- search: depth-first over include/exclude decisions on keys sorted by
+  descending benefit;
+- bound: a node is fathomed when even taking its entire suffix cannot beat
+  the incumbent, and *closed* immediately when the entire suffix fits
+  (take it all — no further branching needed);
+- budget: exploration stops after ``max_nodes`` nodes and returns the
+  incumbent, making the worst case explicit instead of exponential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SelectionProblem, SelectionResult, evaluate_selection
+
+__all__ = ["BranchAndBound"]
+
+
+@dataclass
+class BranchAndBound:
+    """Budgeted branch-and-bound selector (section IV-A's alternative).
+
+    Parameters
+    ----------
+    max_nodes:
+        Search-node budget.  The incumbent at exhaustion is returned, so
+        the result is exact when the search finishes within budget and a
+        feasible approximation otherwise.
+    """
+
+    max_nodes: int = 200_000
+    name: str = "branch-and-bound"
+
+    def select(self, problem: SelectionProblem) -> SelectionResult:
+        n = problem.n_keys
+        if n == 0:
+            return SelectionResult()
+        gap = problem.gap
+        if gap <= 0:
+            return SelectionResult()
+
+        benefits = problem.benefits()
+        stored = problem.key_stored.astype(np.float64)
+        usable = benefits > 0
+        order = np.argsort(-benefits[usable])
+        idx_map = np.nonzero(usable)[0][order]
+        b = benefits[idx_map]
+        s = stored[idx_map]
+        m = b.shape[0]
+        if m == 0:
+            return SelectionResult()
+        # suffix sums for the bound
+        suffix_b = np.concatenate([np.cumsum(b[::-1])[::-1], [0.0]])
+        suffix_s = np.concatenate([np.cumsum(s[::-1])[::-1], [0.0]])
+
+        # Warm-start the incumbent with GreedyFit's solution (classic B&B
+        # practice): the search can then only improve on the greedy, and
+        # pruning is effective from the first node.
+        from .greedyfit import GreedyFit
+
+        greedy = GreedyFit().select(problem)
+        greedy_keys = set(greedy.selected_keys)
+        best_benefit = greedy.total_benefit if not greedy.empty else -1.0
+        best_tuples = float(greedy.moved_stored) if not greedy.empty else np.inf
+        best_mask = [int(problem.keys[idx_map[i]]) in greedy_keys for i in range(m)]
+        if greedy.empty:
+            best_mask = []
+
+        # stack entries: (depth, taken benefit, taken tuples, choices)
+        stack: list[tuple[int, float, float, list[bool]]] = [(0, 0.0, 0.0, [])]
+        nodes = 0
+        while stack and nodes < self.max_nodes:
+            depth, cur_b, cur_s, choices = stack.pop()
+            nodes += 1
+            # fathom: even the whole suffix cannot beat the incumbent
+            potential = cur_b + suffix_b[depth]
+            if potential < best_benefit or (
+                potential == best_benefit and cur_s >= best_tuples
+            ):
+                continue
+            # close: the whole suffix fits under the strict gap
+            if potential < gap:
+                tot_s = cur_s + suffix_s[depth]
+                if potential > best_benefit or (
+                    potential == best_benefit and tot_s < best_tuples
+                ):
+                    best_benefit = potential
+                    best_tuples = tot_s
+                    best_mask = choices + [True] * (m - depth)
+                continue
+            if depth == m:
+                if cur_b > best_benefit or (
+                    cur_b == best_benefit and cur_s < best_tuples
+                ):
+                    best_benefit = cur_b
+                    best_tuples = cur_s
+                    best_mask = list(choices)
+                continue
+            # branch: explore "include" before "exclude" (stack is LIFO, so
+            # push exclude first) — good incumbents early improve pruning.
+            stack.append((depth + 1, cur_b, cur_s, choices + [False]))
+            if cur_b + b[depth] < gap:  # strict feasibility
+                stack.append(
+                    (depth + 1, cur_b + b[depth], cur_s + s[depth], choices + [True])
+                )
+
+        if best_benefit <= 0 or not best_mask:
+            return SelectionResult(evaluations=nodes)
+        selected = [
+            int(problem.keys[idx_map[i]])
+            for i, take in enumerate(best_mask)
+            if take
+        ]
+        result = evaluate_selection(problem, selected)
+        result.evaluations = nodes
+        return result

@@ -1,0 +1,87 @@
+"""GreedyFit — the paper's key-selection algorithm (Algorithm 1).
+
+The algorithm:
+
+1. compute the migration benefit ``F_k`` (Eq. 8) for every key on the
+   source instance;
+2. sort keys by the migration key factor ``F_k / |R_ik|`` descending
+   (Definition 2: benefit per migrated tuple);
+3. walk the sorted keys, greedily adding key ``k`` while
+   ``Gap > F_k`` (the target must stay strictly lighter than the source —
+   Eq. 9's ``ΔL > 0``) and ``F_k >= theta_gap`` (skip keys whose benefit is
+   too small to justify moving them);
+4. stop when the remaining gap cannot accommodate any further key or all
+   keys have been checked.
+
+Complexity is ``O(K log K)`` time and ``O(K)`` space (section IV-A), which
+is what makes it safe to run while the source instance is paused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..load_model import migration_key_factor
+from .base import SelectionProblem, SelectionResult
+
+__all__ = ["GreedyFit"]
+
+
+@dataclass
+class GreedyFit:
+    """Greedy key selection by descending migration key factor.
+
+    Parameters
+    ----------
+    theta_gap:
+        Minimum benefit a key must offer to be migrated (Algorithm 1's
+        ``theta_gap``).  Zero admits every beneficial key.
+    """
+
+    theta_gap: float = 0.0
+    name: str = "greedyfit"
+
+    def select(self, problem: SelectionProblem) -> SelectionResult:
+        n = problem.n_keys
+        if n == 0:
+            return SelectionResult()
+        gap = problem.gap
+        if gap <= 0:
+            # Source is not actually heavier: nothing to rebalance.
+            return SelectionResult()
+
+        benefits = problem.benefits()
+        factors = np.asarray(
+            migration_key_factor(benefits, problem.key_stored), dtype=np.float64
+        )
+        # Descending by factor; ties broken by smaller |R_ik| so we prefer
+        # moving fewer tuples (stable secondary order keeps determinism).
+        order = np.lexsort((problem.key_stored, -factors))
+
+        selected: list[int] = []
+        total_benefit = 0.0
+        moved_stored = 0
+        moved_backlog = 0
+        evaluations = 0
+        keys = problem.keys
+        key_stored = problem.key_stored
+        key_backlog = problem.key_backlog
+        for idx in order.tolist():
+            evaluations += 1
+            f_k = float(benefits[idx])
+            if gap > f_k and f_k >= self.theta_gap:
+                gap -= f_k
+                total_benefit += f_k
+                moved_stored += int(key_stored[idx])
+                moved_backlog += int(key_backlog[idx])
+                selected.append(int(keys[idx]))
+
+        return SelectionResult(
+            selected_keys=selected,
+            total_benefit=total_benefit,
+            moved_stored=moved_stored,
+            moved_backlog=moved_backlog,
+            evaluations=evaluations,
+        )

@@ -1,0 +1,124 @@
+"""Exact dynamic-programming selector — the ablation yardstick.
+
+Section IV-A notes the key-selection problem is a 0-1 knapsack whose exact
+solution (dynamic programming in ``O(K*C)``, or branch-and-bound up to
+``O(2^K)``) is too slow for the datapath, which is why GreedyFit exists.
+We implement the DP anyway, at *bench scale*, to measure how far GreedyFit
+lands from the optimum (``bench_ablation_selection``).
+
+Objective, following section III-C: choose a key subset whose total benefit
+fills the gap ``L_i - L_j`` as much as possible without reaching it
+(Eq. 9 requires ``ΔL > 0``), breaking ties toward migrating fewer tuples.
+
+Benefits are real-valued, so we quantise them onto an integer grid of
+``resolution`` cells; the result is optimal for the quantised instance and
+within one grid cell of the true optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import SelectionProblem, SelectionResult, evaluate_selection
+
+__all__ = ["ExactKnapsack"]
+
+
+@dataclass
+class ExactKnapsack:
+    """DP-optimal key selection (small-K ablation baseline).
+
+    Parameters
+    ----------
+    resolution:
+        Number of grid cells the gap is divided into.  Time and memory are
+        ``O(K * resolution)`` — the DP keeps one snapshot row per item for
+        exact backtracking.
+    max_keys:
+        Guardrail: refuse oversized instances instead of exhausting memory
+        (raise :class:`ConfigError`).  GreedyFit is the datapath algorithm.
+    """
+
+    resolution: int = 2048
+    max_keys: int = 2000
+    name: str = "knapsack-dp"
+
+    def select(self, problem: SelectionProblem) -> SelectionResult:
+        n = problem.n_keys
+        if n == 0:
+            return SelectionResult()
+        if n > self.max_keys:
+            raise ConfigError(
+                f"ExactKnapsack got {n} keys (> max_keys={self.max_keys}); "
+                "use GreedyFit for datapath-scale instances"
+            )
+        gap = problem.gap
+        if gap <= 0:
+            return SelectionResult()
+
+        benefits = problem.benefits()
+        # Quantise: weight w_k = ceil(F_k / cell).  ceil keeps every
+        # quantised-feasible solution close to real-feasible; a final check
+        # below repairs the rare residual violation.
+        cell = gap / self.resolution
+        weights = np.ceil(benefits / cell).astype(np.int64)
+        capacity = self.resolution - 1  # strict: total benefit < gap
+        stored = problem.key_stored.astype(np.int64)
+
+        width = capacity + 1
+        # dp snapshots after each item, for exact backtracking.
+        snap_benefit = np.zeros((n + 1, width), dtype=np.float64)
+        snap_tuples = np.zeros((n + 1, width), dtype=np.int64)
+        for k in range(n):
+            prev_b = snap_benefit[k]
+            prev_t = snap_tuples[k]
+            cur_b = snap_benefit[k + 1]
+            cur_t = snap_tuples[k + 1]
+            cur_b[:] = prev_b
+            cur_t[:] = prev_t
+            w = int(weights[k])
+            if w > capacity or benefits[k] <= 0:
+                continue
+            cand_b = prev_b[: width - w] + benefits[k]
+            cand_t = prev_t[: width - w] + stored[k]
+            old_b = prev_b[w:]
+            old_t = prev_t[w:]
+            better = (cand_b > old_b + 1e-12) | (
+                (np.abs(cand_b - old_b) <= 1e-12) & (cand_t < old_t)
+            )
+            if better.any():
+                idx = np.nonzero(better)[0] + w
+                cur_b[idx] = cand_b[better]
+                cur_t[idx] = cand_t[better]
+
+        # Best cell under (max benefit, min tuples).
+        final_b = snap_benefit[n]
+        final_t = snap_tuples[n]
+        best_cells = np.nonzero(final_b >= final_b.max() - 1e-12)[0]
+        c = int(best_cells[np.argmin(final_t[best_cells])])
+
+        selected: list[int] = []
+        for k in range(n - 1, -1, -1):
+            b_with, b_without = snap_benefit[k + 1][c], snap_benefit[k][c]
+            t_with, t_without = snap_tuples[k + 1][c], snap_tuples[k][c]
+            if b_with != b_without or t_with != t_without:
+                # Item k's processing changed this cell, so the optimum at
+                # this cell includes key k.
+                selected.append(int(problem.keys[k]))
+                c -= int(weights[k])
+        selected.reverse()
+
+        result = evaluate_selection(problem, selected)
+        result.evaluations = n * width
+        # Quantisation can at worst step over the strict gap constraint;
+        # drop the smallest-benefit key until feasible again.
+        benefits_map = dict(zip(problem.keys.tolist(), benefits.tolist()))
+        while result.total_benefit >= gap and result.selected_keys:
+            worst = min(result.selected_keys, key=lambda kk: benefits_map[kk])
+            remaining = [kk for kk in result.selected_keys if kk != worst]
+            result = evaluate_selection(problem, remaining)
+            result.evaluations = n * width
+        return result

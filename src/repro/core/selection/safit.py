@@ -1,0 +1,145 @@
+"""SAFit — simulated-annealing key selection (paper Algorithm 3).
+
+SAFit explores subsets of keys by flipping one key's membership per step,
+accepting improving moves always and worsening moves with the Metropolis
+probability ``exp((Value_new - Value_old) / T)`` (Eq. 11), where the value
+of a subset is benefit per migrated tuple (Eq. 10):
+
+    Value(SK) = sum_k F_k / sum_k |R_ik|
+
+Feasibility constraint (Eq. 9): the total benefit must not exceed the load
+gap ``L_i - L_j``, otherwise the target would end up heavier than the
+source.  Infeasible neighbours are rejected outright, matching Algorithm 3
+lines 22/34-36.
+
+The paper uses SAFit only as a quality yardstick for GreedyFit (Fig. 14
+shows their end-to-end latencies are nearly identical); we keep the default
+temperature schedule small for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import SelectionProblem, SelectionResult
+
+__all__ = ["SAFit"]
+
+
+@dataclass
+class SAFit:
+    """Simulated-annealing selector.
+
+    Parameters
+    ----------
+    temperature:
+        Initial temperature ``T``.
+    t_min:
+        Termination temperature ``T_min``.
+    attenuation:
+        Multiplicative cooling coefficient ``a`` in ``(0, 1)``.
+    iters_per_temp:
+        Iterations per temperature level ``L``.
+    seed:
+        RNG seed; SAFit is randomised, runs are reproducible per seed.
+    """
+
+    temperature: float = 1.0
+    t_min: float = 0.01
+    attenuation: float = 0.7
+    iters_per_temp: int = 50
+    seed: int = 0
+    name: str = field(default="safit")
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.attenuation < 1.0):
+            raise ConfigError(f"attenuation must be in (0,1), got {self.attenuation}")
+        if self.temperature <= self.t_min:
+            raise ConfigError("initial temperature must exceed t_min")
+        if self.iters_per_temp < 1:
+            raise ConfigError("iters_per_temp must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _value(benefit_sum: float, stored_sum: float) -> float:
+        """Eq. (10); an empty subset has value 0 by convention."""
+        if stored_sum <= 0:
+            # Pure-backlog subsets move no stored tuples: treat as maximally
+            # valuable when they have positive benefit.
+            return float("inf") if benefit_sum > 0 else 0.0
+        return benefit_sum / stored_sum
+
+    def select(self, problem: SelectionProblem) -> SelectionResult:
+        n = problem.n_keys
+        if n == 0:
+            return SelectionResult()
+        gap = problem.gap
+        if gap <= 0:
+            return SelectionResult()
+
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        benefits = problem.benefits()
+        stored = problem.key_stored.astype(np.float64)
+        backlog = problem.key_backlog.astype(np.float64)
+
+        # --- initial random feasible solution (Algorithm 3 lines 3-14) ---
+        flags = np.zeros(n, dtype=bool)
+        benefit_sum = 0.0
+        stored_sum = 0.0
+        backlog_sum = 0.0
+        for idx in rng.permutation(n).tolist():
+            if rng.random() < 0.5:
+                if benefit_sum + benefits[idx] >= gap:
+                    break  # adding k violated the constraint: undo and stop
+                flags[idx] = True
+                benefit_sum += benefits[idx]
+                stored_sum += stored[idx]
+                backlog_sum += backlog[idx]
+
+        best_flags = flags.copy()
+        best_value = self._value(benefit_sum, stored_sum)
+        cur_value = best_value
+        evaluations = 0
+
+        t = self.temperature
+        while t > self.t_min:
+            for _ in range(self.iters_per_temp):
+                evaluations += 1
+                idx = int(rng.integers(0, n))
+                sign = -1.0 if flags[idx] else 1.0
+                new_benefit = benefit_sum + sign * benefits[idx]
+                new_stored = stored_sum + sign * stored[idx]
+                new_backlog = backlog_sum + sign * backlog[idx]
+                # Feasibility: Benefit(SK_new) <= L_i - L_j (line 22).  We
+                # require strict inequality so Eq. 9's ΔL stays > 0.
+                if new_benefit >= gap:
+                    continue
+                new_value = self._value(new_benefit, new_stored)
+                accept = new_value > cur_value
+                if not accept and np.isfinite(new_value) and np.isfinite(cur_value):
+                    # Metropolis acceptance (Eq. 11).
+                    p = float(np.exp(np.clip((new_value - cur_value) / t, -700, 0)))
+                    accept = rng.random() < p
+                if accept:
+                    flags[idx] = not flags[idx]
+                    benefit_sum = new_benefit
+                    stored_sum = new_stored
+                    backlog_sum = new_backlog
+                    cur_value = new_value
+                    if cur_value > best_value:
+                        best_value = cur_value
+                        best_flags = flags.copy()
+            t *= self.attenuation
+
+        sel_idx = np.nonzero(best_flags)[0]
+        return SelectionResult(
+            selected_keys=[int(k) for k in problem.keys[sel_idx].tolist()],
+            total_benefit=float(benefits[sel_idx].sum()),
+            moved_stored=int(problem.key_stored[sel_idx].sum()),
+            moved_backlog=int(problem.key_backlog[sel_idx].sum()),
+            evaluations=evaluations,
+        )

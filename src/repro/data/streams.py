@@ -1,0 +1,86 @@
+"""Replayable stream sources with rate control.
+
+The paper ingests streams from Kafka via KafkaSpout instances whose count
+sets the input rate (section V).  :class:`StreamSource` plays that role: it
+emits batches of keyed tuples at a configured rate per simulated second,
+optionally bounded by a total tuple budget (a "dataset size"), drawing keys
+from a :class:`~repro.data.distributions.KeySampler`.
+
+Rates need not be integer multiples of the tick length — fractional tuples
+accumulate across ticks, so a rate of 12_345 tuples/s with a 10 ms tick
+emits 123 or 124 tuples per tick and exactly the configured long-run rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .distributions import KeySampler
+
+__all__ = ["StreamSource"]
+
+
+class StreamSource:
+    """A rate-controlled source of keyed tuples for one stream.
+
+    Parameters
+    ----------
+    name:
+        Stream name (``"R"`` or ``"S"`` by convention).
+    sampler:
+        Key distribution.
+    rate:
+        Tuples per simulated second.
+    total:
+        Optional dataset size; the source is exhausted after emitting this
+        many tuples.  ``None`` streams forever.
+    rng:
+        Generator for key draws (take it from the experiment's
+        :class:`~repro.engine.rng.SeedSequenceFactory`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sampler: KeySampler,
+        rate: float,
+        rng: np.random.Generator,
+        total: int | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate}")
+        if total is not None and total < 0:
+            raise WorkloadError(f"total must be >= 0, got {total}")
+        self.name = name
+        self.sampler = sampler
+        self.rate = float(rate)
+        self.total = total
+        self._rng = rng
+        self._carry = 0.0
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        """Tuples emitted so far."""
+        return self._emitted
+
+    @property
+    def exhausted(self) -> bool:
+        return self.total is not None and self._emitted >= self.total
+
+    def emit(self, dt: float) -> np.ndarray:
+        """Keys for one tick of length ``dt`` (may be empty)."""
+        if dt <= 0:
+            raise WorkloadError(f"dt must be positive, got {dt}")
+        if self.exhausted:
+            return np.empty(0, dtype=np.int64)
+        budget = self._carry + self.rate * dt
+        n = int(budget)
+        self._carry = budget - n
+        if self.total is not None:
+            n = min(n, self.total - self._emitted)
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        self._emitted += n
+        return self.sampler.sample(n, self._rng)

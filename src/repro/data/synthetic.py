@@ -1,0 +1,107 @@
+"""Synthetic Gxy dataset groups (paper section VI-A).
+
+The paper generates nine groups of synthetic datasets: each stream has 300
+million tuples over 10 million unique keys, with keys either uniform or
+Zipf-distributed at coefficient 1.0 or 2.0.  The group label ``Gxy`` means
+stream R uses coefficient ``x/10 * 10`` and stream S uses ``y`` — e.g.
+``G02`` is uniform R joined with Zipf-2.0 S (the paper's own example).
+
+We keep the *ratio* structure but scale tuple counts down for laptop-scale
+simulation (DESIGN.md section 2); the default is 30k tuples per stream over
+3k keys, preserving the paper's 30:1 tuples-per-key ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.rng import SeedSequenceFactory
+from ..errors import WorkloadError
+import numpy as np
+
+from .distributions import KeySampler, zipf_probabilities
+from .streams import StreamSource
+
+__all__ = ["SKEW_GROUPS", "SyntheticGroupSpec", "make_group_sources", "group_label"]
+
+#: the paper's zipf coefficients, keyed by the Gxy digit
+_COEFFICIENTS = {0: 0.0, 1: 1.0, 2: 2.0}
+
+#: all nine group labels in the order Fig. 12/13 present them
+SKEW_GROUPS: tuple[str, ...] = (
+    "G00", "G01", "G02", "G10", "G11", "G12", "G20", "G21", "G22",
+)
+
+
+def group_label(x: int, y: int) -> str:
+    """``Gxy`` label for coefficients ``x``/``y`` in {0,1,2}."""
+    if x not in _COEFFICIENTS or y not in _COEFFICIENTS:
+        raise WorkloadError(f"Gxy digits must be 0, 1 or 2; got {x}, {y}")
+    return f"G{x}{y}"
+
+
+@dataclass(frozen=True)
+class SyntheticGroupSpec:
+    """Scaled-down parameters for one Gxy dataset group.
+
+    Attributes
+    ----------
+    label:
+        ``"G00"`` .. ``"G22"``.
+    n_keys:
+        Unique keys per stream (paper: 10 million; scaled default 3_000).
+    tuples_per_stream:
+        Tuples per stream (paper: 300 million; scaled default 30_000).
+    rate:
+        Emission rate in tuples per simulated second per stream.
+    """
+
+    label: str
+    n_keys: int = 3_000
+    tuples_per_stream: int = 30_000
+    rate: float = 3_000.0
+
+    def __post_init__(self) -> None:
+        if self.label not in SKEW_GROUPS:
+            raise WorkloadError(f"unknown group label {self.label!r}")
+        if self.n_keys < 1 or self.tuples_per_stream < 1 or self.rate <= 0:
+            raise WorkloadError("n_keys, tuples_per_stream and rate must be positive")
+
+    @property
+    def exponent_r(self) -> float:
+        return _COEFFICIENTS[int(self.label[1])]
+
+    @property
+    def exponent_s(self) -> float:
+        return _COEFFICIENTS[int(self.label[2])]
+
+
+def make_group_sources(
+    spec: SyntheticGroupSpec, seeds: SeedSequenceFactory
+) -> tuple[StreamSource, StreamSource]:
+    """Build the R and S sources for one Gxy group.
+
+    Both streams share one key universe and one rank permutation: the
+    paper's generator draws both streams' keys from the same Zipf ranking,
+    so the hottest key of R is also the hottest key of S.
+    """
+    r_probs = zipf_probabilities(spec.n_keys, spec.exponent_r)
+    s_probs = zipf_probabilities(spec.n_keys, spec.exponent_s)
+    # The paper's synthetic streams draw keys from one shared universe, so
+    # rank r of stream R is rank r of stream S (the hottest key is hot in
+    # both).  One shared permutation preserves exactly that alignment while
+    # still decoupling popularity from the numeric key id (and therefore
+    # from hash placement).
+    perm_rng = seeds.generator(f"{spec.label}.perm")
+    perm = perm_rng.permutation(spec.n_keys).astype(np.int64)
+    r_sampler = KeySampler(r_probs, key_ids=perm)
+    s_sampler = KeySampler(s_probs, key_ids=perm)
+    r_source = StreamSource(
+        "R", r_sampler, spec.rate, seeds.generator(f"{spec.label}.source.R"),
+        total=spec.tuples_per_stream,
+    )
+    s_source = StreamSource(
+        "S", s_sampler, spec.rate, seeds.generator(f"{spec.label}.source.S"),
+        total=spec.tuples_per_stream,
+    )
+    return r_source, s_source

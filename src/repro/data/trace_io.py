@@ -1,0 +1,190 @@
+"""Trace files: export synthetic workloads, replay real ones.
+
+The paper evaluates on a proprietary dataset we must synthesise
+(DESIGN.md section 2).  Users who *do* have real keyed streams — e.g. an
+actual ride-hailing export with ``timestamp,key`` rows — can replay them
+through any of the systems with :class:`TraceSource`, and any synthetic
+workload can be exported with :func:`write_trace` for inspection or for
+replay elsewhere.
+
+Format: plain CSV with a header, one tuple per row::
+
+    timestamp,key
+    0.000512,1741
+    0.000983,12
+
+Timestamps are simulated seconds, monotone non-decreasing; keys are
+non-negative integers (hash any string key to an int before export).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .streams import StreamSource
+
+__all__ = ["write_trace", "read_trace", "TraceSource", "export_stream_sample"]
+
+_HEADER = ["timestamp", "key"]
+
+
+def write_trace(
+    path: str | pathlib.Path,
+    timestamps: np.ndarray,
+    keys: np.ndarray,
+) -> int:
+    """Write a keyed-tuple trace; returns the number of rows written."""
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.int64)
+    if timestamps.shape != keys.shape or timestamps.ndim != 1:
+        raise WorkloadError("timestamps and keys must be equal-length 1-D arrays")
+    if timestamps.shape[0] and np.any(np.diff(timestamps) < 0):
+        raise WorkloadError("timestamps must be non-decreasing")
+    if keys.shape[0] and keys.min() < 0:
+        raise WorkloadError("keys must be non-negative")
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for t, k in zip(timestamps.tolist(), keys.tolist()):
+            writer.writerow([f"{t:.6f}", k])
+    return int(timestamps.shape[0])
+
+
+def read_trace(path: str | pathlib.Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read a trace back as ``(timestamps, keys)`` arrays."""
+    path = pathlib.Path(path)
+    times: list[float] = []
+    keys: list[int] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise WorkloadError(
+                f"{path}: expected header {_HEADER}, got {header}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise WorkloadError(f"{path}:{lineno}: expected 2 columns")
+            try:
+                times.append(float(row[0]))
+                keys.append(int(row[1]))
+            except ValueError as exc:
+                raise WorkloadError(f"{path}:{lineno}: {exc}") from None
+    t_arr = np.array(times, dtype=np.float64)
+    k_arr = np.array(keys, dtype=np.int64)
+    if t_arr.shape[0] and np.any(np.diff(t_arr) < 0):
+        raise WorkloadError(f"{path}: timestamps must be non-decreasing")
+    if k_arr.shape[0] and k_arr.min() < 0:
+        raise WorkloadError(f"{path}: keys must be non-negative")
+    return t_arr, k_arr
+
+
+class TraceSource:
+    """Replays a recorded trace at its native timestamps.
+
+    Drop-in compatible with :class:`~repro.data.streams.StreamSource` for
+    the runtime (same ``emit`` / ``exhausted`` / ``total`` protocol): each
+    tick emits exactly the tuples whose timestamps fall inside the tick.
+
+    Parameters
+    ----------
+    name:
+        Stream name (``"R"`` or ``"S"`` by convention).
+    timestamps, keys:
+        The trace (e.g. from :func:`read_trace`).
+    speedup:
+        Time compression: 2.0 replays the trace at twice its recorded
+        speed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        timestamps: np.ndarray,
+        keys: np.ndarray,
+        speedup: float = 1.0,
+    ) -> None:
+        if speedup <= 0:
+            raise WorkloadError(f"speedup must be positive, got {speedup}")
+        self.name = name
+        self._times = np.asarray(timestamps, dtype=np.float64) / speedup
+        self._keys = np.asarray(keys, dtype=np.int64)
+        if self._times.shape != self._keys.shape:
+            raise WorkloadError("timestamps and keys must align")
+        self._cursor = 0
+        self._now = 0.0
+
+    @classmethod
+    def from_file(cls, name: str, path: str | pathlib.Path,
+                  speedup: float = 1.0) -> "TraceSource":
+        """Load a trace file and wrap it as a source."""
+        times, keys = read_trace(path)
+        return cls(name, times, keys, speedup=speedup)
+
+    @property
+    def total(self) -> int:
+        """Trace length (finite by construction)."""
+        return int(self._keys.shape[0])
+
+    @total.setter
+    def total(self, value) -> None:
+        # StreamSource compatibility: benches set .total = None to stream
+        # forever, which a recorded trace cannot do.
+        if value is not None:
+            raise WorkloadError("a trace's length is fixed by its file")
+        raise WorkloadError("a TraceSource cannot be made unbounded")
+
+    @property
+    def emitted(self) -> int:
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self._keys.shape[0]
+
+    def emit(self, dt: float) -> np.ndarray:
+        """Keys with timestamps in ``[now, now + dt)``."""
+        if dt <= 0:
+            raise WorkloadError(f"dt must be positive, got {dt}")
+        end = self._now + dt
+        hi = int(np.searchsorted(self._times, end, side="left"))
+        out = self._keys[self._cursor : hi]
+        self._cursor = hi
+        self._now = end
+        return out
+
+
+def export_stream_sample(
+    source: StreamSource,
+    path: str | pathlib.Path,
+    duration: float,
+    tick: float = 0.01,
+) -> int:
+    """Record ``duration`` seconds of a synthetic source into a trace file.
+
+    Useful for sharing a reproducible workload snapshot, or inspecting
+    what the generators actually produce.
+    """
+    if duration <= 0 or tick <= 0:
+        raise WorkloadError("duration and tick must be positive")
+    all_times: list[np.ndarray] = []
+    all_keys: list[np.ndarray] = []
+    now = 0.0
+    while now < duration and not source.exhausted:
+        keys = source.emit(tick)
+        if keys.shape[0]:
+            # spread tuples uniformly inside the tick for a smooth trace
+            offsets = np.linspace(0.0, tick, keys.shape[0], endpoint=False)
+            all_times.append(now + offsets)
+            all_keys.append(keys)
+        now += tick
+    times = np.concatenate(all_times) if all_times else np.empty(0)
+    keys = np.concatenate(all_keys) if all_keys else np.empty(0, dtype=np.int64)
+    return write_trace(path, times, keys)

@@ -1,0 +1,37 @@
+"""Simulation engine: clock, tuples, queues, cost models, metrics, runtime.
+
+This is the Apache-Storm substitute (DESIGN.md section 2): a deterministic
+discrete-time dataflow where join instances are work-conserving servers.
+"""
+
+from .clock import SimClock
+from .cost import CostModel, IndexedCost, ScanCost
+from .metrics import MetricsCollector, MigrationEvent, Reservoir, RunMetrics
+from .queues import TupleQueue
+from .rng import SeedSequenceFactory, hash_to_instance, splitmix64
+from .runtime import StreamJoinRuntime
+from .tracing import InstanceTracer, TraceMatrix
+from .tuples import OP_PROBE, OP_STORE, Batch, StreamTuple, concat_batches
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "ScanCost",
+    "IndexedCost",
+    "MetricsCollector",
+    "MigrationEvent",
+    "Reservoir",
+    "RunMetrics",
+    "TupleQueue",
+    "SeedSequenceFactory",
+    "hash_to_instance",
+    "splitmix64",
+    "StreamJoinRuntime",
+    "InstanceTracer",
+    "TraceMatrix",
+    "Batch",
+    "StreamTuple",
+    "OP_STORE",
+    "OP_PROBE",
+    "concat_batches",
+]

@@ -1,0 +1,122 @@
+"""Service-cost models for join instances.
+
+The paper's load model (Eq. 1, ``L_i = |R_i| * phi_si``) assumes that
+processing one probe tuple costs work proportional to the number of tuples
+stored on the instance — i.e. the arriving tuple "should be compared with
+all the tuples of stream R stored in I_R-i" (section III-B).  That is the
+:class:`ScanCost` model and the default everywhere, because it is what
+makes the paper's skew phenomena appear.
+
+A hash-indexed store would instead pay O(1 + matches) per probe; we provide
+:class:`IndexedCost` as an ablation (bench ``bench_ablation_costmodel``) to
+show how much of FastJoin's win depends on the scan assumption.
+
+Costs are expressed in abstract *work units*; an instance's capacity is a
+budget of work units per simulated second, so absolute throughput numbers
+are simulator-relative by construction (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["CostModel", "ScanCost", "IndexedCost"]
+
+
+class CostModel:
+    """Interface: vectorised per-tuple service costs."""
+
+    #: cost of inserting one tuple into the keyed store
+    store_cost: float
+
+    def probe_costs(
+        self,
+        store_sizes: np.ndarray,
+        match_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Per-tuple cost of probing, given store size and match count.
+
+        Parameters
+        ----------
+        store_sizes:
+            ``|R_i|`` in effect when each probe tuple is served.
+        match_counts:
+            ``|R_ik|`` — stored tuples sharing the probe tuple's key.
+
+        Returns
+        -------
+        float64 array of work-unit costs, same shape as the inputs.
+        """
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on non-positive coefficients."""
+        if self.store_cost <= 0:
+            raise ConfigError(f"store_cost must be positive, got {self.store_cost}")
+
+
+@dataclass
+class ScanCost(CostModel):
+    """Paper-faithful model: probe cost grows with the whole store.
+
+    ``cost = probe_base + scan_coeff * |R_i| + emit_cost * |R_ik|``
+
+    Parameters
+    ----------
+    store_cost:
+        Work units to insert one tuple (paper: O(1) store).
+    probe_base:
+        Fixed per-probe overhead (deserialisation, hashing).
+    scan_coeff:
+        Work units per stored tuple scanned.  This is the term that turns
+        data skew into load skew.
+    emit_cost:
+        Work units per join-result tuple produced.
+    """
+
+    store_cost: float = 1.0
+    probe_base: float = 1.0
+    scan_coeff: float = 0.01
+    emit_cost: float = 0.01
+
+    def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
+        return (
+            self.probe_base
+            + self.scan_coeff * np.asarray(store_sizes, dtype=np.float64)
+            + self.emit_cost * np.asarray(match_counts, dtype=np.float64)
+        )
+
+    def validate(self) -> None:
+        super().validate()
+        if self.probe_base < 0 or self.scan_coeff < 0 or self.emit_cost < 0:
+            raise ConfigError("ScanCost coefficients must be non-negative")
+        if self.scan_coeff == 0:
+            raise ConfigError(
+                "scan_coeff must be positive for the ScanCost model; "
+                "use IndexedCost for O(1) probes"
+            )
+
+
+@dataclass
+class IndexedCost(CostModel):
+    """Hash-indexed probe: cost depends only on matches, not store size.
+
+    ``cost = probe_base + emit_cost * |R_ik|``
+    """
+
+    store_cost: float = 1.0
+    probe_base: float = 1.0
+    emit_cost: float = 0.1
+
+    def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
+        del store_sizes  # irrelevant under an index
+        return self.probe_base + self.emit_cost * np.asarray(match_counts, dtype=np.float64)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.probe_base < 0 or self.emit_cost < 0:
+            raise ConfigError("IndexedCost coefficients must be non-negative")

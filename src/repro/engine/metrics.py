@@ -1,0 +1,229 @@
+"""Run-time metrics: throughput, latency, load-imbalance time series.
+
+The paper reports (section VI-A):
+
+- *throughput* — join-result tuples obtained per second (their counter bolt);
+- *latency* — average time tuples spend in a join instance from arrival to
+  completion;
+- *degree of load imbalance* ``LI`` — reported every second;
+- migration events (Fig. 11 discussion: each migration takes < 1 s).
+
+:class:`MetricsCollector` bins everything into per-simulated-second buckets
+so benches can print exactly those series.  Latency keeps an exact running
+mean plus a bounded reservoir for percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MetricsCollector", "RunMetrics", "MigrationEvent", "Reservoir"]
+
+
+class Reservoir:
+    """Fixed-size uniform reservoir sample of a float stream (Vitter's R).
+
+    Keeps percentile estimates memory-bounded no matter how many latency
+    samples a long run produces.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        self._capacity = int(capacity)
+        self._buf = np.empty(self._capacity, dtype=np.float64)
+        self._n_seen = 0
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+
+    def add_many(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        n = values.shape[0]
+        if n == 0:
+            return
+        start = self._n_seen
+        fill = min(max(self._capacity - start, 0), n)
+        if fill:
+            self._buf[start : start + fill] = values[:fill]
+        rest = values[fill:]
+        if rest.shape[0]:
+            # Vectorised Vitter's R: item i (0-based global index g) replaces
+            # a uniformly random slot j in [0, g]; kept only if j < capacity.
+            # Later duplicates overwrite earlier ones, matching the
+            # sequential algorithm's behaviour.
+            g = start + fill + np.arange(rest.shape[0], dtype=np.float64)
+            j = (self._rng.random(rest.shape[0]) * (g + 1.0)).astype(np.int64)
+            mask = j < self._capacity
+            if mask.any():
+                self._buf[j[mask]] = rest[mask]
+        self._n_seen += n
+
+    @property
+    def n_seen(self) -> int:
+        return self._n_seen
+
+    def values(self) -> np.ndarray:
+        return self._buf[: min(self._n_seen, self._capacity)].copy()
+
+    def percentile(self, q: float) -> float:
+        vals = self.values()
+        if vals.size == 0:
+            return float("nan")
+        return float(np.percentile(vals, q))
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One executed migration, for the Fig. 11 narrative."""
+
+    time: float
+    side: str
+    source: int
+    target: int
+    n_keys: int
+    n_tuples: int
+    duration: float
+    li_before: float
+    li_after_estimate: float
+
+
+@dataclass
+class RunMetrics:
+    """Immutable result of a finished run (what benches consume).
+
+    All series are aligned per-second arrays; ``seconds[i]`` is the *end* of
+    the i-th one-second window.
+    """
+
+    seconds: np.ndarray
+    throughput: np.ndarray          # join results / s
+    processed: np.ndarray           # input tuples served / s
+    latency_mean: np.ndarray        # mean latency of tuples completed in bin
+    li: dict[str, np.ndarray]       # per-side load-imbalance series
+    migrations: list[MigrationEvent]
+    latency_overall_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    total_results: int
+    total_processed: int
+    duration: float
+    warmup: float = 0.0
+
+    def steady(self, attr: str) -> np.ndarray:
+        """A series restricted to the post-warm-up region.
+
+        The paper discards the first minutes of each run ("we only record
+        the stable statistics", section VI-A); ``warmup`` plays that role.
+        """
+        series = getattr(self, attr)
+        mask = self.seconds > self.warmup
+        return series[mask]
+
+    @property
+    def mean_throughput(self) -> float:
+        vals = self.steady("throughput")
+        return float(vals.mean()) if vals.size else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        vals = self.steady("latency_mean")
+        vals = vals[np.isfinite(vals)]
+        return float(vals.mean()) if vals.size else float("nan")
+
+
+class MetricsCollector:
+    """Accumulates per-second statistics during a run."""
+
+    def __init__(self, warmup: float = 0.0, reservoir_capacity: int = 4096) -> None:
+        self._results: dict[int, float] = {}
+        self._processed: dict[int, int] = {}
+        self._lat_sum: dict[int, float] = {}
+        self._lat_cnt: dict[int, int] = {}
+        self._li: dict[str, list[tuple[float, float]]] = {}
+        self._migrations: list[MigrationEvent] = []
+        self._reservoir = Reservoir(reservoir_capacity)
+        self._total_results = 0
+        self._total_processed = 0
+        self._lat_total = 0.0
+        self._lat_total_n = 0
+        self._warmup = float(warmup)
+        self._max_time = 0.0
+
+    # -- recording ----------------------------------------------------- #
+
+    def record_service(
+        self,
+        now: float,
+        n_processed: int,
+        n_results: float,
+        latencies: np.ndarray | None,
+    ) -> None:
+        """Record one instance-tick of work finishing at time ``now``."""
+        sec = int(now)
+        self._max_time = max(self._max_time, now)
+        if n_processed:
+            self._processed[sec] = self._processed.get(sec, 0) + int(n_processed)
+            self._total_processed += int(n_processed)
+        if n_results:
+            self._results[sec] = self._results.get(sec, 0.0) + float(n_results)
+            self._total_results += int(round(n_results))
+        if latencies is not None and latencies.size:
+            s = float(latencies.sum())
+            self._lat_sum[sec] = self._lat_sum.get(sec, 0.0) + s
+            self._lat_cnt[sec] = self._lat_cnt.get(sec, 0) + int(latencies.size)
+            if now >= self._warmup:
+                self._lat_total += s
+                self._lat_total_n += int(latencies.size)
+                self._reservoir.add_many(latencies)
+
+    def record_li(self, side: str, now: float, li: float) -> None:
+        self._li.setdefault(side, []).append((now, li))
+        self._max_time = max(self._max_time, now)
+
+    def record_migration(self, event: MigrationEvent) -> None:
+        self._migrations.append(event)
+
+    # -- finalisation --------------------------------------------------- #
+
+    def finalize(self) -> RunMetrics:
+        n_sec = int(np.ceil(self._max_time)) if self._max_time > 0 else 1
+        seconds = np.arange(1, n_sec + 1, dtype=np.float64)
+        thr = np.zeros(n_sec)
+        proc = np.zeros(n_sec)
+        lat = np.full(n_sec, np.nan)
+        for sec, v in self._results.items():
+            if sec < n_sec:
+                thr[sec] = v
+        for sec, v in self._processed.items():
+            if sec < n_sec:
+                proc[sec] = v
+        for sec, s in self._lat_sum.items():
+            cnt = self._lat_cnt.get(sec, 0)
+            if cnt and sec < n_sec:
+                lat[sec] = s / cnt
+        li_series: dict[str, np.ndarray] = {}
+        for side, samples in self._li.items():
+            arr = np.full(n_sec, np.nan)
+            for t, v in samples:
+                sec = min(int(t), n_sec - 1)
+                arr[sec] = v  # last sample in the second wins
+            li_series[side] = arr
+        overall_lat = (
+            self._lat_total / self._lat_total_n if self._lat_total_n else float("nan")
+        )
+        return RunMetrics(
+            seconds=seconds,
+            throughput=thr,
+            processed=proc,
+            latency_mean=lat,
+            li=li_series,
+            migrations=list(self._migrations),
+            latency_overall_mean=overall_lat,
+            latency_p50=self._reservoir.percentile(50),
+            latency_p95=self._reservoir.percentile(95),
+            latency_p99=self._reservoir.percentile(99),
+            total_results=self._total_results,
+            total_processed=self._total_processed,
+            duration=self._max_time,
+            warmup=self._warmup,
+        )

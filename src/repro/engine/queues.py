@@ -1,0 +1,206 @@
+"""Input queues for join instances.
+
+A :class:`TupleQueue` is a growable FIFO ring buffer holding pending store
+and probe operations as structure-of-arrays (keys, visible-times, ops).  It
+additionally answers queries about the *per-key probe composition* of its
+backlog — ``phi_sik`` in the paper's notation — because GreedyFit
+(Algorithm 1) needs it to score keys for migration, and the migration
+protocol (Algorithm 2) needs to extract enqueued tuples of the selected
+keys so the target instance can process them (completeness).
+
+The scalar probe backlog (``phi_si``) is maintained incrementally because
+the monitor reads it every period; the per-key breakdown is computed on
+demand by scanning the live region, because it is only needed when a
+migration is being planned (rare) and keeping it incrementally costs a
+``np.unique`` + dict update on every push/consume (the datapath hot loop).
+
+Only tuples whose visible-time is <= "now" may be consumed; this is how
+dispatch/network delay is modelled without a separate in-flight structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .tuples import OP_PROBE, Batch
+
+__all__ = ["TupleQueue"]
+
+_MIN_CAPACITY = 64
+
+
+class TupleQueue:
+    """Growable FIFO of pending operations with probe-backlog accounting."""
+
+    def __init__(self, initial_capacity: int = _MIN_CAPACITY) -> None:
+        cap = max(int(initial_capacity), _MIN_CAPACITY)
+        self._keys = np.empty(cap, dtype=np.int64)
+        self._times = np.empty(cap, dtype=np.float64)
+        self._ops = np.empty(cap, dtype=np.int8)
+        self._head = 0  # index of the oldest element
+        self._size = 0
+        self._n_probes = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def probe_backlog(self) -> int:
+        """Total queued probe tuples — ``phi_si`` in the paper (Eq. 4)."""
+        return self._n_probes
+
+    def _live(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views/copies of the live region in FIFO order."""
+        idx = self._live_indices(self._size)
+        return self._keys[idx], self._times[idx], self._ops[idx]
+
+    def probe_count(self, key: int) -> int:
+        """Queued probe tuples for one key — ``phi_sik``."""
+        if self._size == 0:
+            return 0
+        keys, _, ops = self._live()
+        return int(np.count_nonzero((keys == int(key)) & (ops == OP_PROBE)))
+
+    def probe_counts_snapshot(self) -> dict[int, int]:
+        """Per-key probe backlog (keys with zero count omitted).
+
+        Computed by scanning the live region — called when the monitor
+        plans a migration, not on the datapath.
+        """
+        if self._size == 0 or self._n_probes == 0:
+            return {}
+        keys, _, ops = self._live()
+        probe_keys = keys[ops == OP_PROBE]
+        uniq, counts = np.unique(probe_keys, return_counts=True)
+        return dict(zip(uniq.tolist(), counts.tolist()))
+
+    @property
+    def capacity(self) -> int:
+        return self._keys.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def _grow(self, needed: int) -> None:
+        new_cap = max(self.capacity * 2, self._size + needed, _MIN_CAPACITY)
+        self._relocate(new_cap)
+
+    def _relocate(self, new_cap: int) -> None:
+        """Copy live elements into a fresh, linearised buffer."""
+        keys = np.empty(new_cap, dtype=np.int64)
+        times = np.empty(new_cap, dtype=np.float64)
+        ops = np.empty(new_cap, dtype=np.int8)
+        if self._size:
+            idx = (self._head + np.arange(self._size)) % self.capacity
+            keys[: self._size] = self._keys[idx]
+            times[: self._size] = self._times[idx]
+            ops[: self._size] = self._ops[idx]
+        self._keys, self._times, self._ops = keys, times, ops
+        self._head = 0
+
+    def push(self, batch: Batch) -> None:
+        """Append a batch at the tail (FIFO order preserved)."""
+        n = len(batch)
+        if n == 0:
+            return
+        if self._size + n > self.capacity:
+            self._grow(n)
+        tail = (self._head + self._size) % self.capacity
+        end = tail + n
+        if end <= self.capacity:
+            self._keys[tail:end] = batch.keys
+            self._times[tail:end] = batch.times
+            self._ops[tail:end] = batch.ops
+        else:
+            first = self.capacity - tail
+            self._keys[tail:] = batch.keys[:first]
+            self._times[tail:] = batch.times[:first]
+            self._ops[tail:] = batch.ops[:first]
+            self._keys[: n - first] = batch.keys[first:]
+            self._times[: n - first] = batch.times[first:]
+            self._ops[: n - first] = batch.ops[first:]
+        self._size += n
+        self._n_probes += int(np.count_nonzero(batch.ops == OP_PROBE))
+
+    def _live_indices(self, n: int) -> np.ndarray:
+        return (self._head + np.arange(n)) % self.capacity
+
+    def peek_visible(self, now: float, limit: int | None = None) -> Batch:
+        """Return (without removing) the longest visible FIFO prefix.
+
+        A tuple is visible when its arrival time is <= ``now``.  FIFO order
+        is by *enqueue* order; a not-yet-visible tuple blocks everything
+        behind it (queues are per-destination, so this models an ordered
+        channel, matching Storm's per-task stream semantics).
+        """
+        n = self._size if limit is None else min(self._size, int(limit))
+        if n == 0:
+            return Batch.empty()
+        idx = self._live_indices(n)
+        times = self._times[idx]
+        invisible = np.nonzero(times > now)[0]
+        cut = int(invisible[0]) if invisible.size else n
+        if cut == 0:
+            return Batch.empty()
+        idx = idx[:cut]
+        return Batch(keys=self._keys[idx].copy(), times=self._times[idx].copy(),
+                     ops=self._ops[idx].copy())
+
+    def consume(self, n: int) -> None:
+        """Remove the first ``n`` tuples (they must have been peeked)."""
+        if n == 0:
+            return
+        if n > self._size:
+            raise SimulationError(f"consume({n}) exceeds queue size {self._size}")
+        idx = self._live_indices(n)
+        n_probe = int(np.count_nonzero(self._ops[idx] == OP_PROBE))
+        self._n_probes -= n_probe
+        if self._n_probes < 0:
+            raise SimulationError("probe counter underflow")
+        self._head = (self._head + n) % self.capacity
+        self._size -= n
+
+    def extract_keys(self, keys: set[int] | frozenset[int]) -> Batch:
+        """Remove and return every queued tuple whose key is in ``keys``.
+
+        Used by the migration protocol: tuples already queued at the source
+        for migrated keys must follow the stored tuples to the target, or
+        probes would run against an empty store (incomplete join) and
+        stores would land on the wrong instance.
+        """
+        if self._size == 0 or not keys:
+            return Batch.empty()
+        live_keys, live_times, live_ops = self._live()
+        key_arr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        hit = np.isin(live_keys, key_arr)
+        if not hit.any():
+            return Batch.empty()
+        out = Batch(
+            keys=live_keys[hit].copy(),
+            times=live_times[hit].copy(),
+            ops=live_ops[hit].copy(),
+        )
+        keep = ~hit
+        kept = Batch(
+            keys=live_keys[keep].copy(),
+            times=live_times[keep].copy(),
+            ops=live_ops[keep].copy(),
+        )
+        # Rebuild the buffer with the survivors; counters recomputed on push.
+        self._head = 0
+        self._size = 0
+        self._n_probes = 0
+        self.push(kept)
+        return out
+
+    def clear(self) -> Batch:
+        """Drain the whole queue, returning its contents in FIFO order."""
+        everything = self.peek_visible(np.inf)
+        self.consume(len(everything))
+        return everything

@@ -1,0 +1,126 @@
+"""Per-instance time-series tracing.
+
+The Fig. 1(c) view — each join instance's workload over time — needs
+periodic per-instance samples, which the aggregate
+:class:`~repro.engine.metrics.MetricsCollector` deliberately does not keep
+(it would be O(instances x seconds) for every run).  A
+:class:`InstanceTracer` is attached explicitly by the experiments that
+need it and samples on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["InstanceTracer", "TraceMatrix"]
+
+
+@dataclass
+class TraceMatrix:
+    """Sampled per-instance series: one row per sample time."""
+
+    times: np.ndarray
+    values: np.ndarray  # shape (n_samples, n_instances)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def n_instances(self) -> int:
+        return int(self.values.shape[1]) if self.values.ndim == 2 else 0
+
+    def per_instance(self, i: int) -> np.ndarray:
+        """Series of one instance (a line in Fig. 1c)."""
+        return self.values[:, i]
+
+    def envelope(self) -> dict[str, np.ndarray]:
+        """Heaviest / p75 / median / lightest across instances over time."""
+        return {
+            "heaviest": self.values.max(axis=1),
+            "p75": np.percentile(self.values, 75, axis=1),
+            "median": np.median(self.values, axis=1),
+            "lightest": self.values.min(axis=1),
+        }
+
+    def final_spread(self) -> float:
+        """max/min ratio of the last sample (floor-clamped)."""
+        last = self.values[-1]
+        return float(last.max() / max(last.min(), 1.0))
+
+
+class InstanceTracer:
+    """Samples a per-instance quantity at a fixed period during a run.
+
+    Parameters
+    ----------
+    runtime:
+        A wired :class:`~repro.engine.runtime.StreamJoinRuntime`.
+    side:
+        Which biclique side to trace.
+    quantity:
+        ``"load"`` (Eq. 1), ``"stored"`` (``|R_i|``), ``"backlog"``
+        (``phi_si``) or ``"queue"`` (total queued ops).
+    period:
+        Simulated seconds between samples.
+    """
+
+    _QUANTITIES = ("load", "stored", "backlog", "queue")
+
+    def __init__(self, runtime, side: str = "R", quantity: str = "load",
+                 period: float = 5.0) -> None:
+        if quantity not in self._QUANTITIES:
+            raise ConfigError(
+                f"quantity must be one of {self._QUANTITIES}, got {quantity!r}"
+            )
+        if side not in ("R", "S"):
+            raise ConfigError(f"side must be 'R' or 'S', got {side!r}")
+        if period <= 0:
+            raise ConfigError("period must be positive")
+        self.runtime = runtime
+        self.side = side
+        self.quantity = quantity
+        self.period = float(period)
+        self._next = self.period
+        self._times: list[float] = []
+        self._rows: list[list[float]] = []
+
+    def _sample_instance(self, inst) -> float:
+        if self.quantity == "load":
+            return inst.snapshot().load
+        if self.quantity == "stored":
+            return float(inst.store.total)
+        if self.quantity == "backlog":
+            return float(inst.queue.probe_backlog)
+        return float(len(inst.queue))
+
+    def maybe_sample(self) -> bool:
+        """Sample if the period elapsed; returns True when sampled."""
+        now = self.runtime.clock.now
+        if now < self._next:
+            return False
+        self._next += self.period
+        self._times.append(now)
+        self._rows.append(
+            [self._sample_instance(i) for i in self.runtime.dispatcher.groups[self.side]]
+        )
+        return True
+
+    def run_traced(self, duration: float) -> TraceMatrix:
+        """Step the runtime to ``duration``, sampling along the way."""
+        while self.runtime.clock.now < duration:
+            self.runtime.step()
+            self.maybe_sample()
+        return self.matrix()
+
+    def matrix(self) -> TraceMatrix:
+        if not self._rows:
+            return TraceMatrix(times=np.empty(0), values=np.empty((0, 0)))
+        return TraceMatrix(
+            times=np.array(self._times),
+            values=np.array(self._rows, dtype=np.float64),
+        )

@@ -1,0 +1,125 @@
+"""Tuple and batch representations.
+
+The simulator processes tuples in *batches*: structure-of-arrays bundles of
+key ids and arrival timestamps.  This is the idiom the HPC guides recommend
+(vectorise the hot loop, keep per-object Python out of it).  Individual
+:class:`StreamTuple` objects exist only in the exact-semantics engine
+(:mod:`repro.join.exact`), where completeness is verified tuple by tuple.
+
+Two *operations* flow through a join instance's queue (paper section III-A):
+
+- ``OP_STORE``: the tuple belongs to the stream this instance stores; it is
+  inserted into the keyed store.
+- ``OP_PROBE``: the tuple belongs to the opposite stream; it is joined
+  against the store and then discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OP_STORE", "OP_PROBE", "Batch", "StreamTuple", "concat_batches"]
+
+OP_STORE: int = 0
+OP_PROBE: int = 1
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """A single logical stream tuple (exact engine only).
+
+    Attributes
+    ----------
+    stream:
+        ``"R"`` or ``"S"``.
+    key:
+        Join-attribute value (already mapped to an integer id).
+    uid:
+        Unique tuple identifier within its stream, used to check
+        exactly-once join completeness.
+    timestamp:
+        Event time assigned by the shuffler (pre-processing unit).
+    """
+
+    stream: str
+    key: int
+    uid: int
+    timestamp: float = 0.0
+
+
+@dataclass
+class Batch:
+    """A structure-of-arrays bundle of tuples heading to one destination.
+
+    Attributes
+    ----------
+    keys:
+        ``int64`` array of key ids.
+    times:
+        ``float64`` array of arrival timestamps (simulated seconds).  These
+        are the times the tuples become *visible* at the destination queue,
+        i.e. emission time plus dispatch/network delay.
+    ops:
+        ``int8`` array of ``OP_STORE`` / ``OP_PROBE`` markers.
+    """
+
+    keys: np.ndarray
+    times: np.ndarray
+    ops: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        self.times = np.asarray(self.times, dtype=np.float64)
+        if self.ops is None:
+            self.ops = np.zeros(self.keys.shape[0], dtype=np.int8)
+        else:
+            self.ops = np.asarray(self.ops, dtype=np.int8)
+        if not (self.keys.shape == self.times.shape == self.ops.shape):
+            raise ValueError(
+                "keys, times and ops must have identical shapes, got "
+                f"{self.keys.shape}, {self.times.shape}, {self.ops.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    @classmethod
+    def empty(cls) -> "Batch":
+        """An empty batch."""
+        return cls(
+            keys=np.empty(0, dtype=np.int64),
+            times=np.empty(0, dtype=np.float64),
+            ops=np.empty(0, dtype=np.int8),
+        )
+
+    @classmethod
+    def stores(cls, keys: np.ndarray, times: np.ndarray) -> "Batch":
+        """Build a batch of store operations."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return cls(keys=keys, times=times, ops=np.full(keys.shape[0], OP_STORE, np.int8))
+
+    @classmethod
+    def probes(cls, keys: np.ndarray, times: np.ndarray) -> "Batch":
+        """Build a batch of probe operations."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return cls(keys=keys, times=times, ops=np.full(keys.shape[0], OP_PROBE, np.int8))
+
+    def select(self, mask: np.ndarray) -> "Batch":
+        """Return the sub-batch where ``mask`` is true."""
+        return Batch(keys=self.keys[mask], times=self.times[mask], ops=self.ops[mask])
+
+
+def concat_batches(batches: list[Batch]) -> Batch:
+    """Concatenate batches preserving order; empty input gives empty batch."""
+    batches = [b for b in batches if len(b) > 0]
+    if not batches:
+        return Batch.empty()
+    if len(batches) == 1:
+        return batches[0]
+    return Batch(
+        keys=np.concatenate([b.keys for b in batches]),
+        times=np.concatenate([b.times for b in batches]),
+        ops=np.concatenate([b.ops for b in batches]),
+    )

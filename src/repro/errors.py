@@ -1,0 +1,36 @@
+"""Exception hierarchy for the FastJoin reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class RoutingError(ReproError):
+    """A tuple could not be routed, or a routing-table update is invalid."""
+
+
+class MigrationError(ReproError):
+    """A migration could not be planned or executed."""
+
+
+class StorageError(ReproError):
+    """Inconsistent keyed-store state (negative counts, unknown keys...)."""
+
+
+class SimulationError(ReproError):
+    """The simulation runtime reached an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload/data generator was configured or used incorrectly."""

@@ -1,0 +1,27 @@
+"""Join-biclique substrate: stores, instances, partitioners, dispatcher."""
+
+from .dispatcher import DispatchDelay, Dispatcher, opposite
+from .instance import JoinInstance, ServiceReport
+from .partitioners import (
+    ContRandPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RandomBroadcastPartitioner,
+)
+from .storage import KeyedStore
+from .window import SubWindowVector, WindowedStore
+
+__all__ = [
+    "Dispatcher",
+    "DispatchDelay",
+    "opposite",
+    "JoinInstance",
+    "ServiceReport",
+    "Partitioner",
+    "HashPartitioner",
+    "RandomBroadcastPartitioner",
+    "ContRandPartitioner",
+    "KeyedStore",
+    "WindowedStore",
+    "SubWindowVector",
+]

@@ -1,0 +1,159 @@
+"""The dispatching component (paper section III-A).
+
+The dispatcher receives pre-processed tuples from the shuffler, partitions
+them with the configured strategy and sends each tuple to join instances:
+
+- a **store** operation to one instance of the tuple's own side (that side
+  of the biclique stores the tuple), and
+- **probe** operations to the opposite side's instance(s) that may hold
+  matching tuples (one instance under hash partitioning, a subgroup under
+  ContRand, everyone under random/broadcast).
+
+After migrations, a :class:`~repro.core.routing.RoutingTable` per side
+redirects migrated keys; the dispatcher "checks the routing table to
+dispatch the tuples to the right join instances".
+
+Dispatch latency models the network: tuples become visible at the target
+queue ``delay`` seconds after emission, with the delay growing with group
+size (more instances → more dispatch/gather communication, the effect the
+paper uses to explain rising latency in Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.routing import RoutingTable
+from ..engine.tuples import OP_PROBE, OP_STORE, Batch
+from ..errors import ConfigError
+from .instance import JoinInstance
+from .partitioners import Partitioner
+
+__all__ = ["DispatchDelay", "DispatchStats", "Dispatcher", "opposite"]
+
+
+def opposite(side: str) -> str:
+    """The other side of the biclique."""
+    if side == "R":
+        return "S"
+    if side == "S":
+        return "R"
+    raise ConfigError(f"side must be 'R' or 'S', got {side!r}")
+
+
+@dataclass
+class DispatchDelay:
+    """Deterministic network-delay model.
+
+    ``delay(n) = base + per_instance * n`` seconds — a dispatch into a
+    larger group pays more coordination/serialisation overhead.
+    """
+
+    base: float = 0.002
+    per_instance: float = 0.0002
+
+    def delay(self, group_size: int) -> float:
+        if group_size < 1:
+            raise ConfigError("group_size must be >= 1")
+        return self.base + self.per_instance * group_size
+
+
+@dataclass
+class DispatchStats:
+    """Message accounting (probe amplification shows up here)."""
+
+    stores_sent: int = 0
+    probes_sent: int = 0
+
+    @property
+    def messages(self) -> int:
+        return self.stores_sent + self.probes_sent
+
+
+class Dispatcher:
+    """Routes keyed batches into the two join-instance groups."""
+
+    def __init__(
+        self,
+        groups: dict[str, list[JoinInstance]],
+        partitioners: dict[str, Partitioner],
+        routing: dict[str, RoutingTable],
+        delay: DispatchDelay | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        for side in ("R", "S"):
+            if side not in groups or side not in partitioners or side not in routing:
+                raise ConfigError(f"missing side {side!r} in dispatcher wiring")
+            if partitioners[side].n_instances != len(groups[side]):
+                raise ConfigError(
+                    f"partitioner for side {side} targets "
+                    f"{partitioners[side].n_instances} instances but group has "
+                    f"{len(groups[side])}"
+                )
+        self.groups = groups
+        self.partitioners = partitioners
+        self.routing = routing
+        self.delay = delay if delay is not None else DispatchDelay()
+        self.rng = rng if rng is not None else np.random.Generator(np.random.PCG64(0))
+        self.stats = DispatchStats()
+
+    # ------------------------------------------------------------------ #
+
+    def _scatter(
+        self,
+        side: str,
+        dest: np.ndarray,
+        keys: np.ndarray,
+        times: np.ndarray,
+        op: int,
+    ) -> None:
+        """Deliver (keys, times) to instances of ``side`` grouped by dest."""
+        instances = self.groups[side]
+        if dest.shape[0] == 0:
+            return
+        order = np.argsort(dest, kind="stable")
+        sorted_dest = dest[order]
+        sorted_keys = keys[order]
+        sorted_times = times[order]
+        uniq, starts = np.unique(sorted_dest, return_index=True)
+        bounds = np.append(starts, sorted_dest.shape[0])
+        for u, lo, hi in zip(uniq.tolist(), bounds[:-1].tolist(), bounds[1:].tolist()):
+            ops = np.full(hi - lo, op, dtype=np.int8)
+            instances[u].enqueue(
+                Batch(keys=sorted_keys[lo:hi], times=sorted_times[lo:hi], ops=ops)
+            )
+
+    def dispatch(self, stream: str, keys: np.ndarray, emit_time: float) -> None:
+        """Route one tick's batch of tuples belonging to ``stream``.
+
+        Stores go to the ``stream`` side, probes to the opposite side.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        own, other = stream, opposite(stream)
+
+        # --- store path -------------------------------------------------- #
+        part_own = self.partitioners[own]
+        store_dest = part_own.store_targets(keys, self.rng)
+        if part_own.content_based:
+            store_dest = self.routing[own].apply(keys, store_dest)
+        t_store = np.full(n, emit_time + self.delay.delay(len(self.groups[own])))
+        self._scatter(own, store_dest, keys, t_store, OP_STORE)
+        self.stats.stores_sent += n
+
+        # --- probe path --------------------------------------------------- #
+        part_other = self.partitioners[other]
+        probe_dest, src = part_other.probe_targets(keys, self.rng)
+        probe_keys = keys[src]
+        if part_other.content_based:
+            probe_dest = self.routing[other].apply(probe_keys, probe_dest)
+        t_probe = np.full(
+            probe_keys.shape[0],
+            emit_time + self.delay.delay(len(self.groups[other])),
+        )
+        self._scatter(other, probe_dest, probe_keys, t_probe, OP_PROBE)
+        self.stats.probes_sent += int(probe_keys.shape[0])

@@ -1,0 +1,260 @@
+"""Exact-semantics join engine — the completeness validation harness.
+
+The performance simulator (:mod:`repro.join.instance`) tracks per-key
+*counts* because no measured quantity needs tuple identity.  Completeness —
+the paper's third requirement, "each pair of tuples from two streams that
+are matched for join must be joined exactly once" — is about identity, so
+this module re-implements the join-biclique at tuple granularity with the
+same ordering rules as the performance engine:
+
+- per-instance FIFO queues whose entries carry a visible-time, with
+  head-of-line blocking (a not-yet-visible tuple blocks everything behind
+  it, modelling an ordered network channel — Storm's per-task semantics);
+- stores and probes of one input tuple dispatched atomically;
+- migration that extracts stored tuples *and* queued tuples of the
+  selected keys in FIFO order, makes them visible at the target only when
+  the transfer completes, and updates the routing table at execute time
+  (section III-D's ordering, which is exactly what makes the double-join /
+  lost-join races impossible).
+
+Tests fuzz this engine with random workloads and adversarial migration
+timing and assert the output pair multiset is exactly
+``{(r, s) : r.key == s.key}`` with multiplicity one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.routing import RoutingTable
+from ..engine.rng import hash_to_instance
+from ..errors import MigrationError
+from .dispatcher import opposite
+
+__all__ = ["ExactTuple", "ExactInstance", "ExactBiclique"]
+
+
+@dataclass(frozen=True)
+class ExactTuple:
+    """A queued operation in the exact engine."""
+
+    stream: str      # which stream the tuple belongss to ("R"/"S")
+    key: int
+    uid: int
+    op: str          # "store" | "probe"
+    visible_at: float
+
+
+class ExactInstance:
+    """Tuple-level join instance: FIFO queue + per-key uid lists."""
+
+    def __init__(self, instance_id: int, side: str) -> None:
+        self.instance_id = instance_id
+        self.side = side
+        self.queue: deque[ExactTuple] = deque()
+        self.store: dict[int, list[int]] = defaultdict(list)
+        self.paused_until = 0.0
+
+    def enqueue(self, t: ExactTuple) -> None:
+        self.queue.append(t)
+
+    def stored_total(self) -> int:
+        return sum(len(v) for v in self.store.values())
+
+    def step(self, now: float, emit) -> int:
+        """Serve every visible tuple at the queue head; return count served.
+
+        ``emit(r_uid, s_uid)`` is called once per joined pair.
+        """
+        if now < self.paused_until:
+            return 0
+        served = 0
+        while self.queue and self.queue[0].visible_at <= now:
+            t = self.queue.popleft()
+            if t.op == "store":
+                self.store[t.key].append(t.uid)
+            else:
+                for stored_uid in self.store.get(t.key, ()):  # join
+                    if self.side == "R":
+                        # R-side stores R; the probe tuple is from S
+                        emit(stored_uid, t.uid)
+                    else:
+                        emit(t.uid, stored_uid)
+            served += 1
+        return served
+
+    def extract_for_migration(
+        self, keys: set[int]
+    ) -> tuple[dict[int, list[int]], list[ExactTuple]]:
+        """Remove stored uid-lists and queued tuples for ``keys`` (FIFO
+        order preserved among the extracted queued tuples)."""
+        stored = {k: self.store.pop(k) for k in keys if k in self.store}
+        kept: deque[ExactTuple] = deque()
+        moved: list[ExactTuple] = []
+        for t in self.queue:
+            (moved if t.key in keys else kept).append(t)
+        self.queue = kept
+        return stored, moved
+
+    def accept_migration(
+        self,
+        stored: dict[int, list[int]],
+        queued: list[ExactTuple],
+        visible_at: float,
+    ) -> None:
+        for k, uids in stored.items():
+            self.store[k].extend(uids)
+        for t in queued:
+            self.enqueue(
+                ExactTuple(t.stream, t.key, t.uid, t.op,
+                           max(t.visible_at, visible_at))
+            )
+
+
+class ExactBiclique:
+    """A tuple-level join-biclique with hash partitioning and migration.
+
+    Parameters
+    ----------
+    n_instances:
+        Instances per side.
+    dispatch_delay:
+        Seconds between dispatch and queue visibility.
+    """
+
+    def __init__(self, n_instances: int, dispatch_delay: float = 0.0) -> None:
+        self.n = n_instances
+        self.delay = dispatch_delay
+        self.groups: dict[str, list[ExactInstance]] = {
+            side: [ExactInstance(i, side) for i in range(n_instances)]
+            for side in ("R", "S")
+        }
+        self.routing = {side: RoutingTable(n_instances) for side in ("R", "S")}
+        self.pairs: list[tuple[int, int]] = []
+        self._uid_counters = {"R": 0, "S": 0}
+        self._emitted: dict[str, list[tuple[int, int]]] = {"R": [], "S": []}
+
+    # -- data path ------------------------------------------------------- #
+
+    def _route(self, side: str, key: int) -> int:
+        override = self.routing[side].target_of(key)
+        if override is not None:
+            return override
+        return int(hash_to_instance(np.array([key]), self.n)[0])
+
+    def ingest(self, stream: str, key: int, now: float) -> int:
+        """Dispatch one tuple of ``stream``; returns its uid."""
+        uid = self._uid_counters[stream]
+        self._uid_counters[stream] += 1
+        own, other = stream, opposite(stream)
+        visible = now + self.delay
+        self.groups[own][self._route(own, key)].enqueue(
+            ExactTuple(stream, key, uid, "store", visible)
+        )
+        self.groups[other][self._route(other, key)].enqueue(
+            ExactTuple(stream, key, uid, "probe", visible)
+        )
+        self._emitted[stream].append((uid, key))
+        return uid
+
+    def step(self, now: float) -> int:
+        emit = self.pairs.append
+        served = 0
+        for side in ("R", "S"):
+            for inst in self.groups[side]:
+                served += inst.step(now, lambda r, s: emit((r, s)))
+        return served
+
+    def drain(self, now: float, max_rounds: int = 10_000) -> None:
+        """Step until all queues are empty (advancing past visibility and
+        pause times as needed)."""
+        t = now
+        for _ in range(max_rounds):
+            if all(
+                not inst.queue and inst.paused_until <= t
+                for side in ("R", "S")
+                for inst in self.groups[side]
+            ):
+                return
+            self.step(t)
+            # jump past the earliest blocking time
+            pending = [
+                inst.queue[0].visible_at
+                for side in ("R", "S")
+                for inst in self.groups[side]
+                if inst.queue
+            ] + [
+                inst.paused_until
+                for side in ("R", "S")
+                for inst in self.groups[side]
+                if inst.paused_until > t
+            ]
+            if pending:
+                t = max(t, min(pending))
+        raise MigrationError("drain did not converge")
+
+    # -- migration --------------------------------------------------------- #
+
+    def migrate(
+        self,
+        side: str,
+        source: int,
+        target: int,
+        keys: set[int],
+        now: float,
+        duration: float = 0.0,
+    ) -> None:
+        """Move ``keys`` from ``source`` to ``target`` on ``side`` using
+        the same ordering rules as :class:`repro.core.migration`.
+        """
+        if source == target:
+            raise MigrationError("source and target must differ")
+        # A key can only be migrated by the instance that owns it: the real
+        # monitor builds the key set from the source's own statistics, so
+        # foreign keys can never appear.  Enforce the same invariant here.
+        keys = {k for k in keys if self._route(side, k) == source}
+        if not keys:
+            return
+        src = self.groups[side][source]
+        dst = self.groups[side][target]
+        stored, queued = src.extract_for_migration(keys)
+        src.paused_until = max(src.paused_until, now + duration)
+        dst.accept_migration(stored, queued, visible_at=now + duration)
+        self.routing[side].install(sorted(keys), target)
+
+    # -- verification -------------------------------------------------------- #
+
+    def expected_pairs(self) -> dict[tuple[int, int], int]:
+        """Every (r_uid, s_uid) with matching keys, multiplicity one."""
+        by_key: dict[int, list[int]] = defaultdict(list)
+        for uid, key in self._emitted["R"]:
+            by_key[key].append(uid)
+        out: dict[tuple[int, int], int] = {}
+        for s_uid, key in self._emitted["S"]:
+            for r_uid in by_key.get(key, ()):  # cross product per key
+                out[(r_uid, s_uid)] = 1
+        return out
+
+    def observed_pairs(self) -> dict[tuple[int, int], int]:
+        out: dict[tuple[int, int], int] = defaultdict(int)
+        for p in self.pairs:
+            out[p] += 1
+        return dict(out)
+
+    def check_exactly_once(self) -> tuple[bool, str]:
+        """Compare observed against expected; returns (ok, message)."""
+        expected = self.expected_pairs()
+        observed = self.observed_pairs()
+        missing = [p for p in expected if p not in observed]
+        extra = [p for p in observed if p not in expected]
+        dupes = [p for p, c in observed.items() if c > 1]
+        if missing:
+            return False, f"missing joins: {missing[:5]} (+{len(missing) - 5 if len(missing) > 5 else 0})"
+        if extra:
+            return False, f"spurious joins: {extra[:5]}"
+        if dupes:
+            return False, f"duplicate joins: {dupes[:5]}"
+        return True, "exactly-once"

@@ -1,0 +1,331 @@
+"""Join instances — the worker units of the join-biclique (section III-A).
+
+A :class:`JoinInstance` belongs to one group of the biclique: it *stores*
+tuples of one stream and *probes* arriving tuples of the other stream
+against that store, emitting join results.  It is simulated as a
+work-conserving server: each tick it receives a budget of work units
+(``capacity * dt``) and drains its input queue in FIFO order, paying the
+cost model's price per operation.  When the store is large, each probe is
+expensive (the scan model), so a skew-hot instance falls behind — exactly
+the mechanism behind Fig. 1(c)/(d).
+
+The instance also keeps the two counters the paper requires for dynamic
+load balancing (section III-A): the number of stored tuples (``|R_i|``)
+and the probe backlog (``phi_si``), with per-key breakdowns for GreedyFit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.selection.base import SelectionProblem
+from ..core.load_model import InstanceLoad
+from ..engine.cost import CostModel, ScanCost
+from ..engine.queues import TupleQueue
+from ..engine.tuples import OP_PROBE, OP_STORE, Batch
+from ..errors import ConfigError
+from .storage import KeyedStore
+from .window import WindowedStore
+
+__all__ = ["JoinInstance", "ServiceReport"]
+
+
+def _prior_same_key_stores(
+    inv: np.ndarray, store_mask: np.ndarray
+) -> np.ndarray:
+    """For each position, how many *store* ops with the same key precede it
+    within the chunk (exclusive), given the ``np.unique`` inverse mapping.
+    Makes intra-tick join results exact: a probe sees every store that was
+    served before it, even in the same service chunk.
+    """
+    n = inv.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(inv, kind="stable")  # groups keys, preserves position order
+    flags_sorted = store_mask[order].astype(np.int64)
+    cs = np.cumsum(flags_sorted)
+    inv_sorted = inv[order]
+    group_start = np.ones(n, dtype=bool)
+    group_start[1:] = inv_sorted[1:] != inv_sorted[:-1]
+    start_idx = np.nonzero(group_start)[0]
+    # exclusive within-group prefix: global exclusive prefix minus the
+    # global prefix at each group's start, broadcast over the group.
+    excl = cs - flags_sorted
+    group_base = np.repeat(excl[start_idx], np.diff(np.append(start_idx, n)))
+    prior_sorted = excl - group_base
+    out = np.empty(n, dtype=np.int64)
+    out[order] = prior_sorted
+    return out
+
+
+@dataclass
+class ServiceReport:
+    """What one instance accomplished during one tick."""
+
+    n_processed: int = 0
+    n_stored: int = 0
+    n_probed: int = 0
+    n_results: float = 0.0
+    latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def idle(self) -> bool:
+        return self.n_processed == 0
+
+
+class JoinInstance:
+    """One worker of a join-instance group.
+
+    Parameters
+    ----------
+    instance_id:
+        Index within the group.
+    side:
+        ``"R"`` if this instance stores stream R (and probes S), else ``"S"``.
+    capacity:
+        Work units the instance can perform per simulated second.
+    cost_model:
+        Service-cost model (default: paper-faithful :class:`ScanCost`).
+    window_subwindows:
+        If given, use a :class:`WindowedStore` with that many sub-windows
+        (window-based join, paper section III-E); otherwise full-history.
+    """
+
+    def __init__(
+        self,
+        instance_id: int,
+        side: str = "R",
+        capacity: float = 50_000.0,
+        cost_model: CostModel | None = None,
+        window_subwindows: int | None = None,
+        max_service_chunk: int = 100_000,
+        backlog_smoothing_tau: float = 2.0,
+        latency_offset: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        if side not in ("R", "S"):
+            raise ConfigError(f"side must be 'R' or 'S', got {side!r}")
+        self.instance_id = int(instance_id)
+        self.side = side
+        self.capacity = float(capacity)
+        self.cost_model = cost_model if cost_model is not None else ScanCost()
+        self.cost_model.validate()
+        self.store: KeyedStore | WindowedStore
+        if window_subwindows is None:
+            self.store = KeyedStore()
+        else:
+            self.store = WindowedStore(window_subwindows)
+        self.queue = TupleQueue()
+        self._paused_until = 0.0
+        self._work_credit = 0.0
+        self._max_chunk = int(max_service_chunk)
+        # Exponential moving average of the probe backlog, with time
+        # constant tau.  The monitor reads this smoothed value: an
+        # instantaneous queue length sampled once a second is a noisy load
+        # signal (a healthy instance's queue oscillates through zero every
+        # tick), and Eq. 2's max/min ratio amplifies that noise into
+        # spurious migrations.  tau <= 0 disables smoothing.
+        self._tau = float(backlog_smoothing_tau)
+        self._backlog_ewma = 0.0
+        # Added to every reported latency: the dispatch/network delay a
+        # tuple paid before becoming visible in this queue.  Makes reported
+        # latency end-to-end (emission -> join completion), which is what
+        # surfaces the paper's Fig. 6 effect — latency growing with the
+        # instance count through dispatch/gather communication overhead.
+        self.latency_offset = float(latency_offset)
+        # lifetime statistics
+        self.total_stored = 0
+        self.total_probed = 0
+        self.total_results = 0.0
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, batch: Batch) -> None:
+        """Accept dispatched tuples (queueing continues while paused)."""
+        self.queue.push(batch)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused_until > 0.0
+
+    def pause_until(self, t: float) -> None:
+        """Suspend store/join processing until simulated time ``t``.
+
+        The migration procedure pauses the source instance while GreedyFit
+        runs and tuples are transferred (section III-C: "an instance must
+        stop executing the store and join operations").
+        """
+        self._paused_until = max(self._paused_until, float(t))
+
+    def step(self, now: float, dt: float) -> ServiceReport:
+        """Serve the queue for one tick ending at ``now + dt``."""
+        if self._tau > 0:
+            alpha = min(dt / self._tau, 1.0)
+            self._backlog_ewma += alpha * (self.queue.probe_backlog - self._backlog_ewma)
+        else:
+            self._backlog_ewma = float(self.queue.probe_backlog)
+        if now < self._paused_until:
+            return ServiceReport()
+        self._paused_until = 0.0
+
+        # Budget for this tick plus any overdraft (negative credit) from a
+        # tuple that straddled the previous tick boundary.  Idle capacity is
+        # never banked: credit is clamped to <= 0 whenever the queue drains.
+        credit = self._work_credit + self.capacity * dt
+        if len(self.queue) == 0 or credit <= 0:
+            self._work_credit = min(credit, 0.0)
+            return ServiceReport()
+
+        # Bound the peek by what this tick's credit could possibly afford:
+        # every operation costs at least min(store, probe_base) work units,
+        # so peeking deeper than credit/floor_cost wastes copying on
+        # backlogged queues.
+        floor_cost = max(
+            min(self.cost_model.store_cost, getattr(self.cost_model, "probe_base", 1.0)),
+            1e-9,
+        )
+        affordable = int(credit / floor_cost) + 1
+        batch = self.queue.peek_visible(now + dt, limit=min(self._max_chunk, affordable))
+        n_visible = len(batch)
+        if n_visible == 0:
+            self._work_credit = min(credit, 0.0)
+            return ServiceReport()
+
+        store_mask = batch.ops == OP_STORE
+        # |R_i| in effect at each position: start size plus stores already
+        # applied earlier in the chunk.
+        start_total = self.store.total
+        store_prefix = np.cumsum(store_mask.astype(np.int64))
+        sizes_at = start_total + store_prefix - store_mask.astype(np.int64)
+        # Matches are exact even intra-chunk: stored count at chunk start
+        # plus same-key stores served earlier in this chunk.  One unique
+        # pass serves both the store lookup (on unique keys only — chunks
+        # repeat hot keys heavily) and the intra-chunk prefix counts.
+        uniq, inv = np.unique(batch.keys, return_inverse=True)
+        match_counts = self.store.match_counts(uniq)[inv] + _prior_same_key_stores(
+            inv, store_mask
+        )
+        costs = np.where(
+            store_mask,
+            self.cost_model.store_cost,
+            self.cost_model.probe_costs(sizes_at, match_counts),
+        )
+        cum = np.cumsum(costs)
+        # Serve tuple t while credit is still positive when t starts, i.e.
+        # while the exclusive prefix cost is < credit (allows one overdraft
+        # tuple, modelling partial service carried into the next tick).
+        ecum = cum - costs
+        n_take = int(np.searchsorted(ecum, credit, side="left"))
+
+        taken = Batch(
+            keys=batch.keys[:n_take],
+            times=batch.times[:n_take],
+            ops=batch.ops[:n_take],
+        )
+        self.queue.consume(n_take)
+        spent = float(cum[n_take - 1])
+        leftover = credit - spent
+        if n_take == n_visible:
+            # Drained everything visible: idle remainder is not banked.
+            leftover = min(leftover, 0.0)
+        self._work_credit = leftover
+
+        taken_store = taken.ops == OP_STORE
+        store_keys = taken.keys[taken_store]
+        if store_keys.shape[0]:
+            self.store.add_batch(store_keys)
+        n_stored = int(store_keys.shape[0])
+        n_probed = n_take - n_stored
+        n_results = float(match_counts[:n_take][~taken_store].sum())
+
+        # Per-tuple completion time within the tick: the instant the tuple's
+        # cumulative work finished at this capacity.  latency = completion -
+        # arrival; the overdraft tuple may nominally finish just past the
+        # tick boundary, which is the intended carry-over semantics.
+        completion = now + cum[:n_take] / self.capacity
+        latencies = np.maximum(completion - taken.times, 0.0) + self.latency_offset
+
+        self.total_stored += n_stored
+        self.total_probed += n_probed
+        self.total_results += n_results
+        return ServiceReport(
+            n_processed=n_take,
+            n_stored=n_stored,
+            n_probed=n_probed,
+            n_results=n_results,
+            latencies=latencies,
+        )
+
+    # ------------------------------------------------------------------ #
+    # monitoring & migration hooks
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> InstanceLoad:
+        """The two counters reported to the monitor (section III-A).
+
+        The backlog is the EWMA-smoothed probe queue length (see
+        ``backlog_smoothing_tau``); selection problems use the exact
+        instantaneous per-key composition instead, because the tuples to be
+        migrated are the ones actually queued.
+        """
+        backlog = self._backlog_ewma if self._tau > 0 else self.queue.probe_backlog
+        return InstanceLoad(
+            instance=self.instance_id,
+            stored=self.store.total,
+            backlog=backlog,
+        )
+
+    def selection_problem(self, target: "JoinInstance") -> SelectionProblem:
+        """Build the GreedyFit input for migrating from self to ``target``.
+
+        Keys are the union of stored keys and queued-probe keys, so a key
+        with a huge backlog but few stored tuples is still a candidate (its
+        migration key factor is large — Definition 2).
+        """
+        stored_counts = self.store.counts_snapshot()
+        probe_counts = self.queue.probe_counts_snapshot()
+        all_keys = sorted(set(stored_counts) | set(probe_counts))
+        keys = np.array(all_keys, dtype=np.int64)
+        key_stored = np.array([stored_counts.get(k, 0) for k in all_keys], dtype=np.int64)
+        key_backlog = np.array([probe_counts.get(k, 0) for k in all_keys], dtype=np.int64)
+        return SelectionProblem(
+            stored_i=self.store.total,
+            backlog_i=self.queue.probe_backlog,
+            stored_j=target.store.total,
+            backlog_j=target.queue.probe_backlog,
+            keys=keys,
+            key_stored=key_stored,
+            key_backlog=key_backlog,
+        )
+
+    def extract_for_migration(self, keys: set[int]) -> tuple[dict[int, int], Batch]:
+        """Remove stored counts and queued tuples for the selected keys.
+
+        Returns ``(stored_counts, queued_batch)`` — Algorithm 2 lines 3-8
+        plus the in-flight buffer of section III-D.
+        """
+        removed = self.store.remove_keys(keys)
+        queued = self.queue.extract_keys(keys)
+        return removed, queued
+
+    def accept_migration(self, stored_counts: dict[int, int], queued: Batch) -> None:
+        """Target side of Algorithm 2: absorb tuples and forwarded queue."""
+        self.store.merge_counts(stored_counts)
+        self.queue.push(queued)
+
+    def rotate_window(self) -> int:
+        """Expire the oldest sub-window (window-based join, section III-E)."""
+        if not isinstance(self.store, WindowedStore):
+            raise ConfigError("rotate_window requires a windowed instance")
+        return self.store.rotate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JoinInstance(id={self.instance_id}, side={self.side}, "
+            f"|R|={self.store.total}, backlog={len(self.queue)})"
+        )

@@ -1,0 +1,155 @@
+"""Stream-partitioning strategies (paper sections I-II).
+
+Three strategies cover the design space the paper discusses:
+
+- :class:`HashPartitioner` — BiStream's content-based routing for
+  low-selectivity joins: a tuple is stored on ``hash(key) % n`` and probes
+  are sent to the single opposite-side instance holding that key.  Minimal
+  communication, but skewed keys pile onto one instance (the problem
+  FastJoin solves).
+- :class:`RandomBroadcastPartitioner` — the classic random strategy:
+  stores are spread uniformly, so every probe must be *broadcast* to all
+  opposite-side instances.  Perfect balance, n-fold probe amplification.
+- :class:`ContRandPartitioner` — BiStream-ContRand's hybrid: keys are
+  content-routed to a *subgroup* of instances, randomised within it.
+  Balance improves with subgroup size ``g`` at the price of ``g``-fold
+  probe amplification.  It is a static scheme: it cannot react to which
+  keys actually turn out hot (section II, last paragraph).
+
+A partitioner answers two questions for a batch of keyed tuples:
+where does each tuple get *stored* (one target per tuple), and where must
+it *probe* (possibly several targets per tuple, expressed as parallel
+``(dest, src_idx)`` arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.rng import hash_to_instance
+from ..errors import ConfigError
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RandomBroadcastPartitioner",
+    "ContRandPartitioner",
+]
+
+
+class Partitioner:
+    """Interface for partitioning strategies."""
+
+    #: number of instances in the group this partitioner targets
+    n_instances: int
+    #: True when routing is a pure function of the key — a prerequisite for
+    #: routing-table overrides (migration only makes sense if the
+    #: dispatcher can deterministically redirect a key).
+    content_based: bool = False
+    #: probe fan-out factor (how many instances one probe visits)
+    fanout: int = 1
+
+    def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Instance index that stores each tuple."""
+        raise NotImplementedError
+
+    def probe_targets(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(dest, src_idx)``: replicate tuple ``src_idx[i]`` to ``dest[i]``."""
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Pure hash (content-based) partitioning — BiStream's default."""
+
+    content_based = True
+    fanout = 1
+
+    def __init__(self, n_instances: int) -> None:
+        if n_instances < 1:
+            raise ConfigError(f"n_instances must be >= 1, got {n_instances}")
+        self.n_instances = int(n_instances)
+
+    def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        del rng  # deterministic
+        return hash_to_instance(keys, self.n_instances)
+
+    def probe_targets(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        del rng
+        dest = hash_to_instance(keys, self.n_instances)
+        return dest, np.arange(keys.shape[0], dtype=np.int64)
+
+
+class RandomBroadcastPartitioner(Partitioner):
+    """Uniform random stores; probes broadcast to every instance."""
+
+    content_based = False
+
+    def __init__(self, n_instances: int) -> None:
+        if n_instances < 1:
+            raise ConfigError(f"n_instances must be >= 1, got {n_instances}")
+        self.n_instances = int(n_instances)
+        self.fanout = self.n_instances
+
+    def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.n_instances, size=keys.shape[0], dtype=np.int64)
+
+    def probe_targets(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        del rng
+        n = keys.shape[0]
+        dest = np.tile(np.arange(self.n_instances, dtype=np.int64), n)
+        src = np.repeat(np.arange(n, dtype=np.int64), self.n_instances)
+        return dest, src
+
+
+class ContRandPartitioner(Partitioner):
+    """BiStream-ContRand: content-routed subgroups, random within.
+
+    Parameters
+    ----------
+    n_instances:
+        Total instances in the group.
+    subgroup_size:
+        ``g`` — instances per subgroup.  Must divide ``n_instances``.
+        ``g=1`` degenerates to pure hash; ``g=n`` to random/broadcast.
+    """
+
+    content_based = False  # randomised within the subgroup
+
+    def __init__(self, n_instances: int, subgroup_size: int) -> None:
+        if n_instances < 1:
+            raise ConfigError(f"n_instances must be >= 1, got {n_instances}")
+        if subgroup_size < 1 or n_instances % subgroup_size != 0:
+            raise ConfigError(
+                f"subgroup_size ({subgroup_size}) must divide n_instances "
+                f"({n_instances})"
+            )
+        self.n_instances = int(n_instances)
+        self.subgroup_size = int(subgroup_size)
+        self.n_subgroups = self.n_instances // self.subgroup_size
+        self.fanout = self.subgroup_size
+
+    def _subgroups(self, keys: np.ndarray) -> np.ndarray:
+        return hash_to_instance(keys, self.n_subgroups)
+
+    def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        sub = self._subgroups(keys)
+        offs = rng.integers(0, self.subgroup_size, size=keys.shape[0], dtype=np.int64)
+        return sub * self.subgroup_size + offs
+
+    def probe_targets(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        del rng
+        n = keys.shape[0]
+        g = self.subgroup_size
+        sub = self._subgroups(keys)
+        base = np.repeat(sub * g, g)
+        offs = np.tile(np.arange(g, dtype=np.int64), n)
+        src = np.repeat(np.arange(n, dtype=np.int64), g)
+        return base + offs, src

@@ -1,0 +1,127 @@
+"""Keyed tuple stores for join instances.
+
+In the performance simulator a store only needs per-key *counts*: the join
+output for a probe with key ``k`` is ``|R_ik|`` result tuples, migration
+moves ``|R_ik|`` tuples, and the load model consumes ``|R_i|`` (Eq. 3).
+Payloads never influence any measured quantity, so carrying them would only
+slow the simulation down (the exact-semantics engine in
+:mod:`repro.join.exact` does carry real tuples).
+
+:class:`KeyedStore` is the unbounded full-history store (BiStream's default
+near-full-history join).  :class:`repro.join.window.WindowedStore` layers
+sub-window eviction on top for the window-based join of paper section III-E.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import StorageError
+
+__all__ = ["KeyedStore"]
+
+
+class KeyedStore:
+    """Multiset of stored tuples represented as per-key counts."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = defaultdict(int)
+        self._total = 0
+
+    # -- introspection --------------------------------------------------- #
+
+    @property
+    def total(self) -> int:
+        """``|R_i|`` — total stored tuples (Eq. 3)."""
+        return self._total
+
+    @property
+    def n_keys(self) -> int:
+        """``K`` — number of distinct keys stored on this instance."""
+        return len(self._counts)
+
+    def count(self, key: int) -> int:
+        """``|R_ik|`` — stored tuples with the given key."""
+        return self._counts.get(int(key), 0)
+
+    def counts_snapshot(self) -> dict[int, int]:
+        """Copy of the per-key counts (only keys with positive counts)."""
+        return dict(self._counts)
+
+    def keys(self) -> list[int]:
+        return list(self._counts.keys())
+
+    def match_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised lookup of ``|R_ik]`` for an array of probe keys."""
+        out = np.empty(keys.shape[0], dtype=np.int64)
+        counts = self._counts
+        for i, k in enumerate(keys.tolist()):
+            out[i] = counts.get(k, 0)
+        return out
+
+    # -- mutation ---------------------------------------------------------- #
+
+    def add_batch(self, keys: np.ndarray) -> None:
+        """Insert one tuple per entry of ``keys``."""
+        if keys.shape[0] == 0:
+            return
+        uniq, counts = np.unique(keys, return_counts=True)
+        store = self._counts
+        for k, c in zip(uniq.tolist(), counts.tolist()):
+            store[k] += c
+        self._total += int(keys.shape[0])
+
+    def add(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise StorageError(f"cannot add a negative count ({count})")
+        self._counts[int(key)] += count
+        self._total += count
+
+    def remove_keys(self, keys: set[int] | frozenset[int]) -> dict[int, int]:
+        """Remove every tuple of the given keys; return the removed counts.
+
+        This is the store side of migration (Algorithm 2 lines 3-8).
+        """
+        removed: dict[int, int] = {}
+        for k in keys:
+            k = int(k)
+            c = self._counts.pop(k, 0)
+            if c:
+                removed[k] = c
+                self._total -= c
+        if self._total < 0:
+            raise StorageError("store total went negative after remove_keys")
+        return removed
+
+    def merge_counts(self, counts: dict[int, int]) -> None:
+        """Absorb migrated tuples (target side of Algorithm 2)."""
+        for k, c in counts.items():
+            if c < 0:
+                raise StorageError(f"negative migrated count for key {k}")
+            self._counts[int(k)] += c
+            self._total += c
+
+    def evict_counts(self, counts: dict[int, int]) -> None:
+        """Subtract per-key counts (window expiry, paper section III-E)."""
+        for k, c in counts.items():
+            k = int(k)
+            have = self._counts.get(k, 0)
+            if c > have:
+                raise StorageError(
+                    f"evicting {c} tuples of key {k} but only {have} stored"
+                )
+            left = have - c
+            if left:
+                self._counts[k] = left
+            else:
+                del self._counts[k]
+            self._total -= c
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyedStore(total={self._total}, keys={len(self._counts)})"

@@ -1,0 +1,169 @@
+"""Window-based join support (paper section III-E).
+
+The paper adapts FastJoin to window semantics by
+
+- giving the *joining component* per-instance eviction of expired tuples
+  (``|R|`` decreases when a sub-window expires), and
+- giving the *monitor* a fixed-size vector of sub-window counts per
+  instance, whose head is popped when the early sub-window expires.
+
+:class:`WindowedStore` wraps a :class:`~repro.join.storage.KeyedStore` with
+a ring of sub-windows.  Each sub-window remembers the per-key counts that
+were inserted during it, so expiry can subtract exactly those tuples.
+:class:`SubWindowVector` is the monitor-side structure: it tracks only the
+scalar ``|R|`` per sub-window (the monitor never needs per-key detail until
+it requests a migration).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from ..errors import ConfigError
+from .storage import KeyedStore
+
+__all__ = ["WindowedStore", "SubWindowVector"]
+
+
+class WindowedStore:
+    """A keyed store whose contents expire after ``n_subwindows`` rotations.
+
+    Parameters
+    ----------
+    n_subwindows:
+        Number of sub-windows forming the join window.  Rotating
+        ``n_subwindows`` times fully replaces the window's contents.
+
+    Notes
+    -----
+    Migrated-in tuples are credited to the *current* sub-window: their true
+    insertion times are unknown to the receiving instance, and crediting
+    them as fresh errs on the side of keeping tuples (no false negatives in
+    join results; a tuple may survive slightly longer than its nominal
+    window, which the paper's design shares since it also moves tuples
+    without rewriting their timestamps).
+    """
+
+    def __init__(self, n_subwindows: int) -> None:
+        if n_subwindows < 1:
+            raise ConfigError(f"n_subwindows must be >= 1, got {n_subwindows}")
+        self._store = KeyedStore()
+        self._n_subwindows = int(n_subwindows)
+        self._ring: deque[dict[int, int]] = deque(
+            [defaultdict(int) for _ in range(self._n_subwindows)],
+            maxlen=self._n_subwindows,
+        )
+
+    # -- delegation to the underlying store --------------------------------- #
+
+    @property
+    def total(self) -> int:
+        return self._store.total
+
+    @property
+    def n_keys(self) -> int:
+        return self._store.n_keys
+
+    @property
+    def n_subwindows(self) -> int:
+        return self._n_subwindows
+
+    def count(self, key: int) -> int:
+        return self._store.count(key)
+
+    def counts_snapshot(self) -> dict[int, int]:
+        return self._store.counts_snapshot()
+
+    def keys(self) -> list[int]:
+        return self._store.keys()
+
+    def match_counts(self, keys: np.ndarray) -> np.ndarray:
+        return self._store.match_counts(keys)
+
+    # -- window-aware mutation ---------------------------------------------- #
+
+    @property
+    def _current(self) -> dict[int, int]:
+        return self._ring[-1]
+
+    def add_batch(self, keys: np.ndarray) -> None:
+        if keys.shape[0] == 0:
+            return
+        self._store.add_batch(keys)
+        cur = self._current
+        uniq, counts = np.unique(keys, return_counts=True)
+        for k, c in zip(uniq.tolist(), counts.tolist()):
+            cur[k] += c
+
+    def add(self, key: int, count: int = 1) -> None:
+        self._store.add(key, count)
+        self._current[int(key)] += count
+
+    def merge_counts(self, counts: dict[int, int]) -> None:
+        self._store.merge_counts(counts)
+        cur = self._current
+        for k, c in counts.items():
+            cur[int(k)] += c
+
+    def remove_keys(self, keys: set[int] | frozenset[int]) -> dict[int, int]:
+        removed = self._store.remove_keys(keys)
+        # Scrub the migrated keys from every sub-window so their later
+        # expiry does not double-subtract.
+        if removed:
+            for sub in self._ring:
+                for k in removed:
+                    sub.pop(int(k), None)
+        return removed
+
+    def rotate(self) -> int:
+        """Expire the oldest sub-window; return how many tuples it held.
+
+        The head of the vector is "popped out" exactly as section III-E
+        describes, and the per-instance ``|R|`` decreases by its size.
+        """
+        expired = self._ring[0]
+        n = sum(expired.values())
+        if n:
+            self._store.evict_counts(expired)
+        self._ring.append(defaultdict(int))  # deque maxlen pops the head
+        return n
+
+    def subwindow_sizes(self) -> list[int]:
+        """Sizes of the sub-windows, oldest first (monitor's vector view)."""
+        return [sum(sub.values()) for sub in self._ring]
+
+
+class SubWindowVector:
+    """Monitor-side fixed-size vector of per-sub-window ``|R|`` scalars.
+
+    The monitoring component records the historical accumulation of the
+    storing stream per instance; under window semantics it keeps one scalar
+    per sub-window and pops the head on expiry (paper section III-E).
+    """
+
+    def __init__(self, n_subwindows: int) -> None:
+        if n_subwindows < 1:
+            raise ConfigError(f"n_subwindows must be >= 1, got {n_subwindows}")
+        self._sizes: deque[int] = deque([0] * n_subwindows, maxlen=n_subwindows)
+
+    @property
+    def total(self) -> int:
+        """The instance's ``|R|`` as currently known to the monitor."""
+        return sum(self._sizes)
+
+    def record_inserts(self, n: int) -> None:
+        """Credit ``n`` newly stored tuples to the current sub-window."""
+        if n < 0:
+            raise ValueError("insert count must be non-negative")
+        self._sizes[-1] += n
+
+    def rotate(self) -> int:
+        """Pop the early sub-window; returns its size."""
+        head = self._sizes[0]
+        self._sizes.append(0)
+        return head
+
+    def as_list(self) -> list[int]:
+        return list(self._sizes)

@@ -1,0 +1,17 @@
+"""Assembled systems: FastJoin, BiStream, BiStream-ContRand."""
+
+from .base import assemble, make_selector
+from .bistream import build_bistream
+from .contrand import build_contrand
+from .factory import SYSTEMS, build_system
+from .fastjoin import build_fastjoin
+
+__all__ = [
+    "assemble",
+    "make_selector",
+    "build_bistream",
+    "build_contrand",
+    "build_fastjoin",
+    "build_system",
+    "SYSTEMS",
+]

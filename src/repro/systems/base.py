@@ -1,0 +1,151 @@
+"""Shared wiring for the three systems under evaluation.
+
+:func:`assemble` builds a fully wired :class:`StreamJoinRuntime` from a
+:class:`~repro.config.SystemConfig`, a pair of sources and the per-system
+choices (partitioner factory, active-vs-passive monitors).  The concrete
+systems — :func:`repro.systems.bistream.build_bistream`,
+:func:`repro.systems.contrand.build_contrand`,
+:func:`repro.systems.fastjoin.build_fastjoin` — are thin parameterisations
+of this function, which keeps the comparison honest: everything except the
+partitioning strategy and the load balancer is shared code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import SystemConfig
+from ..core.migration import MigrationCostModel, MigrationExecutor
+from ..core.monitor import Monitor
+from ..core.routing import RoutingTable
+from ..core.selection import GreedyFit, KeySelector, SAFit
+from ..data.streams import StreamSource
+from ..engine.metrics import MetricsCollector
+from ..engine.rng import SeedSequenceFactory
+from ..engine.runtime import StreamJoinRuntime
+from ..errors import ConfigError
+from ..join.dispatcher import DispatchDelay, Dispatcher
+from ..join.instance import JoinInstance
+from ..join.partitioners import Partitioner
+
+__all__ = ["assemble", "make_selector"]
+
+
+def make_selector(config: SystemConfig) -> KeySelector:
+    """Instantiate the configured key-selection algorithm."""
+    if config.selector == "greedyfit":
+        return GreedyFit(theta_gap=config.theta_gap)
+    if config.selector == "safit":
+        return SAFit(
+            temperature=config.safit_temperature,
+            t_min=config.safit_t_min,
+            attenuation=config.safit_attenuation,
+            iters_per_temp=config.safit_iters_per_temp,
+            seed=config.seed,
+        )
+    raise ConfigError(f"unknown selector {config.selector!r}")
+
+
+def _make_group(side: str, config: SystemConfig) -> list[JoinInstance]:
+    dispatch_delay = DispatchDelay(
+        base=config.dispatch_delay_base,
+        per_instance=config.dispatch_delay_per_instance,
+    ).delay(config.n_instances)
+    return [
+        JoinInstance(
+            instance_id=i,
+            side=side,
+            capacity=config.capacity,
+            cost_model=config.cost_model,
+            window_subwindows=config.window_subwindows,
+            backlog_smoothing_tau=config.load_smoothing_tau,
+            latency_offset=dispatch_delay,
+        )
+        for i in range(config.n_instances)
+    ]
+
+
+def assemble(
+    config: SystemConfig,
+    r_source: StreamSource,
+    s_source: StreamSource,
+    partitioner_factory: Callable[[int], Partitioner],
+    balancing: bool,
+) -> StreamJoinRuntime:
+    """Wire a complete system.
+
+    Parameters
+    ----------
+    config:
+        Run configuration.
+    r_source, s_source:
+        The two input streams.
+    partitioner_factory:
+        ``n_instances -> Partitioner``; called once per biclique side.
+    balancing:
+        True for FastJoin (active monitors that migrate); False for the
+        baselines (passive monitors that only record LI).
+    """
+    seeds = SeedSequenceFactory(config.seed)
+    metrics = MetricsCollector(warmup=config.warmup)
+
+    groups = {side: _make_group(side, config) for side in ("R", "S")}
+    partitioners = {side: partitioner_factory(config.n_instances) for side in ("R", "S")}
+    routing = {side: RoutingTable(config.n_instances) for side in ("R", "S")}
+    delay = DispatchDelay(
+        base=config.dispatch_delay_base,
+        per_instance=config.dispatch_delay_per_instance,
+    )
+    dispatcher = Dispatcher(
+        groups=groups,
+        partitioners=partitioners,
+        routing=routing,
+        delay=delay,
+        rng=seeds.generator("dispatcher"),
+    )
+
+    migration_cost = MigrationCostModel(
+        fixed=config.migration_fixed,
+        per_key=config.migration_per_key,
+        per_tuple=config.migration_per_tuple,
+    )
+    monitors: dict[str, Monitor] = {}
+    for side in ("R", "S"):
+        if balancing:
+            if not partitioners[side].content_based:
+                raise ConfigError(
+                    "load balancing requires a content-based partitioner "
+                    "(routing overrides are undefined for randomised routing)"
+                )
+            monitors[side] = Monitor(
+                side=side,
+                instances=groups[side],
+                theta=config.theta,
+                selector=make_selector(config),
+                executor=MigrationExecutor(routing[side], migration_cost),
+                period=config.monitor_period,
+                min_heaviest_load=config.monitor_min_load,
+                cooldown=config.monitor_cooldown,
+                metrics=metrics,
+            )
+        else:
+            monitors[side] = Monitor(
+                side=side,
+                instances=groups[side],
+                theta=None,
+                period=config.monitor_period,
+                metrics=metrics,
+            )
+
+    return StreamJoinRuntime(
+        r_source=r_source,
+        s_source=s_source,
+        dispatcher=dispatcher,
+        monitors=monitors,
+        metrics=metrics,
+        tick=config.tick,
+        window_rotation_period=(
+            config.window_rotation_period if config.window_subwindows else None
+        ),
+        backpressure_max_queue=config.backpressure_max_queue,
+    )

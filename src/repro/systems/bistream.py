@@ -1,0 +1,30 @@
+"""BiStream — the hash-partitioning baseline (Lin et al., SIGMOD'15).
+
+The state-of-the-art system FastJoin builds on and compares against: a
+join-biclique with pure hash partitioning and *no* dynamic load balancing.
+A passive monitor records the load-imbalance series so Fig. 1(c)/(d) and
+Fig. 11 can show how it behaves under skew.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..data.streams import StreamSource
+from ..engine.runtime import StreamJoinRuntime
+from ..join.partitioners import HashPartitioner
+from .base import assemble
+
+__all__ = ["build_bistream"]
+
+
+def build_bistream(
+    config: SystemConfig, r_source: StreamSource, s_source: StreamSource
+) -> StreamJoinRuntime:
+    """Wire a BiStream system: hash partitioning, no migration."""
+    return assemble(
+        config,
+        r_source,
+        s_source,
+        partitioner_factory=HashPartitioner,
+        balancing=False,
+    )

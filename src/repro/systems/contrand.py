@@ -1,0 +1,41 @@
+"""BiStream-ContRand — the hybrid static-routing baseline.
+
+BiStream's answer to load imbalance (paper section II): keys are
+content-routed to a fixed *subgroup* of instances and randomised within
+it.  Hot keys are smeared over ``g`` instances, which flattens load — but
+every probe of those keys must visit all ``g`` members, multiplying probe
+work, and the assignment never adapts to which keys actually become hot.
+That static trade-off is exactly what FastJoin's dynamic migration
+improves upon.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..data.streams import StreamSource
+from ..engine.runtime import StreamJoinRuntime
+from ..errors import ConfigError
+from ..join.partitioners import ContRandPartitioner
+from .base import assemble
+
+__all__ = ["build_contrand"]
+
+
+def build_contrand(
+    config: SystemConfig, r_source: StreamSource, s_source: StreamSource
+) -> StreamJoinRuntime:
+    """Wire a BiStream-ContRand system: subgroup hybrid routing, no
+    migration.  ``config.contrand_subgroup`` must divide ``n_instances``.
+    """
+    if config.n_instances % config.contrand_subgroup != 0:
+        raise ConfigError(
+            f"contrand_subgroup ({config.contrand_subgroup}) must divide "
+            f"n_instances ({config.n_instances})"
+        )
+    return assemble(
+        config,
+        r_source,
+        s_source,
+        partitioner_factory=lambda n: ContRandPartitioner(n, config.contrand_subgroup),
+        balancing=False,
+    )

@@ -1,0 +1,37 @@
+"""System registry: build any of the three evaluated systems by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import SystemConfig
+from ..data.streams import StreamSource
+from ..engine.runtime import StreamJoinRuntime
+from ..errors import ConfigError
+from .bistream import build_bistream
+from .contrand import build_contrand
+from .fastjoin import build_fastjoin
+
+__all__ = ["SYSTEMS", "build_system"]
+
+SYSTEMS: dict[str, Callable[[SystemConfig, StreamSource, StreamSource], StreamJoinRuntime]] = {
+    "fastjoin": build_fastjoin,
+    "bistream": build_bistream,
+    "contrand": build_contrand,
+}
+
+
+def build_system(
+    name: str,
+    config: SystemConfig,
+    r_source: StreamSource,
+    s_source: StreamSource,
+) -> StreamJoinRuntime:
+    """Build ``"fastjoin"``, ``"bistream"`` or ``"contrand"``."""
+    try:
+        builder = SYSTEMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {name!r}; expected one of {sorted(SYSTEMS)}"
+        ) from None
+    return builder(config, r_source, s_source)

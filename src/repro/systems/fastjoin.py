@@ -1,0 +1,35 @@
+"""FastJoin — the paper's skewness-aware system.
+
+Hash partitioning (so associated tuples co-locate and probes touch one
+instance) *plus* the dynamic load-balancing loop: two active monitors (one
+per biclique side) sample per-instance loads every period, and when the
+degree of load imbalance exceeds ``Theta`` they migrate the keys GreedyFit
+(or SAFit) selects from the heaviest to the lightest instance, updating
+the dispatcher's routing table last to preserve completeness.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..data.streams import StreamSource
+from ..engine.runtime import StreamJoinRuntime
+from ..errors import ConfigError
+from ..join.partitioners import HashPartitioner
+from .base import assemble
+
+__all__ = ["build_fastjoin"]
+
+
+def build_fastjoin(
+    config: SystemConfig, r_source: StreamSource, s_source: StreamSource
+) -> StreamJoinRuntime:
+    """Wire a FastJoin system: hash partitioning + dynamic migration."""
+    if config.theta is None:
+        raise ConfigError("FastJoin requires a load-imbalance threshold theta")
+    return assemble(
+        config,
+        r_source,
+        s_source,
+        partitioner_factory=HashPartitioner,
+        balancing=True,
+    )

@@ -1,0 +1,67 @@
+"""Tests for imbalance analysis helpers (paper sections I, IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.imbalance import (
+    expected_hash_load_shares,
+    instance_store_shares,
+    theoretical_li_bound,
+)
+from repro.data.distributions import tiered_probabilities, zipf_probabilities
+from repro.errors import ConfigError
+
+
+class TestExpectedHashLoadShares:
+    def test_shares_sum_to_one(self):
+        p = zipf_probabilities(1000, 1.0)
+        shares = expected_hash_load_shares(p, 16)
+        assert shares.sum() == pytest.approx(1.0)
+        assert shares.shape == (16,)
+
+    def test_uniform_keys_near_uniform_shares(self):
+        p = zipf_probabilities(100_000, 0.0)
+        shares = expected_hash_load_shares(p, 8)
+        assert shares.max() / shares.min() < 1.1
+
+    def test_skewed_keys_skewed_shares(self):
+        """The Fig. 1c mechanism: a skewed key distribution hashes into
+        unequal instance shares."""
+        p = tiered_probabilities(1000, 0.2, 0.8, within_exponent=0.0)
+        shares = expected_hash_load_shares(p, 16)
+        assert shares.max() / shares.min() > 1.2
+
+    def test_invalid_instances(self):
+        with pytest.raises(ConfigError):
+            expected_hash_load_shares(np.ones(4) / 4, 0)
+
+
+class TestInstanceStoreShares:
+    def test_normalises(self):
+        shares = instance_store_shares([10, 30, 60])
+        assert shares.tolist() == [0.1, 0.3, 0.6]
+
+    def test_zero_total(self):
+        assert instance_store_shares([0, 0]).tolist() == [0.0, 0.0]
+
+
+class TestTheoreticalLIBound:
+    def test_section_ivb_claim(self):
+        """After a valid migration (L'_i < L_i, L'_j > L_j, L'_i > L'_j),
+        the new LI never exceeds the old one."""
+        li_before, li_after = theoretical_li_bound(
+            l_source=100.0, l_target=10.0,
+            l_second_heaviest=50.0, l_second_lightest=20.0,
+            l_source_after=60.0, l_target_after=40.0,
+        )
+        assert li_after < li_before
+
+    def test_extremes_can_shift_to_second_ranked(self):
+        # after migration the second heaviest/lightest become the extremes
+        li_before, li_after = theoretical_li_bound(
+            l_source=100.0, l_target=10.0,
+            l_second_heaviest=90.0, l_second_lightest=12.0,
+            l_source_after=55.0, l_target_after=50.0,
+        )
+        assert li_after == pytest.approx(90.0 / 12.0)
+        assert li_after < li_before

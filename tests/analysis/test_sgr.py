@@ -1,0 +1,72 @@
+"""Tests for the SGR scalability analysis (paper Eqs. 12-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sgr import measured_sgr, sgr, sgr_from_c
+from repro.errors import ConfigError
+from repro.join.storage import KeyedStore
+
+
+class TestSGR:
+    def test_eq12(self):
+        # chi_t=64, chi_k=16, |R|=1000, K=100
+        expected = 64 * 1000 / (64 * 1000 + 16 * 100)
+        assert sgr(64, 16, 1000, 100) == pytest.approx(expected)
+
+    def test_eq13(self):
+        assert sgr_from_c(64, 16, 10.0) == pytest.approx(640 / 656)
+
+    def test_paper_claim_c_above_10_gives_sgr_above_09(self):
+        """Section IV-C: when c > 10 (and chi_t > chi_k), SGR > 0.9."""
+        for c in (10, 14, 100, 10_000):
+            assert sgr_from_c(64.0, 16.0, c) > 0.9
+
+    def test_order_stream_c14(self):
+        """The paper's order stream has c = 14."""
+        assert sgr_from_c(64.0, 16.0, 14.0) > 0.98
+
+    def test_empty_store_sgr_one(self):
+        assert sgr(64, 16, 0, 0) == 1.0
+
+    def test_eq12_eq13_agree(self):
+        """Eq. 13 is Eq. 12 with |R| = c*K."""
+        c, k = 37.0, 250
+        assert sgr(64, 16, int(c * k), k) == pytest.approx(sgr_from_c(64, 16, c))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            sgr(0, 16, 10, 1)
+        with pytest.raises(ConfigError):
+            sgr_from_c(64, 16, -1)
+
+
+class TestMeasuredSGR:
+    def test_from_live_store(self):
+        store = KeyedStore()
+        store.add_batch(np.repeat(np.arange(10), 14))  # c = 14
+        report = measured_sgr(store)
+        assert report.c == pytest.approx(14.0)
+        assert report.n_keys == 10
+        assert report.sgr > 0.9
+
+    def test_empty_store(self):
+        report = measured_sgr(KeyedStore())
+        assert report.sgr == 1.0
+        assert report.c == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    c=st.floats(0.0, 1e6, allow_nan=False),
+    chi_t=st.floats(1.0, 1024.0),
+    chi_k=st.floats(0.1, 64.0),
+)
+def test_sgr_monotone_in_c(c, chi_t, chi_k):
+    """SGR never decreases as tuples-per-key grows."""
+    a = sgr_from_c(chi_t, chi_k, c)
+    b = sgr_from_c(chi_t, chi_k, c + 1.0)
+    assert b >= a - 1e-12
+    assert 0.0 <= a <= 1.0

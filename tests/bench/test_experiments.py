@@ -1,0 +1,103 @@
+"""Tests for the canonical experiment definitions (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    CANONICAL_INSTANCES,
+    INSTANCE_SWEEP,
+    PAPER_INSTANCE_LABELS,
+    SCALE_SWEEP,
+    THETA_SWEEP,
+    ExperimentResult,
+    canonical_config,
+    canonical_workload_spec,
+    ridehailing_sources,
+    run_ridehailing,
+)
+from repro.engine.metrics import MetricsCollector
+
+
+class TestSweepDefinitions:
+    def test_every_sweep_point_labelled(self):
+        assert set(INSTANCE_SWEEP) == set(PAPER_INSTANCE_LABELS)
+
+    def test_canonical_in_sweep(self):
+        assert CANONICAL_INSTANCES in INSTANCE_SWEEP
+
+    def test_theta_sweep_brackets_default(self):
+        assert min(THETA_SWEEP) < 2.2 <= max(THETA_SWEEP)
+
+    def test_scale_sweep_sorted(self):
+        assert list(SCALE_SWEEP) == sorted(SCALE_SWEEP)
+
+
+class TestCanonicalConfig:
+    def test_defaults(self):
+        cfg = canonical_config()
+        assert cfg.n_instances == CANONICAL_INSTANCES
+        assert cfg.theta == 2.2
+        assert cfg.window_subwindows == 6
+
+    def test_overrides(self):
+        cfg = canonical_config(n_instances=8, theta=None, capacity=999.0)
+        assert cfg.n_instances == 8
+        assert cfg.theta is None
+        assert cfg.capacity == 999.0
+
+    def test_seed_threads_through(self):
+        assert canonical_config(seed=7).seed == 7
+
+
+class TestSources:
+    def test_unbounded(self):
+        spec = canonical_workload_spec()
+        orders, tracks = ridehailing_sources(spec, seed=0, unbounded=True)
+        assert orders.total is None and tracks.total is None
+
+    def test_bounded(self):
+        spec = canonical_workload_spec()
+        orders, tracks = ridehailing_sources(spec, seed=0, unbounded=False)
+        assert orders.total == spec.n_orders
+        assert tracks.total == spec.n_tracks
+
+    def test_reproducible(self):
+        spec = canonical_workload_spec()
+        a, _ = ridehailing_sources(spec, seed=3)
+        b, _ = ridehailing_sources(spec, seed=3)
+        assert np.array_equal(a.emit(0.1), b.emit(0.1))
+
+
+class TestExperimentResult:
+    def _result(self):
+        m = MetricsCollector(warmup=0.0)
+        m.record_service(1.5, 10, 100, np.array([0.01, 0.02]))
+        m.record_li("R", 1.0, 3.0)
+        m.record_li("S", 1.0, 2.0)
+        return ExperimentResult(system="fastjoin", metrics=m.finalize())
+
+    def test_headline_numbers(self):
+        r = self._result()
+        assert r.throughput > 0
+        assert r.latency_ms == pytest.approx(15.0)
+        assert r.n_migrations == 0
+
+    def test_li_series_takes_worse_side(self):
+        r = self._result()
+        li = r.li_series()
+        assert np.nanmax(li) == pytest.approx(3.0)
+
+    def test_median_li_finite(self):
+        r = self._result()
+        assert np.isfinite(r.median_li())
+
+
+class TestSmallRun:
+    def test_tiny_end_to_end_run(self):
+        """A miniature but complete run through the harness."""
+        spec = canonical_workload_spec(rate=300.0)
+        cfg = canonical_config(n_instances=2, seed=0, warmup=1.0, tick=0.05,
+                               monitor_min_load=1e3)
+        result = run_ridehailing("fastjoin", cfg, spec=spec, duration=5.0)
+        assert result.metrics.total_processed > 0
+        assert result.system == "fastjoin"

@@ -1,0 +1,79 @@
+"""Tests for bench report formatting."""
+
+import numpy as np
+
+from repro.bench.report import (
+    comparison_table,
+    figure_header,
+    series_table,
+    timeline_table,
+)
+
+
+class TestFigureHeader:
+    def test_contains_figure_and_title(self):
+        out = figure_header("Fig. 3", "Real-time throughput")
+        assert "Fig. 3" in out and "Real-time throughput" in out
+
+    def test_params_rendered(self):
+        out = figure_header("Fig. 5", "t", params={"n": 16, "theta": 2.2})
+        assert "n=16" in out and "theta=2.2" in out
+
+
+class TestComparisonTable:
+    def test_alignment_and_content(self):
+        rows = [
+            {"system": "fastjoin", "thr": 123.0},
+            {"system": "bistream", "thr": 45.6},
+        ]
+        out = comparison_table(rows, ["system", "thr"])
+        lines = out.splitlines()
+        assert "system" in lines[0] and "thr" in lines[0]
+        assert "fastjoin" in out and "bistream" in out
+
+    def test_sorting(self):
+        rows = [{"x": 3}, {"x": 1}, {"x": 2}]
+        out = comparison_table(rows, ["x"], sort_by="x")
+        body = out.splitlines()[2:]
+        assert [int(l.strip()) for l in body] == [1, 2, 3]
+
+    def test_missing_values_dash(self):
+        out = comparison_table([{"a": 1}], ["a", "b"])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_floats_scientific(self):
+        out = comparison_table([{"v": 1.23e9}], ["v"])
+        assert "e+09" in out
+
+    def test_nan_rendered(self):
+        out = comparison_table([{"v": float("nan")}], ["v"])
+        assert "nan" in out
+
+
+class TestSeriesTable:
+    def test_rows_per_x(self):
+        out = series_table(
+            "throughput vs n", [8, 16], {"fastjoin": [1.0, 2.0], "bistream": [0.5, 1.0]},
+            x_label="n",
+        )
+        assert "throughput vs n" in out
+        assert len(out.splitlines()) == 1 + 2 + 2  # title + header/rule + 2 rows
+
+    def test_short_series_padded_with_nan(self):
+        out = series_table("s", [1, 2], {"a": [1.0]})
+        assert "nan" in out
+
+
+class TestTimelineTable:
+    def test_downsampling(self):
+        seconds = np.arange(1, 21, dtype=float)
+        series = {"li": np.linspace(1, 3, 20)}
+        out = timeline_table(seconds, series, stride=5)
+        body = out.splitlines()[2:]
+        assert len(body) == 4  # 20 / 5
+
+    def test_mismatched_lengths(self):
+        seconds = np.arange(1, 11, dtype=float)
+        series = {"x": np.arange(3, dtype=float)}
+        out = timeline_table(seconds, series, stride=4)
+        assert "nan" in out

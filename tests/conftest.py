@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Registers a hypothesis profile without per-example deadlines: simulation
+steps allocate numpy arrays whose first-touch cost varies wildly across
+machines, which makes wall-clock deadlines flaky.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

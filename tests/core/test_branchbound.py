@@ -1,0 +1,83 @@
+"""Tests for the branch-and-bound selector (section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import BranchAndBound, ExactKnapsack, GreedyFit
+from repro.core.selection.base import delta_load
+
+from .test_greedyfit import make_problem, selection_problems
+
+
+class TestBranchAndBound:
+    def test_empty_problem(self):
+        assert BranchAndBound().select(make_problem(0, 0, 0, 0, [])).empty
+
+    def test_no_gap(self):
+        p = make_problem(1, 1, 100, 100, [(1, 1, 1)])
+        assert BranchAndBound().select(p).empty
+
+    def test_exact_on_small_instance(self):
+        """Brute-force comparison on 4 keys."""
+        per_key = [(0, 3, 2), (1, 7, 1), (2, 2, 8), (3, 5, 5)]
+        p = make_problem(17, 16, 4, 3, per_key)
+        benefits = p.benefits()
+        gap = p.gap
+        best = 0.0
+        for mask in range(16):
+            sel = [i for i in range(4) if mask >> i & 1]
+            tot = float(benefits[sel].sum())
+            if tot < gap:
+                best = max(best, tot)
+        r = BranchAndBound().select(p)
+        assert r.total_benefit == pytest.approx(best)
+
+    def test_node_budget_respected(self):
+        per_key = [(k, 1 + k % 7, k % 5) for k in range(40)]
+        p = make_problem(
+            sum(s for _, s, _ in per_key), sum(b for _, _, b in per_key), 0, 0, per_key
+        )
+        r = BranchAndBound(max_nodes=100).select(p)
+        assert r.evaluations <= 100
+        # still returns something feasible (or empty)
+        if not r.empty:
+            assert delta_load(p, r) > 0
+
+    def test_matches_dp_on_medium_instances(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            per_key = [
+                (k, int(rng.integers(1, 40)), int(rng.integers(0, 40)))
+                for k in range(14)
+            ]
+            p = make_problem(
+                sum(s for _, s, _ in per_key),
+                sum(b for _, _, b in per_key),
+                10, 10, per_key,
+            )
+            bb = BranchAndBound().select(p)
+            dp = ExactKnapsack(resolution=16384).select(p)
+            # both are (near-)exact: within DP quantisation of each other
+            slack = max(p.gap, 0.0) / 16384 * (p.n_keys + 1)
+            assert bb.total_benefit >= dp.total_benefit - slack
+
+    @settings(max_examples=60, deadline=None)
+    @given(problem=selection_problems())
+    def test_feasibility_property(self, problem):
+        r = BranchAndBound(max_nodes=20_000).select(problem)
+        if r.empty:
+            return
+        assert r.total_benefit < problem.gap
+        assert delta_load(problem, r) > 0
+        assert set(r.selected_keys) <= set(problem.keys.tolist())
+
+    @settings(max_examples=60, deadline=None)
+    @given(problem=selection_problems())
+    def test_at_least_as_good_as_greedy(self, problem):
+        """With enough budget, B&B never loses to the greedy (it could
+        always reproduce the greedy solution)."""
+        bb = BranchAndBound(max_nodes=50_000).select(problem)
+        greedy = GreedyFit().select(problem)
+        assert bb.total_benefit >= greedy.total_benefit - 1e-9

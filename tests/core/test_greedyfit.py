@@ -1,0 +1,131 @@
+"""Tests for the GreedyFit key-selection algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load_model import load_imbalance
+from repro.core.selection import GreedyFit, SelectionProblem
+from repro.core.selection.base import delta_load, loads_after
+
+
+def make_problem(stored_i, backlog_i, stored_j, backlog_j, per_key):
+    """per_key: list of (key, |R_ik|, phi_sik)."""
+    keys = np.array([k for k, _, _ in per_key], dtype=np.int64)
+    ks = np.array([s for _, s, _ in per_key], dtype=np.int64)
+    kb = np.array([b for _, _, b in per_key], dtype=np.int64)
+    return SelectionProblem(
+        stored_i=stored_i, backlog_i=backlog_i,
+        stored_j=stored_j, backlog_j=backlog_j,
+        keys=keys, key_stored=ks, key_backlog=kb,
+    )
+
+
+@st.composite
+def selection_problems(draw):
+    """Random but internally consistent selection problems: instance totals
+    are the sums of the per-key stats (as they are in a real instance)."""
+    n_keys = draw(st.integers(1, 40))
+    ks = draw(st.lists(st.integers(0, 50), min_size=n_keys, max_size=n_keys))
+    kb = draw(st.lists(st.integers(0, 50), min_size=n_keys, max_size=n_keys))
+    stored_j = draw(st.integers(0, 200))
+    backlog_j = draw(st.integers(0, 200))
+    per_key = [(i, ks[i], kb[i]) for i in range(n_keys)]
+    return make_problem(sum(ks), sum(kb), stored_j, backlog_j, per_key)
+
+
+class TestGreedyFitBasics:
+    def test_empty_problem(self):
+        p = make_problem(0, 0, 0, 0, [])
+        assert GreedyFit().select(p).empty
+
+    def test_no_gap_no_selection(self):
+        # target heavier than source: nothing to do
+        p = make_problem(10, 10, 100, 100, [(1, 10, 10)])
+        assert GreedyFit().select(p).empty
+
+    def test_selects_hot_key(self):
+        # one dominant key on a heavily loaded source
+        p = make_problem(
+            1000, 1000, 10, 10,
+            [(1, 900, 900), (2, 50, 50), (3, 50, 50)],
+        )
+        result = GreedyFit().select(p)
+        assert not result.empty
+        # the huge key's benefit exceeds the gap, so smaller keys are taken
+        assert 1 not in result.selected_keys
+
+    def test_result_accounting_consistent(self):
+        p = make_problem(100, 100, 0, 0, [(1, 40, 40), (2, 30, 30), (3, 30, 30)])
+        r = GreedyFit().select(p)
+        sel = set(r.selected_keys)
+        expect_stored = sum(s for k, s, _ in [(1, 40, 40), (2, 30, 30), (3, 30, 30)] if k in sel)
+        assert r.moved_stored == expect_stored
+
+    def test_theta_gap_filters_small_keys(self):
+        p = make_problem(1000, 1000, 0, 0, [(1, 1, 0), (2, 500, 500)])
+        # key 1 benefit = (1000+0)*0 + (1000+0)*1 = 1000
+        strict = GreedyFit(theta_gap=2000.0).select(p)
+        assert 1 not in strict.selected_keys
+        loose = GreedyFit(theta_gap=0.0).select(p)
+        assert 1 in loose.selected_keys
+
+    def test_deterministic(self):
+        p = make_problem(500, 500, 10, 10, [(k, 10, 10) for k in range(20)])
+        a = GreedyFit().select(p)
+        b = GreedyFit().select(p)
+        assert a.selected_keys == b.selected_keys
+
+    def test_prefers_high_factor_keys(self):
+        # key 1: huge benefit per tuple (big backlog, tiny storage)
+        # key 2: same benefit, many stored tuples
+        p = make_problem(
+            200, 200, 0, 0,
+            [(1, 1, 50), (2, 100, 1)],
+        )
+        r = GreedyFit().select(p)
+        assert r.selected_keys[0] == 1
+
+    def test_evaluations_counted(self):
+        p = make_problem(100, 100, 0, 0, [(k, 5, 5) for k in range(10)])
+        r = GreedyFit().select(p)
+        assert r.evaluations == 10
+
+
+class TestEq9Invariant:
+    @settings(max_examples=200, deadline=None)
+    @given(problem=selection_problems())
+    def test_delta_load_stays_positive(self, problem):
+        """Eq. 9: after any GreedyFit selection, L'_i - L'_j > 0 — the
+        target never becomes heavier than the source (in benefit terms)."""
+        r = GreedyFit().select(problem)
+        if r.empty:
+            return
+        assert delta_load(problem, r) > 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(problem=selection_problems())
+    def test_selection_never_exceeds_gap(self, problem):
+        r = GreedyFit().select(problem)
+        assert r.total_benefit <= max(problem.gap, 0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(problem=selection_problems())
+    def test_pairwise_imbalance_never_worse(self, problem):
+        """Section IV-B: migrating the selected keys does not increase the
+        pairwise load imbalance between source and target."""
+        r = GreedyFit().select(problem)
+        if r.empty:
+            return
+        li_before = load_imbalance([problem.load_i, problem.load_j])
+        l_i, l_j = loads_after(problem, r)
+        li_after = load_imbalance([max(l_i, 0.0), max(l_j, 0.0)])
+        assert li_after <= li_before + 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(problem=selection_problems())
+    def test_selected_keys_exist(self, problem):
+        r = GreedyFit().select(problem)
+        assert set(r.selected_keys) <= set(problem.keys.tolist())
+        assert len(set(r.selected_keys)) == len(r.selected_keys)

@@ -1,0 +1,69 @@
+"""Tests for the exact DP knapsack selector (section IV-A ablation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import ExactKnapsack, GreedyFit
+from repro.core.selection.base import delta_load
+from repro.errors import ConfigError
+
+from .test_greedyfit import make_problem, selection_problems
+
+
+class TestExactKnapsack:
+    def test_empty_problem(self):
+        assert ExactKnapsack().select(make_problem(0, 0, 0, 0, [])).empty
+
+    def test_no_gap(self):
+        p = make_problem(1, 1, 100, 100, [(1, 1, 1)])
+        assert ExactKnapsack().select(p).empty
+
+    def test_max_keys_guardrail(self):
+        per_key = [(k, 1, 1) for k in range(30)]
+        p = make_problem(30, 30, 0, 0, per_key)
+        with pytest.raises(ConfigError):
+            ExactKnapsack(max_keys=10).select(p)
+
+    def test_picks_best_single_key_when_only_one_fits(self):
+        # gap = 100*100 = 10_000; key benefits: k1 ~ (100)*b + (100)*s
+        p = make_problem(100, 100, 0, 0, [(1, 60, 30), (2, 10, 5)])
+        r = ExactKnapsack().select(p)
+        # benefit(1) = 100*30+100*60 = 9000 < 10000, benefit(2)=1500
+        # both together = 10500 >= gap, so DP must choose key 1 alone
+        assert r.selected_keys == [1]
+
+    def test_subset_sum_optimality_small(self):
+        """Exhaustive check on a small instance: DP matches brute force."""
+        per_key = [(0, 3, 2), (1, 7, 1), (2, 2, 8), (3, 5, 5)]
+        p = make_problem(17, 16, 4, 3, per_key)
+        benefits = p.benefits()
+        gap = p.gap
+        best = 0.0
+        for mask in range(16):
+            sel = [i for i in range(4) if mask >> i & 1]
+            tot = float(benefits[sel].sum())
+            if tot < gap:
+                best = max(best, tot)
+        r = ExactKnapsack(resolution=4096).select(p)
+        assert r.total_benefit == pytest.approx(best, rel=0.01)
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=selection_problems())
+    def test_feasibility(self, problem):
+        r = ExactKnapsack(resolution=512).select(problem)
+        if r.empty:
+            return
+        assert r.total_benefit < problem.gap
+        assert delta_load(problem, r) > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=selection_problems())
+    def test_dp_at_least_as_good_as_greedy(self, problem):
+        """The DP optimum fills the gap at least as well as GreedyFit
+        (up to quantisation: one grid cell of slack)."""
+        g = GreedyFit().select(problem)
+        d = ExactKnapsack(resolution=2048).select(problem)
+        slack = max(problem.gap, 0.0) / 2048 * (len(problem.keys) + 1)
+        assert d.total_benefit >= g.total_benefit - slack

@@ -1,0 +1,161 @@
+"""Tests for the monitoring component."""
+
+import numpy as np
+import pytest
+
+from repro.core.migration import MigrationCostModel, MigrationExecutor
+from repro.core.monitor import Monitor
+from repro.core.routing import RoutingTable
+from repro.core.selection import GreedyFit
+from repro.engine.metrics import MetricsCollector
+from repro.engine.tuples import Batch
+from repro.errors import ConfigError
+from repro.join.instance import JoinInstance
+
+
+def stores(keys, t=0.0):
+    keys = np.asarray(keys, dtype=np.int64)
+    return Batch.stores(keys, np.full(keys.shape[0], t))
+
+
+def probes(keys, t=0.0):
+    keys = np.asarray(keys, dtype=np.int64)
+    return Batch.probes(keys, np.full(keys.shape[0], t))
+
+
+def make_group(n=3):
+    # raw (unsmoothed) backlog so tests can assert on exact counters
+    return [JoinInstance(i, capacity=1e6, backlog_smoothing_tau=0.0) for i in range(n)]
+
+
+def active_monitor(instances, theta=2.0, **kw):
+    routing = RoutingTable(len(instances))
+    return Monitor(
+        side="R",
+        instances=instances,
+        theta=theta,
+        selector=GreedyFit(),
+        executor=MigrationExecutor(routing, MigrationCostModel(fixed=0.01)),
+        period=1.0,
+        min_heaviest_load=10.0,
+        cooldown=0.5,
+        **kw,
+    ), routing
+
+
+def skew_load(instances):
+    """Make instance 0 very heavy, others light."""
+    instances[0].enqueue(stores([1] * 60 + [2] * 40))
+    instances[0].step(0.0, 1.0)
+    instances[0].enqueue(probes([1] * 50 + [2] * 30))
+    for inst in instances[1:]:
+        inst.enqueue(stores([100 + inst.instance_id]))
+        inst.step(0.0, 1.0)
+        inst.enqueue(probes([100 + inst.instance_id]))
+
+
+class TestValidation:
+    def test_theta_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            Monitor("R", make_group(), theta=1.0)
+
+    def test_active_requires_selector_and_executor(self):
+        with pytest.raises(ConfigError):
+            Monitor("R", make_group(), theta=2.0)
+
+    def test_bad_side(self):
+        with pytest.raises(ConfigError):
+            Monitor("Q", make_group(), theta=None)
+
+    def test_needs_instances(self):
+        with pytest.raises(ConfigError):
+            Monitor("R", [], theta=None)
+
+
+class TestPassiveMonitor:
+    def test_records_li_without_migrating(self):
+        instances = make_group()
+        skew_load(instances)
+        metrics = MetricsCollector()
+        m = Monitor("R", instances, theta=None, period=1.0, metrics=metrics)
+        m.tick(1.0)
+        assert len(m.li_history) == 1
+        assert m.li_history[0][1] > 2.0
+        assert m.n_migrations == 0
+        run = metrics.finalize()
+        assert not np.isnan(run.li["R"][0])
+
+    def test_sampling_period_respected(self):
+        m = Monitor("R", make_group(), theta=None, period=2.0)
+        m.tick(0.5)
+        assert len(m.li_history) == 0
+        m.tick(2.0)
+        assert len(m.li_history) == 1
+        m.tick(3.0)
+        assert len(m.li_history) == 1
+        m.tick(4.0)
+        assert len(m.li_history) == 2
+
+
+class TestActiveMonitor:
+    def test_triggers_on_threshold(self):
+        instances = make_group()
+        skew_load(instances)
+        m, routing = active_monitor(instances, theta=2.0)
+        assert m.tick(1.0)
+        assert m.n_migrations == 1
+        assert routing.n_overrides > 0
+
+    def test_no_trigger_below_threshold(self):
+        instances = make_group()
+        for inst in instances:  # balanced load
+            inst.enqueue(stores([inst.instance_id] * 10))
+            inst.step(0.0, 1.0)
+            inst.enqueue(probes([inst.instance_id] * 10))
+        m, routing = active_monitor(instances, theta=5.0)
+        assert not m.tick(1.0)
+        assert routing.n_overrides == 0
+
+    def test_min_load_suppresses_startup_noise(self):
+        instances = make_group()
+        # imbalanced but tiny loads
+        instances[0].enqueue(stores([1]))
+        instances[0].step(0.0, 1.0)
+        instances[0].enqueue(probes([1]))
+        m, _ = active_monitor(instances, theta=1.5)
+        m.min_heaviest_load = 1e6
+        assert not m.tick(1.0)
+
+    def test_cooldown_blocks_back_to_back_migrations(self):
+        instances = make_group()
+        skew_load(instances)
+        m, _ = active_monitor(instances, theta=1.2)
+        m.cooldown = 100.0
+        assert m.tick(1.0)
+        skew_load(instances)  # re-skew immediately
+        assert not m.tick(2.0)
+
+    def test_migration_reduces_li(self):
+        instances = make_group()
+        skew_load(instances)
+        m, _ = active_monitor(instances, theta=2.0)
+        li_before = m.sample(0.9)
+        m.tick(1.0)
+        li_after = m.sample(1.1)
+        assert li_after < li_before
+
+    def test_migration_event_reaches_metrics(self):
+        instances = make_group()
+        skew_load(instances)
+        metrics = MetricsCollector()
+        routing = RoutingTable(len(instances))
+        m = Monitor(
+            "R", instances, theta=2.0, selector=GreedyFit(),
+            executor=MigrationExecutor(routing, MigrationCostModel(fixed=0.01)),
+            period=1.0, min_heaviest_load=10.0, cooldown=0.5, metrics=metrics,
+        )
+        m.tick(1.0)
+        m.tick(5.0)  # force one more service record so finalize has time
+        run = metrics.finalize()
+        assert len(run.migrations) == 1
+        assert run.migrations[0].side == "R"

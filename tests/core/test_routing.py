@@ -1,0 +1,97 @@
+"""Tests for the dispatcher routing table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import RoutingTable
+from repro.errors import RoutingError
+
+
+class TestRoutingTable:
+    def test_no_overrides_passthrough(self):
+        t = RoutingTable(4)
+        keys = np.arange(10)
+        defaults = keys % 4
+        out = t.apply(keys, defaults)
+        assert np.array_equal(out, defaults)
+
+    def test_install_redirects(self):
+        t = RoutingTable(4)
+        t.install([5], 2)
+        keys = np.array([4, 5, 6])
+        defaults = np.array([0, 0, 0])
+        out = t.apply(keys, defaults)
+        assert out.tolist() == [0, 2, 0]
+
+    def test_install_multiple(self):
+        t = RoutingTable(8)
+        t.install([1, 2, 3], 7)
+        out = t.apply(np.array([1, 2, 3, 4]), np.zeros(4, dtype=np.int64))
+        assert out.tolist() == [7, 7, 7, 0]
+
+    def test_reinstall_overwrites(self):
+        t = RoutingTable(4)
+        t.install([9], 1)
+        t.install([9], 3)
+        assert t.target_of(9) == 3
+
+    def test_remove(self):
+        t = RoutingTable(4)
+        t.install([9], 1)
+        t.remove([9])
+        assert t.target_of(9) is None
+        out = t.apply(np.array([9]), np.array([0]))
+        assert out.tolist() == [0]
+
+    def test_version_bumps(self):
+        t = RoutingTable(4)
+        v0 = t.version
+        t.install([1], 0)
+        assert t.version > v0
+
+    def test_out_of_range_target_rejected(self):
+        t = RoutingTable(4)
+        with pytest.raises(RoutingError):
+            t.install([1], 4)
+        with pytest.raises(RoutingError):
+            t.install([1], -1)
+
+    def test_misaligned_apply_rejected(self):
+        t = RoutingTable(4)
+        t.install([1], 0)
+        with pytest.raises(RoutingError):
+            t.apply(np.arange(3), np.arange(2))
+
+    def test_duplicate_keys_in_batch(self):
+        t = RoutingTable(4)
+        t.install([7], 3)
+        keys = np.array([7, 7, 7, 1])
+        out = t.apply(keys, np.zeros(4, dtype=np.int64))
+        assert out.tolist() == [3, 3, 3, 0]
+
+    def test_snapshot_is_copy(self):
+        t = RoutingTable(4)
+        t.install([1], 2)
+        snap = t.overrides_snapshot()
+        snap[1] = 99
+        assert t.target_of(1) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    overrides=st.dictionaries(st.integers(0, 50), st.integers(0, 7), max_size=20),
+    keys=st.lists(st.integers(0, 50), min_size=1, max_size=100),
+)
+def test_apply_matches_scalar_lookup(overrides, keys):
+    """Vectorised apply() must agree with a per-key scalar reference."""
+    t = RoutingTable(8)
+    for k, v in overrides.items():
+        t.install([k], v)
+    keys_arr = np.array(keys, dtype=np.int64)
+    defaults = keys_arr % 8
+    out = t.apply(keys_arr, defaults)
+    for i, k in enumerate(keys):
+        expected = overrides.get(k, k % 8)
+        assert out[i] == expected

@@ -1,0 +1,86 @@
+"""Tests for the SAFit simulated-annealing selector (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import GreedyFit, SAFit, SelectionProblem
+from repro.core.selection.base import delta_load
+from repro.errors import ConfigError
+
+from .test_greedyfit import make_problem, selection_problems
+
+
+def fast_safit(seed=0):
+    return SAFit(temperature=0.5, t_min=0.05, attenuation=0.5, iters_per_temp=30, seed=seed)
+
+
+class TestSAFitConfig:
+    def test_invalid_attenuation(self):
+        with pytest.raises(ConfigError):
+            SAFit(attenuation=1.0)
+        with pytest.raises(ConfigError):
+            SAFit(attenuation=0.0)
+
+    def test_t_min_ordering(self):
+        with pytest.raises(ConfigError):
+            SAFit(temperature=0.01, t_min=0.01)
+
+    def test_iters_positive(self):
+        with pytest.raises(ConfigError):
+            SAFit(iters_per_temp=0)
+
+
+class TestSAFitBehaviour:
+    def test_empty_problem(self):
+        assert fast_safit().select(make_problem(0, 0, 0, 0, [])).empty
+
+    def test_no_gap_no_selection(self):
+        p = make_problem(10, 10, 100, 100, [(1, 10, 10)])
+        assert fast_safit().select(p).empty
+
+    def test_reproducible_per_seed(self):
+        p = make_problem(500, 500, 10, 10, [(k, 10, 10) for k in range(20)])
+        a = fast_safit(seed=7).select(p)
+        b = fast_safit(seed=7).select(p)
+        assert a.selected_keys == b.selected_keys
+
+    def test_finds_something_on_clear_problem(self):
+        p = make_problem(1000, 1000, 0, 0, [(k, 20, 20) for k in range(20)])
+        r = fast_safit().select(p)
+        assert not r.empty
+
+    def test_accounting_consistent(self):
+        per_key = [(k, 10 + k, 5) for k in range(15)]
+        p = make_problem(sum(s for _, s, _ in per_key), 75, 0, 0, per_key)
+        r = fast_safit().select(p)
+        sel = set(r.selected_keys)
+        assert r.moved_stored == sum(s for k, s, _ in per_key if k in sel)
+        assert r.moved_backlog == sum(b for k, _, b in per_key if k in sel)
+
+    @settings(max_examples=60, deadline=None)
+    @given(problem=selection_problems())
+    def test_eq9_feasibility(self, problem):
+        """SAFit only returns feasible solutions: total benefit < gap."""
+        r = fast_safit().select(problem)
+        if r.empty:
+            return
+        assert r.total_benefit < problem.gap
+        assert delta_load(problem, r) > 0
+
+    def test_quality_comparable_to_greedyfit(self):
+        """Fig. 14's premise: the two selectors land on solutions of
+        similar quality (value = benefit per moved tuple)."""
+        rng = np.random.default_rng(3)
+        per_key = [(k, int(rng.integers(1, 60)), int(rng.integers(0, 60))) for k in range(40)]
+        p = make_problem(
+            sum(s for _, s, _ in per_key), sum(b for _, _, b in per_key), 50, 50, per_key
+        )
+        g = GreedyFit().select(p)
+        s = SAFit(temperature=1.0, t_min=0.01, attenuation=0.8, iters_per_temp=100).select(p)
+        assert not g.empty and not s.empty
+        val_g = g.total_benefit / max(g.moved_stored, 1)
+        val_s = s.total_benefit / max(s.moved_stored, 1)
+        # SA should be within 3x of greedy either way on value density
+        assert val_s > val_g / 3

@@ -1,0 +1,87 @@
+"""Tests for the shared selection-problem utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SelectionProblem, SelectionResult
+from repro.core.selection.base import delta_load, evaluate_selection, loads_after
+
+from .test_greedyfit import make_problem
+
+
+class TestSelectionProblem:
+    def test_gap(self):
+        p = make_problem(10, 10, 2, 3, [(1, 5, 5)])
+        assert p.gap == 100 - 6
+        assert p.load_i == 100
+        assert p.load_j == 6
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionProblem(
+                stored_i=1, backlog_i=1, stored_j=0, backlog_j=0,
+                keys=np.array([1, 2]),
+                key_stored=np.array([1]),
+                key_backlog=np.array([1, 1]),
+            )
+
+    def test_benefits_vectorised_matches_eq8(self):
+        p = make_problem(100, 50, 20, 10, [(1, 5, 3), (2, 0, 7)])
+        b = p.benefits()
+        assert b[0] == pytest.approx((100 + 20) * 3 + (50 + 10) * 5)
+        assert b[1] == pytest.approx((100 + 20) * 7 + (50 + 10) * 0)
+
+    def test_n_keys(self):
+        assert make_problem(1, 1, 0, 0, [(1, 1, 0), (2, 0, 1)]).n_keys == 2
+
+
+class TestEvaluateSelection:
+    def test_empty_selection(self):
+        p = make_problem(10, 10, 0, 0, [(1, 5, 5)])
+        r = evaluate_selection(p, [])
+        assert r.empty
+        assert r.total_benefit == 0.0
+
+    def test_accounting(self):
+        p = make_problem(100, 100, 0, 0, [(1, 10, 20), (2, 30, 40)])
+        r = evaluate_selection(p, [2])
+        assert r.moved_stored == 30
+        assert r.moved_backlog == 40
+        assert r.total_benefit == pytest.approx(p.benefits()[1])
+
+    def test_unknown_key_raises(self):
+        p = make_problem(10, 10, 0, 0, [(1, 5, 5)])
+        with pytest.raises(KeyError):
+            evaluate_selection(p, [99])
+
+    def test_full_selection(self):
+        p = make_problem(50, 50, 0, 0, [(1, 25, 25), (2, 25, 25)])
+        r = evaluate_selection(p, [1, 2])
+        assert r.moved_stored == 50
+        assert r.moved_backlog == 50
+
+
+class TestDeltaLoadAndLoadsAfter:
+    def test_delta_load_eq9(self):
+        p = make_problem(100, 100, 0, 0, [(1, 10, 10)])
+        r = evaluate_selection(p, [1])
+        assert delta_load(p, r) == pytest.approx(p.gap - r.total_benefit)
+
+    def test_loads_after_eqs_5_6(self):
+        p = make_problem(100, 100, 10, 10, [(1, 10, 20)])
+        r = evaluate_selection(p, [1])
+        l_i, l_j = loads_after(p, r)
+        assert l_i == pytest.approx((100 - 10) * (100 - 20))
+        assert l_j == pytest.approx((10 + 10) * (10 + 20))
+
+
+class TestSelectionResult:
+    def test_defaults(self):
+        r = SelectionResult()
+        assert r.empty
+        assert r.n_keys == 0
+
+    def test_n_keys(self):
+        r = SelectionResult(selected_keys=[1, 2, 3])
+        assert r.n_keys == 3
+        assert not r.empty

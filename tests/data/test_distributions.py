@@ -1,0 +1,155 @@
+"""Tests for key-popularity distributions and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    KeySampler,
+    fit_zipf_exponent,
+    top_share,
+    uniform_probabilities,
+    zipf_probabilities,
+)
+from repro.errors import WorkloadError
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        p = zipf_probabilities(1000, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        p = zipf_probabilities(100, 0.0)
+        assert np.allclose(p, 0.01)
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(100, 1.5)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_higher_exponent_more_skewed(self):
+        p1 = zipf_probabilities(1000, 1.0)
+        p2 = zipf_probabilities(1000, 2.0)
+        assert p2[0] > p1[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(10, -1.0)
+
+    def test_uniform_helper(self):
+        assert np.allclose(uniform_probabilities(10), 0.1)
+
+
+class TestTopShare:
+    def test_uniform_share_is_fraction(self):
+        p = uniform_probabilities(100)
+        assert top_share(p, 0.2) == pytest.approx(0.2)
+
+    def test_skewed_share_exceeds_fraction(self):
+        p = zipf_probabilities(1000, 1.5)
+        assert top_share(p, 0.2) > 0.2
+
+    def test_full_fraction_is_one(self):
+        p = zipf_probabilities(100, 1.0)
+        assert top_share(p, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            top_share(uniform_probabilities(10), 0.0)
+
+
+class TestFitZipfExponent:
+    def test_recovers_paper_order_stream_stat(self):
+        """20% of keys -> 80% of mass: the Fig. 1a calibration target."""
+        s = fit_zipf_exponent(2000, 0.20, 0.80)
+        p = zipf_probabilities(2000, s)
+        assert top_share(p, 0.20) == pytest.approx(0.80, abs=0.01)
+
+    def test_recovers_paper_track_stream_stat(self):
+        s = fit_zipf_exponent(2000, 0.24, 0.80)
+        p = zipf_probabilities(2000, s)
+        assert top_share(p, 0.24) == pytest.approx(0.80, abs=0.01)
+
+    def test_track_exponent_below_order_exponent(self):
+        """24%->80% is less skewed than 20%->80%."""
+        s_order = fit_zipf_exponent(2000, 0.20, 0.80)
+        s_track = fit_zipf_exponent(2000, 0.24, 0.80)
+        assert s_track < s_order
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(WorkloadError):
+            fit_zipf_exponent(100, 0.5, 0.4)  # below the uniform share
+
+
+class TestKeySampler:
+    def test_sample_range(self):
+        s = KeySampler(zipf_probabilities(50, 1.0))
+        keys = s.sample(1000, rng())
+        assert keys.min() >= 0 and keys.max() < 50
+
+    def test_empirical_matches_pmf(self):
+        probs = zipf_probabilities(10, 1.0)
+        s = KeySampler(probs)
+        keys = s.sample(200_000, rng())
+        counts = np.bincount(keys, minlength=10) / 200_000
+        assert np.allclose(counts, probs, atol=0.01)
+
+    def test_permutation_preserves_distribution_shape(self):
+        probs = zipf_probabilities(100, 2.0)
+        s = KeySampler(probs, permute_with=rng(1))
+        keys = s.sample(100_000, rng(2))
+        counts = np.sort(np.bincount(keys, minlength=100))[::-1] / 100_000
+        assert np.allclose(counts[:5], np.sort(probs)[::-1][:5], atol=0.01)
+
+    def test_key_ids_mapping(self):
+        ids = np.array([10, 20, 30], dtype=np.int64)
+        s = KeySampler(np.array([1.0, 0.0, 0.0]), key_ids=ids)
+        keys = s.sample(100, rng())
+        assert np.all(keys == 10)
+
+    def test_key_ids_and_permute_mutually_exclusive(self):
+        with pytest.raises(WorkloadError):
+            KeySampler(np.ones(3) / 3, permute_with=rng(), key_ids=np.arange(3))
+
+    def test_probabilities_property_respects_ids(self):
+        ids = np.array([2, 0, 1], dtype=np.int64)
+        s = KeySampler(np.array([0.5, 0.3, 0.2]), key_ids=ids)
+        p = s.probabilities
+        assert p[2] == pytest.approx(0.5)
+        assert p[0] == pytest.approx(0.3)
+        assert p[1] == pytest.approx(0.2)
+
+    def test_zero_draws(self):
+        s = KeySampler(uniform_probabilities(5))
+        assert s.sample(0, rng()).shape == (0,)
+
+    def test_invalid_pmf(self):
+        with pytest.raises(WorkloadError):
+            KeySampler(np.array([-0.5, 1.5]))
+        with pytest.raises(WorkloadError):
+            KeySampler(np.zeros(5))
+
+    def test_deterministic_given_rng(self):
+        s = KeySampler(zipf_probabilities(20, 1.0))
+        assert np.array_equal(s.sample(100, rng(5)), s.sample(100, rng(5)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_keys=st.integers(1, 200),
+    exponent=st.floats(0.0, 3.0, allow_nan=False),
+    n=st.integers(0, 500),
+)
+def test_sampler_always_in_universe(n_keys, exponent, n):
+    s = KeySampler(zipf_probabilities(n_keys, exponent))
+    keys = s.sample(n, rng())
+    assert keys.shape == (n,)
+    if n:
+        assert keys.min() >= 0 and keys.max() < n_keys

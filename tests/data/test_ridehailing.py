@@ -1,0 +1,91 @@
+"""Tests for the synthetic ride-hailing (DiDi substitute) workload."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import top_share
+from repro.data.ridehailing import RideHailingSpec, RideHailingWorkload
+from repro.engine.rng import SeedSequenceFactory
+from repro.errors import WorkloadError
+
+
+def build(spec=None, seed=0):
+    spec = spec or RideHailingSpec(n_locations=500)
+    return RideHailingWorkload.build(spec, SeedSequenceFactory(seed))
+
+
+class TestRideHailingSpec:
+    def test_derived_volumes(self):
+        spec = RideHailingSpec(n_locations=100, orders_per_location=14,
+                               track_to_order_ratio=10, scale=2.0)
+        assert spec.n_orders == 2800
+        assert spec.n_tracks == 28_000
+
+    def test_track_rate_scales(self):
+        spec = RideHailingSpec(order_rate=100.0, track_to_order_ratio=5.0)
+        assert spec.track_rate == 500.0
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            RideHailingSpec(n_locations=5)
+        with pytest.raises(WorkloadError):
+            RideHailingSpec(scale=0.0)
+
+
+class TestCalibration:
+    def test_order_stream_matches_fig1a(self):
+        """~20% of locations should carry ~80% of orders (Fig. 1a)."""
+        wl = build()
+        assert top_share(wl.order_sampler.probabilities, 0.20) == pytest.approx(
+            0.80, abs=0.02
+        )
+
+    def test_track_stream_matches_fig1b(self):
+        """~24% of locations should carry ~80% of tracks (Fig. 1b)."""
+        wl = build()
+        assert top_share(wl.track_sampler.probabilities, 0.24) == pytest.approx(
+            0.80, abs=0.02
+        )
+
+    def test_empirical_sample_matches_target(self):
+        wl = build()
+        seeds = SeedSequenceFactory(0)
+        orders, _ = wl.sources(seeds)
+        keys = orders.emit(3.0)
+        counts = np.bincount(keys, minlength=wl.spec.n_locations).astype(float)
+        counts /= counts.sum()
+        assert top_share(counts, 0.20) == pytest.approx(0.80, abs=0.05)
+
+    def test_hot_locations_shared_between_streams(self):
+        """Orders and tracks must be hot at the *same* locations (both are
+        densest downtown) — this is what makes |R_ik| and phi_sik big on
+        the same instance."""
+        wl = build()
+        p_o = wl.order_sampler.probabilities
+        p_t = wl.track_sampler.probabilities
+        hot_o = set(np.argsort(p_o)[::-1][:50].tolist())
+        hot_t = set(np.argsort(p_t)[::-1][:50].tolist())
+        assert len(hot_o & hot_t) > 40
+
+
+class TestSources:
+    def test_volumes(self):
+        spec = RideHailingSpec(n_locations=100, order_rate=1e5,
+                               track_to_order_ratio=2.0)
+        wl = RideHailingWorkload.build(spec, SeedSequenceFactory(0))
+        orders, tracks = wl.sources(SeedSequenceFactory(0))
+        o = orders.emit(60.0)
+        t = tracks.emit(60.0)
+        assert o.shape[0] == spec.n_orders
+        assert t.shape[0] == spec.n_tracks
+
+    def test_reproducible(self):
+        wl = build(seed=9)
+        a, _ = wl.sources(SeedSequenceFactory(9))
+        b, _ = wl.sources(SeedSequenceFactory(9))
+        assert np.array_equal(a.emit(1.0), b.emit(1.0))
+
+    def test_scale_multiplies_volume(self):
+        small = RideHailingSpec(n_locations=100, scale=1.0)
+        large = RideHailingSpec(n_locations=100, scale=3.0)
+        assert large.n_orders == 3 * small.n_orders

@@ -1,0 +1,62 @@
+"""Tests for rate-controlled stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import KeySampler, uniform_probabilities
+from repro.data.streams import StreamSource
+from repro.errors import WorkloadError
+
+
+def make_source(rate=100.0, total=None, seed=0):
+    return StreamSource(
+        "R",
+        KeySampler(uniform_probabilities(10)),
+        rate,
+        np.random.Generator(np.random.PCG64(seed)),
+        total=total,
+    )
+
+
+class TestStreamSource:
+    def test_long_run_rate_exact(self):
+        src = make_source(rate=123.7)
+        emitted = sum(src.emit(0.01).shape[0] for _ in range(10_000))
+        # 100 seconds at 123.7/s
+        assert emitted == pytest.approx(12_370, abs=1)
+
+    def test_fractional_rate_accumulates(self):
+        src = make_source(rate=0.5)
+        counts = [src.emit(1.0).shape[0] for _ in range(10)]
+        assert sum(counts) == 5
+        assert max(counts) == 1
+
+    def test_total_caps_emission(self):
+        src = make_source(rate=1000.0, total=42)
+        out = src.emit(1.0)
+        assert out.shape[0] == 42
+        assert src.exhausted
+        assert src.emit(1.0).shape[0] == 0
+
+    def test_emitted_counter(self):
+        src = make_source(rate=100.0)
+        src.emit(0.5)
+        assert src.emitted == 50
+
+    def test_unbounded_never_exhausts(self):
+        src = make_source(rate=10.0)
+        src.emit(100.0)
+        assert not src.exhausted
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            make_source(rate=0.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(WorkloadError):
+            make_source().emit(0.0)
+
+    def test_deterministic(self):
+        a = make_source(seed=3)
+        b = make_source(seed=3)
+        assert np.array_equal(a.emit(1.0), b.emit(1.0))

@@ -1,0 +1,83 @@
+"""Tests for the Gxy synthetic dataset groups."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import top_share
+from repro.data.synthetic import (
+    SKEW_GROUPS,
+    SyntheticGroupSpec,
+    group_label,
+    make_group_sources,
+)
+from repro.engine.rng import SeedSequenceFactory
+from repro.errors import WorkloadError
+
+
+class TestGroupLabel:
+    def test_valid(self):
+        assert group_label(0, 2) == "G02"
+        assert group_label(2, 2) == "G22"
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            group_label(3, 0)
+
+    def test_all_nine_groups(self):
+        assert len(SKEW_GROUPS) == 9
+        assert SKEW_GROUPS[0] == "G00"
+
+
+class TestSyntheticGroupSpec:
+    def test_exponents_parsed_from_label(self):
+        spec = SyntheticGroupSpec("G12")
+        assert spec.exponent_r == 1.0
+        assert spec.exponent_s == 2.0
+
+    def test_g00_uniform(self):
+        spec = SyntheticGroupSpec("G00")
+        assert spec.exponent_r == 0.0 and spec.exponent_s == 0.0
+
+    def test_invalid_label(self):
+        with pytest.raises(WorkloadError):
+            SyntheticGroupSpec("G33")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            SyntheticGroupSpec("G00", n_keys=0)
+
+
+class TestMakeGroupSources:
+    def test_sources_have_configured_totals(self):
+        spec = SyntheticGroupSpec("G11", n_keys=100, tuples_per_stream=500, rate=100.0)
+        r, s = make_group_sources(spec, SeedSequenceFactory(0))
+        assert r.total == 500 and s.total == 500
+
+    def test_skewed_stream_is_skewed(self):
+        spec = SyntheticGroupSpec("G02", n_keys=200, tuples_per_stream=20_000, rate=1e4)
+        r, s = make_group_sources(spec, SeedSequenceFactory(0))
+        r_keys = r.emit(2.0)
+        s_keys = s.emit(2.0)
+        # R uniform: top-20% share near 0.2; S zipf-2: strongly concentrated
+        r_counts = np.bincount(r_keys, minlength=200) / r_keys.shape[0]
+        s_counts = np.bincount(s_keys, minlength=200) / s_keys.shape[0]
+        assert top_share(r_counts, 0.2) < 0.35
+        assert top_share(s_counts, 0.2) > 0.8
+
+    def test_reproducible(self):
+        spec = SyntheticGroupSpec("G11", n_keys=50, tuples_per_stream=100, rate=100.0)
+        r1, _ = make_group_sources(spec, SeedSequenceFactory(5))
+        r2, _ = make_group_sources(spec, SeedSequenceFactory(5))
+        assert np.array_equal(r1.emit(1.0), r2.emit(1.0))
+
+    def test_groups_differ(self):
+        a, _ = make_group_sources(
+            SyntheticGroupSpec("G11", n_keys=50, tuples_per_stream=100, rate=100.0),
+            SeedSequenceFactory(0),
+        )
+        b, _ = make_group_sources(
+            SyntheticGroupSpec("G21", n_keys=50, tuples_per_stream=100, rate=100.0),
+            SeedSequenceFactory(0),
+        )
+        ka, kb = a.emit(1.0), b.emit(1.0)
+        assert not np.array_equal(ka, kb)

@@ -1,0 +1,74 @@
+"""Tests for the tiered (flat-top) key distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import KeySampler, tiered_probabilities, top_share
+from repro.errors import WorkloadError
+
+
+class TestTieredProbabilities:
+    def test_sums_to_one(self):
+        p = tiered_probabilities(1000, 0.2, 0.8)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_top_fraction_carries_top_share(self):
+        p = tiered_probabilities(1000, 0.2, 0.8, within_exponent=0.0)
+        assert top_share(p, 0.2) == pytest.approx(0.8, abs=1e-9)
+
+    def test_paper_track_statistic(self):
+        p = tiered_probabilities(1000, 0.24, 0.8, within_exponent=0.0)
+        assert top_share(p, 0.24) == pytest.approx(0.8, abs=0.01)
+
+    def test_flat_tiers_bound_max_key(self):
+        """The whole point versus a Zipf fit: no single dominant key."""
+        p = tiered_probabilities(1000, 0.2, 0.8, within_exponent=0.0)
+        assert p.max() == pytest.approx(0.8 / 200)
+        assert p.max() < 0.005
+
+    def test_within_exponent_slopes_tiers(self):
+        flat = tiered_probabilities(1000, 0.2, 0.8, within_exponent=0.0)
+        sloped = tiered_probabilities(1000, 0.2, 0.8, within_exponent=1.0)
+        assert sloped[0] > flat[0]
+        # slope does not change the mass of the hot tier itself (though a
+        # steep slope lets some cold keys overtake the hot tier's tail, so
+        # the *sorted* CDF statistic only holds exactly for flat tiers)
+        assert sloped[:200].sum() == pytest.approx(0.8, abs=1e-9)
+
+    def test_hot_keys_first(self):
+        p = tiered_probabilities(100, 0.2, 0.8, within_exponent=0.0)
+        assert np.all(p[:20] > p[20:].max())
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            tiered_probabilities(100, 0.0, 0.8)
+        with pytest.raises(WorkloadError):
+            tiered_probabilities(100, 0.2, 1.0)
+        with pytest.raises(WorkloadError):
+            tiered_probabilities(1, 0.2, 0.8)
+
+    def test_sampling_respects_tiers(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        p = tiered_probabilities(100, 0.2, 0.8, within_exponent=0.0)
+        sampler = KeySampler(p)
+        keys = sampler.sample(100_000, rng)
+        hot = np.count_nonzero(keys < 20) / keys.shape[0]
+        assert hot == pytest.approx(0.8, abs=0.01)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_keys=st.integers(10, 2000),
+    top_fraction=st.floats(0.05, 0.5),
+    top_share_target=st.floats(0.55, 0.95),
+    exponent=st.floats(0.0, 1.5),
+)
+def test_tiered_is_valid_pmf(n_keys, top_fraction, top_share_target, exponent):
+    p = tiered_probabilities(n_keys, top_fraction, top_share_target, exponent)
+    assert p.shape == (n_keys,)
+    assert np.all(p >= 0)
+    assert p.sum() == pytest.approx(1.0)
+    n_hot = max(1, int(round(top_fraction * n_keys)))
+    assert p[:n_hot].sum() == pytest.approx(top_share_target, abs=1e-9)

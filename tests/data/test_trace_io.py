@@ -1,0 +1,140 @@
+"""Tests for trace export / replay."""
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.data.distributions import KeySampler, zipf_probabilities
+from repro.data.streams import StreamSource
+from repro.data.trace_io import (
+    TraceSource,
+    export_stream_sample,
+    read_trace,
+    write_trace,
+)
+from repro.errors import WorkloadError
+
+
+def make_source(rate=1000.0, total=None, seed=0):
+    return StreamSource(
+        "R", KeySampler(zipf_probabilities(20, 1.0)), rate,
+        np.random.Generator(np.random.PCG64(seed)), total=total,
+    )
+
+
+class TestWriteReadRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        times = np.array([0.0, 0.5, 0.5, 1.25])
+        keys = np.array([3, 1, 4, 1])
+        assert write_trace(path, times, keys) == 4
+        t2, k2 = read_trace(path)
+        assert np.allclose(t2, times)
+        assert np.array_equal(k2, keys)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_trace(path, np.empty(0), np.empty(0, dtype=np.int64))
+        t, k = read_trace(path)
+        assert t.shape == (0,) and k.shape == (0,)
+
+    def test_rejects_decreasing_timestamps(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_trace(tmp_path / "x.csv", np.array([1.0, 0.5]), np.array([1, 2]))
+
+    def test_rejects_negative_keys(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_trace(tmp_path / "x.csv", np.array([0.0]), np.array([-1]))
+
+    def test_rejects_misaligned(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_trace(tmp_path / "x.csv", np.array([0.0]), np.array([1, 2]))
+
+    def test_read_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,value\n0.0,1\n")
+        with pytest.raises(WorkloadError):
+            read_trace(path)
+
+    def test_read_rejects_garbage_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,key\n0.0,notakey\n")
+        with pytest.raises(WorkloadError):
+            read_trace(path)
+
+
+class TestTraceSource:
+    def test_replays_at_native_times(self):
+        src = TraceSource("R", np.array([0.05, 0.15, 0.95]), np.array([1, 2, 3]))
+        assert src.emit(0.1).tolist() == [1]
+        assert src.emit(0.1).tolist() == [2]
+        assert src.emit(0.1).tolist() == []
+        # jump to the last tuple
+        for _ in range(6):
+            src.emit(0.1)
+        assert src.emit(0.1).tolist() == [3]
+        assert src.exhausted
+
+    def test_speedup(self):
+        src = TraceSource("R", np.array([0.0, 1.0]), np.array([1, 2]), speedup=2.0)
+        out = src.emit(0.6)
+        assert out.tolist() == [1, 2]  # second tuple replays at t=0.5
+
+    def test_total_and_emitted(self):
+        src = TraceSource("R", np.array([0.0, 0.2]), np.array([1, 2]))
+        assert src.total == 2
+        src.emit(0.1)
+        assert src.emitted == 1
+
+    def test_cannot_be_unbounded(self):
+        src = TraceSource("R", np.array([0.0]), np.array([1]))
+        with pytest.raises(WorkloadError):
+            src.total = None
+
+    def test_invalid_speedup(self):
+        with pytest.raises(WorkloadError):
+            TraceSource("R", np.array([0.0]), np.array([1]), speedup=0.0)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace(path, np.array([0.0, 0.1]), np.array([7, 8]))
+        src = TraceSource.from_file("R", path)
+        assert src.emit(1.0).tolist() == [7, 8]
+
+
+class TestExportStreamSample:
+    def test_export_then_replay(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        n = export_stream_sample(make_source(rate=500.0), path, duration=2.0)
+        assert n == pytest.approx(1000, abs=2)
+        times, keys = read_trace(path)
+        assert times.shape[0] == n
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 2.0
+
+    def test_export_respects_source_total(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        n = export_stream_sample(make_source(rate=500.0, total=50), path, 10.0)
+        assert n == 50
+
+
+class TestTraceThroughSystem:
+    def test_recorded_trace_drives_a_full_system(self, tmp_path):
+        """End to end: record two synthetic streams, replay them through
+        BiStream, and get the same join cardinality as the live streams."""
+        r_path, s_path = tmp_path / "r.csv", tmp_path / "s.csv"
+        export_stream_sample(make_source(rate=400.0, total=400, seed=1), r_path, 10.0)
+        export_stream_sample(make_source(rate=400.0, total=400, seed=2), s_path, 10.0)
+
+        def run(r_src, s_src):
+            cfg = SystemConfig(n_instances=2, capacity=1e6, theta=None,
+                               tick=0.05, warmup=0.0)
+            rt = build_system("bistream", cfg, r_src, s_src)
+            return rt.run(max_duration=60.0).total_results
+
+        live = run(make_source(rate=400.0, total=400, seed=1),
+                   make_source(rate=400.0, total=400, seed=2))
+        replayed = run(TraceSource.from_file("R", r_path),
+                       TraceSource.from_file("S", s_path))
+        assert replayed == live
+        assert replayed > 0

@@ -1,0 +1,36 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.engine.clock import SimClock
+from repro.errors import SimulationError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_by_tick(self):
+        c = SimClock(tick=0.5)
+        assert c.advance() == 0.5
+        assert c.advance() == 1.0
+        assert c.n_ticks == 2
+
+    def test_no_float_drift(self):
+        c = SimClock(tick=0.01)
+        for _ in range(10_000):
+            c.advance()
+        # recomputed from the tick count, so exactly representable
+        assert c.now == pytest.approx(100.0, abs=1e-9)
+
+    def test_reset(self):
+        c = SimClock(tick=0.1)
+        c.advance()
+        c.reset()
+        assert c.now == 0.0 and c.n_ticks == 0
+
+    def test_invalid_tick(self):
+        with pytest.raises(SimulationError):
+            SimClock(tick=0.0)
+        with pytest.raises(SimulationError):
+            SimClock(tick=-1.0)

@@ -1,0 +1,58 @@
+"""Tests for the service-cost models."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cost import IndexedCost, ScanCost
+from repro.errors import ConfigError
+
+
+class TestScanCost:
+    def test_probe_cost_grows_with_store(self):
+        m = ScanCost(probe_base=1.0, scan_coeff=0.1, emit_cost=0.0)
+        small = m.probe_costs(np.array([10]), np.array([0]))
+        large = m.probe_costs(np.array([1000]), np.array([0]))
+        assert large[0] > small[0]
+
+    def test_probe_cost_formula(self):
+        m = ScanCost(probe_base=2.0, scan_coeff=0.5, emit_cost=0.25)
+        out = m.probe_costs(np.array([100]), np.array([4]))
+        assert out[0] == pytest.approx(2.0 + 0.5 * 100 + 0.25 * 4)
+
+    def test_vectorised(self):
+        m = ScanCost()
+        out = m.probe_costs(np.array([1, 2, 3]), np.array([0, 1, 2]))
+        assert out.shape == (3,)
+
+    def test_validate_rejects_zero_scan(self):
+        with pytest.raises(ConfigError):
+            ScanCost(scan_coeff=0.0).validate()
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            ScanCost(probe_base=-1.0).validate()
+        with pytest.raises(ConfigError):
+            ScanCost(store_cost=0.0).validate()
+
+    def test_default_validates(self):
+        ScanCost().validate()
+
+
+class TestIndexedCost:
+    def test_ignores_store_size(self):
+        m = IndexedCost(probe_base=1.0, emit_cost=0.5)
+        a = m.probe_costs(np.array([10]), np.array([3]))
+        b = m.probe_costs(np.array([10_000_000]), np.array([3]))
+        assert a[0] == b[0]
+
+    def test_match_dependence(self):
+        m = IndexedCost(probe_base=1.0, emit_cost=0.5)
+        out = m.probe_costs(np.array([1, 1]), np.array([0, 10]))
+        assert out[1] == out[0] + 5.0
+
+    def test_default_validates(self):
+        IndexedCost().validate()
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            IndexedCost(emit_cost=-0.1).validate()

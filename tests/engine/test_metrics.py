@@ -1,0 +1,98 @@
+"""Tests for metrics collection and time-series finalisation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import MetricsCollector, MigrationEvent, Reservoir
+
+
+class TestReservoir:
+    def test_small_stream_kept_exactly(self):
+        r = Reservoir(capacity=100)
+        r.add_many(np.arange(10, dtype=float))
+        assert sorted(r.values().tolist()) == list(map(float, range(10)))
+
+    def test_capacity_bound(self):
+        r = Reservoir(capacity=50)
+        r.add_many(np.arange(10_000, dtype=float))
+        assert r.values().shape[0] == 50
+        assert r.n_seen == 10_000
+
+    def test_percentile_of_known_data(self):
+        r = Reservoir(capacity=1000)
+        r.add_many(np.arange(1000, dtype=float))
+        assert r.percentile(50) == pytest.approx(499.5)
+
+    def test_empty_percentile_nan(self):
+        assert np.isnan(Reservoir().percentile(50))
+
+    def test_reservoir_is_representative(self):
+        # uniform [0,1): the sampled median should be near 0.5
+        rng = np.random.default_rng(0)
+        r = Reservoir(capacity=2048, seed=1)
+        r.add_many(rng.random(100_000))
+        assert abs(r.percentile(50) - 0.5) < 0.05
+
+
+class TestMetricsCollector:
+    def test_throughput_binned_per_second(self):
+        m = MetricsCollector()
+        m.record_service(0.5, n_processed=10, n_results=100, latencies=None)
+        m.record_service(1.5, n_processed=20, n_results=200, latencies=None)
+        run = m.finalize()
+        assert run.throughput[0] == 100
+        assert run.throughput[1] == 200
+        assert run.processed.tolist() == [10, 20]
+
+    def test_latency_mean_per_bin(self):
+        m = MetricsCollector()
+        m.record_service(0.2, 2, 0, np.array([0.1, 0.3]))
+        run = m.finalize()
+        assert run.latency_mean[0] == pytest.approx(0.2)
+
+    def test_overall_latency_excludes_warmup(self):
+        m = MetricsCollector(warmup=10.0)
+        m.record_service(5.0, 1, 0, np.array([100.0]))   # warmup: excluded
+        m.record_service(15.0, 1, 0, np.array([1.0]))
+        run = m.finalize()
+        assert run.latency_overall_mean == pytest.approx(1.0)
+
+    def test_li_series_recorded_per_side(self):
+        m = MetricsCollector()
+        m.record_li("R", 1.0, 2.5)
+        m.record_li("S", 1.0, 1.1)
+        run = m.finalize()
+        assert run.li["R"][0] == pytest.approx(2.5)
+        assert run.li["S"][0] == pytest.approx(1.1)
+
+    def test_migration_events_kept(self):
+        m = MetricsCollector()
+        ev = MigrationEvent(
+            time=3.0, side="R", source=0, target=1, n_keys=2, n_tuples=100,
+            duration=0.2, li_before=3.0, li_after_estimate=1.5,
+        )
+        m.record_migration(ev)
+        m.record_service(4.0, 1, 1, None)
+        run = m.finalize()
+        assert run.migrations == [ev]
+
+    def test_mean_throughput_respects_warmup(self):
+        m = MetricsCollector(warmup=1.0)
+        m.record_service(0.5, 1, 1000, None)   # second 0 — warmup
+        m.record_service(1.5, 1, 10, None)
+        m.record_service(2.5, 1, 20, None)
+        run = m.finalize()
+        assert run.mean_throughput == pytest.approx(15.0)
+
+    def test_totals(self):
+        m = MetricsCollector()
+        m.record_service(0.5, 3, 5, None)
+        m.record_service(0.6, 2, 7, None)
+        run = m.finalize()
+        assert run.total_processed == 5
+        assert run.total_results == 12
+
+    def test_empty_run_finalizes(self):
+        run = MetricsCollector().finalize()
+        assert run.total_results == 0
+        assert run.seconds.shape[0] == 1

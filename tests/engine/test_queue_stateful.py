@@ -1,0 +1,108 @@
+"""Model-based (stateful) testing of TupleQueue against a reference deque.
+
+Hypothesis drives random interleavings of push / consume / extract / clear
+and checks the queue against a trivially correct pure-Python model after
+every step.  This is the strongest guard on the datapath structure that
+both the performance engine and the migration protocol rely on.
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.engine.queues import TupleQueue
+from repro.engine.tuples import OP_PROBE, OP_STORE, Batch
+
+
+class QueueModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = TupleQueue(initial_capacity=4)  # force growth/wrap paths
+        self.model: deque[tuple[int, float, int]] = deque()
+        self._clock = 0.0
+
+    @rule(
+        keys=st.lists(st.integers(0, 10), min_size=1, max_size=20),
+        probe=st.booleans(),
+        future=st.booleans(),
+    )
+    def push(self, keys, probe, future):
+        self._clock += 1.0
+        t = self._clock + (100.0 if future else 0.0)
+        op = OP_PROBE if probe else OP_STORE
+        batch = Batch(
+            keys=np.array(keys, dtype=np.int64),
+            times=np.full(len(keys), t),
+            ops=np.full(len(keys), op, dtype=np.int8),
+        )
+        self.queue.push(batch)
+        for k in keys:
+            self.model.append((k, t, op))
+
+    @rule(n=st.integers(0, 15))
+    def consume(self, n):
+        n = min(n, len(self.model))
+        self.queue.consume(n)
+        for _ in range(n):
+            self.model.popleft()
+
+    @rule(keys=st.sets(st.integers(0, 10), max_size=4))
+    def extract(self, keys):
+        out = self.queue.extract_keys(keys)
+        expected = [e for e in self.model if e[0] in keys]
+        self.model = deque(e for e in self.model if e[0] not in keys)
+        assert out.keys.tolist() == [e[0] for e in expected]
+        assert out.ops.tolist() == [e[2] for e in expected]
+
+    @rule()
+    def clear(self):
+        out = self.queue.clear()
+        assert out.keys.tolist() == [e[0] for e in self.model]
+        self.model.clear()
+
+    @invariant()
+    def same_length(self):
+        assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def same_probe_backlog(self):
+        expected = sum(1 for e in self.model if e[2] == OP_PROBE)
+        assert self.queue.probe_backlog == expected
+
+    @invariant()
+    def same_contents_in_order(self):
+        got = self.queue.peek_visible(np.inf)
+        assert got.keys.tolist() == [e[0] for e in self.model]
+        assert got.times.tolist() == [e[1] for e in self.model]
+        assert got.ops.tolist() == [e[2] for e in self.model]
+
+    @invariant()
+    def visibility_prefix_correct(self):
+        """peek_visible(now) returns exactly the longest prefix of visible
+        tuples."""
+        now = self._clock
+        got = self.queue.peek_visible(now)
+        expected = []
+        for k, t, op in self.model:
+            if t > now:
+                break
+            expected.append(k)
+        assert got.keys.tolist() == expected
+
+    @invariant()
+    def probe_counts_match(self):
+        snapshot = self.queue.probe_counts_snapshot()
+        expected: dict[int, int] = {}
+        for k, _, op in self.model:
+            if op == OP_PROBE:
+                expected[k] = expected.get(k, 0) + 1
+        assert snapshot == expected
+
+
+TestQueueStateful = QueueModel.TestCase
+TestQueueStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

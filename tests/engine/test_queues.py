@@ -1,0 +1,178 @@
+"""Tests for the tuple queue (FIFO, visibility, per-key probe counters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.queues import TupleQueue
+from repro.engine.tuples import OP_PROBE, OP_STORE, Batch
+from repro.errors import SimulationError
+
+
+def make_batch(keys, times=None, ops=None):
+    keys = np.asarray(keys, dtype=np.int64)
+    if times is None:
+        times = np.zeros(keys.shape[0])
+    if ops is None:
+        ops = np.full(keys.shape[0], OP_PROBE, dtype=np.int8)
+    return Batch(keys=keys, times=np.asarray(times, dtype=np.float64), ops=np.asarray(ops, dtype=np.int8))
+
+
+class TestPushPeekConsume:
+    def test_empty_queue(self):
+        q = TupleQueue()
+        assert len(q) == 0
+        assert q.probe_backlog == 0
+        assert len(q.peek_visible(10.0)) == 0
+
+    def test_fifo_order(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2, 3]))
+        q.push(make_batch([4, 5]))
+        out = q.peek_visible(1.0)
+        assert out.keys.tolist() == [1, 2, 3, 4, 5]
+
+    def test_consume_removes_prefix(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2, 3]))
+        q.consume(2)
+        assert q.peek_visible(1.0).keys.tolist() == [3]
+
+    def test_consume_too_many_raises(self):
+        q = TupleQueue()
+        q.push(make_batch([1]))
+        with pytest.raises(SimulationError):
+            q.consume(2)
+
+    def test_visibility_blocks_future_tuples(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2, 3], times=[0.0, 5.0, 0.0]))
+        out = q.peek_visible(1.0)
+        # tuple 2 (visible at t=5) blocks tuple 3 behind it: ordered channel
+        assert out.keys.tolist() == [1]
+
+    def test_limit(self):
+        q = TupleQueue()
+        q.push(make_batch(list(range(100))))
+        assert len(q.peek_visible(1.0, limit=7)) == 7
+
+    def test_growth_beyond_initial_capacity(self):
+        q = TupleQueue(initial_capacity=64)
+        for i in range(10):
+            q.push(make_batch(list(range(i * 50, (i + 1) * 50))))
+        assert len(q) == 500
+        assert q.peek_visible(1.0).keys.tolist() == list(range(500))
+
+    def test_wraparound(self):
+        q = TupleQueue(initial_capacity=64)
+        q.push(make_batch(list(range(60))))
+        q.consume(50)
+        q.push(make_batch(list(range(100, 140))))  # wraps around the ring
+        out = q.peek_visible(1.0)
+        assert out.keys.tolist() == list(range(50, 60)) + list(range(100, 140))
+
+
+class TestProbeCounters:
+    def test_backlog_counts_probes_only(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2], ops=[OP_STORE, OP_PROBE]))
+        assert q.probe_backlog == 1
+        assert len(q) == 2
+
+    def test_per_key_counts(self):
+        q = TupleQueue()
+        q.push(make_batch([7, 7, 8], ops=[OP_PROBE] * 3))
+        assert q.probe_count(7) == 2
+        assert q.probe_count(8) == 1
+        assert q.probe_count(99) == 0
+
+    def test_counts_decrease_on_consume(self):
+        q = TupleQueue()
+        q.push(make_batch([7, 7, 8]))
+        q.consume(2)
+        assert q.probe_count(7) == 0
+        assert q.probe_count(8) == 1
+        assert q.probe_backlog == 1
+
+    def test_snapshot_omits_zeros(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2]))
+        q.consume(1)
+        snap = q.probe_counts_snapshot()
+        assert snap == {2: 1}
+
+
+class TestExtractKeys:
+    def test_extract_removes_matching(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2, 3, 2, 1]))
+        out = q.extract_keys({2})
+        assert sorted(out.keys.tolist()) == [2, 2]
+        assert q.peek_visible(1.0).keys.tolist() == [1, 3, 1]
+        assert q.probe_count(2) == 0
+
+    def test_extract_preserves_relative_order(self):
+        q = TupleQueue()
+        q.push(make_batch([5, 1, 5, 2]))
+        out = q.extract_keys({5})
+        assert out.keys.tolist() == [5, 5]
+        assert q.peek_visible(1.0).keys.tolist() == [1, 2]
+
+    def test_extract_nothing(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2]))
+        out = q.extract_keys({99})
+        assert len(out) == 0
+        assert len(q) == 2
+
+    def test_extract_empty_keyset(self):
+        q = TupleQueue()
+        q.push(make_batch([1]))
+        assert len(q.extract_keys(set())) == 0
+
+    def test_extract_mixed_ops_keeps_op_markers(self):
+        q = TupleQueue()
+        q.push(make_batch([4, 4], ops=[OP_STORE, OP_PROBE]))
+        out = q.extract_keys({4})
+        assert sorted(out.ops.tolist()) == [OP_STORE, OP_PROBE]
+
+
+class TestClear:
+    def test_clear_returns_all(self):
+        q = TupleQueue()
+        q.push(make_batch([1, 2, 3], times=[0.0, 99.0, 0.0]))
+        out = q.clear()
+        assert len(out) == 3
+        assert len(q) == 0
+        assert q.probe_backlog == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops_seq=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 20), min_size=0, max_size=30),  # push keys
+            st.integers(0, 10),  # consume count
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_probe_backlog_invariant(ops_seq):
+    """probe_backlog always equals the sum of per-key probe counts and the
+    number of queued probe tuples, across any push/consume interleaving."""
+    q = TupleQueue()
+    expected = []
+    for push_keys, consume_n in ops_seq:
+        if push_keys:
+            q.push(make_batch(push_keys))
+            expected.extend(push_keys)
+        n = min(consume_n, len(q))
+        q.consume(n)
+        expected = expected[n:]
+        assert len(q) == len(expected)
+        assert q.probe_backlog == len(expected)
+        assert sum(q.probe_counts_snapshot().values()) == len(expected)
+        visible = q.peek_visible(np.inf)
+        assert visible.keys.tolist() == expected

@@ -1,0 +1,129 @@
+"""Tests for the simulation runtime (wiring, stepping, backpressure)."""
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.data.distributions import KeySampler, uniform_probabilities
+from repro.data.streams import StreamSource
+from repro.errors import SimulationError
+
+
+def make_sources(rate=200.0, total=500, n_keys=20, seed=0):
+    def src(name, s):
+        return StreamSource(
+            name,
+            KeySampler(uniform_probabilities(n_keys)),
+            rate,
+            np.random.Generator(np.random.PCG64(s)),
+            total=total,
+        )
+    return src("R", seed), src("S", seed + 1)
+
+
+def small_config(**kw):
+    base = dict(
+        n_instances=2,
+        capacity=50_000.0,
+        theta=None,
+        tick=0.05,
+        warmup=0.0,
+        monitor_min_load=1e9,  # no migrations in these tests
+    )
+    base.update(kw)
+    return SystemConfig(**base)
+
+
+class TestRunToCompletion:
+    def test_finite_sources_drain(self):
+        r, s = make_sources()
+        rt = build_system("bistream", small_config(), r, s)
+        metrics = rt.run(max_duration=60.0)
+        assert r.exhausted and s.exhausted
+        # every tuple processed twice (one store + one probe per tuple)
+        assert metrics.total_processed == 2 * (r.emitted + s.emitted)
+        assert sum(len(i.queue) for i in rt.instances) == 0
+
+    def test_duration_bound(self):
+        r, s = make_sources(total=None)
+        rt = build_system("bistream", small_config(), r, s)
+        metrics = rt.run(duration=2.0, drain=False)
+        assert metrics.duration <= 2.2
+
+    def test_unbounded_without_duration_rejected(self):
+        r, s = make_sources(total=None)
+        rt = build_system("bistream", small_config(), r, s)
+        with pytest.raises(SimulationError):
+            rt.run(duration=None)
+
+    def test_max_duration_guard(self):
+        # capacity so small the system cannot drain
+        r, s = make_sources(rate=10_000.0, total=20_000)
+        rt = build_system("bistream", small_config(capacity=10.0), r, s)
+        with pytest.raises(SimulationError):
+            rt.run(max_duration=3.0)
+
+    def test_join_results_produced(self):
+        r, s = make_sources()
+        rt = build_system("bistream", small_config(), r, s)
+        metrics = rt.run(max_duration=60.0)
+        assert metrics.total_results > 0
+
+    def test_deterministic_runs(self):
+        def one():
+            r, s = make_sources()
+            rt = build_system("bistream", small_config(), r, s)
+            return rt.run(max_duration=60.0)
+        a, b = one(), one()
+        assert a.total_results == b.total_results
+        assert np.array_equal(a.throughput, b.throughput)
+
+
+class TestBackpressure:
+    def test_throttles_under_overload(self):
+        r, s = make_sources(rate=5_000.0, total=None)
+        rt = build_system(
+            "bistream",
+            small_config(capacity=2_000.0, backpressure_max_queue=100),
+            r, s,
+        )
+        rt.run(duration=5.0, drain=False)
+        assert rt.throttled_ticks > 0
+
+    def test_no_throttle_when_disabled(self):
+        r, s = make_sources(rate=5_000.0, total=5_000)
+        rt = build_system(
+            "bistream",
+            small_config(capacity=2_000.0, backpressure_max_queue=None),
+            r, s,
+        )
+        rt.run(max_duration=120.0)
+        assert rt.throttled_ticks == 0
+
+    def test_backpressure_bounds_queues(self):
+        r, s = make_sources(rate=20_000.0, total=None)
+        rt = build_system(
+            "bistream",
+            small_config(capacity=2_000.0, backpressure_max_queue=200),
+            r, s,
+        )
+        rt.run(duration=3.0, drain=False)
+        # queues can exceed the watermark only by one tick's dispatch burst
+        for inst in rt.instances:
+            assert len(inst.queue) < 200 + 20_000 * 0.05 * 2 + 1
+
+
+class TestWindowRotationInRuntime:
+    def test_rotation_caps_store_growth(self):
+        r, s = make_sources(rate=2_000.0, total=None)
+        rt = build_system(
+            "bistream",
+            small_config(window_subwindows=2, window_rotation_period=0.5),
+            r, s,
+        )
+        rt.run(duration=5.0, drain=False)
+        # window = 2 x 0.5 s; per-side stored is about rate * window,
+        # emphatically not rate * elapsed (5 s)
+        stored = sum(i.store.total for i in rt.dispatcher.groups["R"])
+        assert stored < 2_000 * 1.0 * 2.5
+        assert stored > 0

@@ -1,0 +1,81 @@
+"""Tests for per-instance tracing (the Fig. 1c instrument)."""
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.data.distributions import KeySampler, zipf_probabilities
+from repro.data.streams import StreamSource
+from repro.engine.tracing import InstanceTracer, TraceMatrix
+from repro.errors import ConfigError
+
+
+def make_runtime(n=2, rate=300.0, total=2_000, seed=0):
+    def src(name, s):
+        return StreamSource(
+            name, KeySampler(zipf_probabilities(20, 1.0)), rate,
+            np.random.Generator(np.random.PCG64(s)), total=total,
+        )
+    cfg = SystemConfig(n_instances=n, capacity=50_000.0, theta=None,
+                       tick=0.05, warmup=0.0)
+    return build_system("bistream", cfg, src("R", seed), src("S", seed + 1))
+
+
+class TestInstanceTracer:
+    def test_samples_at_period(self):
+        rt = make_runtime()
+        tracer = InstanceTracer(rt, side="R", quantity="stored", period=1.0)
+        matrix = tracer.run_traced(5.0)
+        assert matrix.n_samples == 5
+        assert matrix.n_instances == 2
+
+    def test_stored_series_monotone_while_streaming(self):
+        rt = make_runtime(total=100_000)
+        tracer = InstanceTracer(rt, side="R", quantity="stored", period=1.0)
+        matrix = tracer.run_traced(4.0)
+        totals = matrix.values.sum(axis=1)
+        assert np.all(np.diff(totals) >= 0)
+
+    def test_quantities(self):
+        for q in ("load", "stored", "backlog", "queue"):
+            rt = make_runtime()
+            tracer = InstanceTracer(rt, quantity=q, period=1.0)
+            matrix = tracer.run_traced(2.0)
+            assert matrix.values.shape == (2, 2)
+            assert np.all(matrix.values >= 0)
+
+    def test_invalid_args(self):
+        rt = make_runtime()
+        with pytest.raises(ConfigError):
+            InstanceTracer(rt, quantity="entropy")
+        with pytest.raises(ConfigError):
+            InstanceTracer(rt, side="Q")
+        with pytest.raises(ConfigError):
+            InstanceTracer(rt, period=0.0)
+
+    def test_empty_matrix(self):
+        rt = make_runtime()
+        tracer = InstanceTracer(rt, period=100.0)
+        matrix = tracer.run_traced(1.0)  # period never elapses
+        assert matrix.n_samples == 0
+        assert matrix.n_instances == 0
+
+
+class TestTraceMatrix:
+    def _matrix(self):
+        return TraceMatrix(
+            times=np.array([1.0, 2.0]),
+            values=np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]]),
+        )
+
+    def test_envelope(self):
+        env = self._matrix().envelope()
+        assert env["heaviest"].tolist() == [3.0, 6.0]
+        assert env["lightest"].tolist() == [1.0, 2.0]
+        assert env["median"].tolist() == [2.0, 4.0]
+
+    def test_per_instance(self):
+        assert self._matrix().per_instance(1).tolist() == [2.0, 4.0]
+
+    def test_final_spread(self):
+        assert self._matrix().final_spread() == pytest.approx(3.0)

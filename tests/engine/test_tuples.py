@@ -1,0 +1,72 @@
+"""Tests for tuple/batch representations."""
+
+import numpy as np
+import pytest
+
+from repro.engine.tuples import OP_PROBE, OP_STORE, Batch, StreamTuple, concat_batches
+
+
+class TestBatch:
+    def test_empty(self):
+        b = Batch.empty()
+        assert len(b) == 0
+        assert b.keys.dtype == np.int64
+
+    def test_stores_factory(self):
+        b = Batch.stores(np.array([1, 2, 3]), np.array([0.0, 0.1, 0.2]))
+        assert np.all(b.ops == OP_STORE)
+        assert len(b) == 3
+
+    def test_probes_factory(self):
+        b = Batch.probes(np.array([1, 2]), np.array([0.0, 0.1]))
+        assert np.all(b.ops == OP_PROBE)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(keys=np.array([1, 2]), times=np.array([0.0]))
+
+    def test_ops_default_to_store(self):
+        b = Batch(keys=np.array([1]), times=np.array([0.0]))
+        assert b.ops[0] == OP_STORE
+
+    def test_select(self):
+        b = Batch.stores(np.array([1, 2, 3, 4]), np.zeros(4))
+        sub = b.select(b.keys % 2 == 0)
+        assert sub.keys.tolist() == [2, 4]
+
+    def test_dtype_coercion(self):
+        b = Batch(keys=np.array([1, 2], dtype=np.int32), times=np.array([0, 1], dtype=int))
+        assert b.keys.dtype == np.int64
+        assert b.times.dtype == np.float64
+
+
+class TestConcatBatches:
+    def test_empty_list(self):
+        assert len(concat_batches([])) == 0
+
+    def test_skips_empty(self):
+        b = Batch.stores(np.array([1]), np.array([0.0]))
+        out = concat_batches([Batch.empty(), b, Batch.empty()])
+        assert len(out) == 1
+
+    def test_order_preserved(self):
+        a = Batch.stores(np.array([1, 2]), np.array([0.0, 1.0]))
+        b = Batch.probes(np.array([3]), np.array([2.0]))
+        out = concat_batches([a, b])
+        assert out.keys.tolist() == [1, 2, 3]
+        assert out.ops.tolist() == [OP_STORE, OP_STORE, OP_PROBE]
+
+    def test_single_batch_passthrough(self):
+        a = Batch.stores(np.array([1]), np.array([0.0]))
+        assert concat_batches([a]) is a
+
+
+class TestStreamTuple:
+    def test_fields(self):
+        t = StreamTuple(stream="R", key=5, uid=10, timestamp=1.5)
+        assert (t.stream, t.key, t.uid, t.timestamp) == ("R", 5, 10, 1.5)
+
+    def test_frozen(self):
+        t = StreamTuple(stream="R", key=5, uid=10)
+        with pytest.raises(AttributeError):
+            t.key = 6  # type: ignore[misc]

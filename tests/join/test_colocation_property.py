@@ -1,0 +1,127 @@
+"""Property tests for routing co-location — the completeness precondition.
+
+Hash-join correctness rests on one invariant: for any key k, every probe
+of k visits the instance(s) where tuples of k are stored, *including after
+arbitrary routing-table overrides*.  These tests verify it for batches,
+against a scalar reference, under random override sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import RoutingTable
+from repro.engine.rng import hash_to_instance
+from repro.engine.tuples import OP_PROBE, OP_STORE
+from repro.join.dispatcher import DispatchDelay, Dispatcher
+from repro.join.instance import JoinInstance
+from repro.join.partitioners import ContRandPartitioner, HashPartitioner
+
+
+def build(n, partitioner_cls=HashPartitioner, g=None):
+    groups = {
+        side: [JoinInstance(i, side=side, capacity=1e6,
+                            backlog_smoothing_tau=0.0) for i in range(n)]
+        for side in ("R", "S")
+    }
+    if g is None:
+        partitioners = {side: partitioner_cls(n) for side in ("R", "S")}
+    else:
+        partitioners = {side: ContRandPartitioner(n, g) for side in ("R", "S")}
+    routing = {side: RoutingTable(n) for side in ("R", "S")}
+    return Dispatcher(
+        groups, partitioners, routing,
+        delay=DispatchDelay(base=0.0, per_instance=0.0),
+        rng=np.random.Generator(np.random.PCG64(0)),
+    )
+
+
+def locate(dispatcher, side, op):
+    """key -> set of instances holding queued ops of that key."""
+    out: dict[int, set[int]] = {}
+    for inst in dispatcher.groups[side]:
+        batch = inst.queue.peek_visible(np.inf)
+        for k in np.unique(batch.keys[batch.ops == op]).tolist():
+            out.setdefault(k, set()).add(inst.instance_id)
+    return out
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.sampled_from([2, 4, 8]),
+    keys_r=st.lists(st.integers(0, 30), min_size=1, max_size=60),
+    keys_s=st.lists(st.integers(0, 30), min_size=1, max_size=60),
+    overrides=st.dictionaries(st.integers(0, 30), st.integers(0, 7), max_size=8),
+)
+def test_hash_colocation_with_overrides(n, keys_r, keys_s, overrides):
+    """Under hash partitioning + arbitrary overrides: stores and probes of
+    a key land on exactly one, identical, instance per side."""
+    d = build(n)
+    for side in ("R", "S"):
+        for k, t in overrides.items():
+            d.routing[side].install([k], t % n)
+    d.dispatch("R", np.array(keys_r, dtype=np.int64), 0.0)
+    d.dispatch("S", np.array(keys_s, dtype=np.int64), 0.0)
+
+    for side in ("R", "S"):
+        stores = locate(d, side, OP_STORE)
+        probes = locate(d, side, OP_PROBE)
+        for k, insts in stores.items():
+            assert len(insts) == 1  # single home per key per side
+            expected = overrides.get(k)
+            if expected is not None:
+                assert insts == {expected % n}
+            else:
+                assert insts == {int(hash_to_instance(np.array([k]), n)[0])}
+        # any probe of key k on this side goes exactly where k is stored
+        for k, insts in probes.items():
+            if k in stores:
+                assert insts == stores[k]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_g=st.sampled_from([(4, 2), (8, 4), (6, 3)]),
+    keys=st.lists(st.integers(0, 40), min_size=1, max_size=80),
+)
+def test_contrand_probe_covers_store(n_g, keys):
+    """Under ContRand: wherever a store can land, some probe replica of the
+    same key lands too (subgroup containment)."""
+    n, g = n_g
+    d = build(n, g=g)
+    keys_arr = np.array(keys, dtype=np.int64)
+    d.dispatch("R", keys_arr, 0.0)
+    stores = locate(d, "R", OP_STORE)
+    probes_s_side = locate(d, "S", OP_PROBE)
+    part = d.partitioners["R"]
+    for k, insts in stores.items():
+        sub = int(part._subgroups(np.array([k]))[0])
+        for i in insts:
+            assert i // g == sub
+    # probes on the S side cover the whole S-subgroup of their key
+    part_s = d.partitioners["S"]
+    for k, insts in probes_s_side.items():
+        sub = int(part_s._subgroups(np.array([k]))[0])
+        assert insts == {sub * g + j for j in range(g)}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 20), min_size=1, max_size=50),
+    n=st.sampled_from([2, 4]),
+)
+def test_dispatch_conserves_tuples(keys, n):
+    """Every dispatched tuple appears exactly once as a store and exactly
+    fanout times as a probe across the topology."""
+    d = build(n)
+    d.dispatch("R", np.array(keys, dtype=np.int64), 0.0)
+    total_stores = sum(
+        int((inst.queue.peek_visible(np.inf).ops == OP_STORE).sum())
+        for inst in d.groups["R"]
+    )
+    total_probes = sum(
+        int((inst.queue.peek_visible(np.inf).ops == OP_PROBE).sum())
+        for inst in d.groups["S"]
+    )
+    assert total_stores == len(keys)
+    assert total_probes == len(keys)  # hash fanout == 1

@@ -1,0 +1,162 @@
+"""Tests for the dispatcher: routing, fan-out, delays, overrides."""
+
+import numpy as np
+import pytest
+
+from repro.core.routing import RoutingTable
+from repro.engine.rng import hash_to_instance
+from repro.engine.tuples import OP_PROBE, OP_STORE
+from repro.errors import ConfigError
+from repro.join.dispatcher import DispatchDelay, Dispatcher, opposite
+from repro.join.instance import JoinInstance
+from repro.join.partitioners import HashPartitioner, RandomBroadcastPartitioner
+
+
+def make_dispatcher(n=4, partitioner_cls=HashPartitioner, delay=None):
+    groups = {
+        side: [JoinInstance(i, side=side, capacity=1e6) for i in range(n)]
+        for side in ("R", "S")
+    }
+    partitioners = {side: partitioner_cls(n) for side in ("R", "S")}
+    routing = {side: RoutingTable(n) for side in ("R", "S")}
+    d = Dispatcher(
+        groups, partitioners, routing,
+        delay=delay or DispatchDelay(base=0.0, per_instance=0.0),
+        rng=np.random.Generator(np.random.PCG64(0)),
+    )
+    return d
+
+
+def queued_ops(instances, op):
+    out = {}
+    for inst in instances:
+        batch = inst.queue.peek_visible(np.inf)
+        keys = batch.keys[batch.ops == op]
+        if keys.shape[0]:
+            out[inst.instance_id] = keys.tolist()
+    return out
+
+
+class TestOpposite:
+    def test_r_s(self):
+        assert opposite("R") == "S"
+        assert opposite("S") == "R"
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            opposite("Q")
+
+
+class TestHashDispatch:
+    def test_store_goes_to_own_side_by_hash(self):
+        d = make_dispatcher(4)
+        keys = np.arange(100)
+        d.dispatch("R", keys, 0.0)
+        expected = hash_to_instance(keys, 4)
+        stores = queued_ops(d.groups["R"], OP_STORE)
+        for inst_id, got in stores.items():
+            want = keys[expected == inst_id].tolist()
+            assert sorted(got) == sorted(want)
+
+    def test_probe_goes_to_opposite_side_same_hash(self):
+        d = make_dispatcher(4)
+        keys = np.arange(50)
+        d.dispatch("R", keys, 0.0)
+        probes = queued_ops(d.groups["S"], OP_PROBE)
+        expected = hash_to_instance(keys, 4)
+        for inst_id, got in probes.items():
+            want = keys[expected == inst_id].tolist()
+            assert sorted(got) == sorted(want)
+
+    def test_no_stores_on_opposite_side(self):
+        d = make_dispatcher(4)
+        d.dispatch("R", np.arange(20), 0.0)
+        assert queued_ops(d.groups["S"], OP_STORE) == {}
+        assert queued_ops(d.groups["R"], OP_PROBE) == {}
+
+    def test_symmetric_for_s_stream(self):
+        d = make_dispatcher(4)
+        d.dispatch("S", np.arange(20), 0.0)
+        assert queued_ops(d.groups["S"], OP_STORE) != {}
+        assert queued_ops(d.groups["R"], OP_PROBE) != {}
+
+    def test_message_stats(self):
+        d = make_dispatcher(4)
+        d.dispatch("R", np.arange(10), 0.0)
+        assert d.stats.stores_sent == 10
+        assert d.stats.probes_sent == 10  # hash fanout 1
+
+    def test_empty_batch_noop(self):
+        d = make_dispatcher(4)
+        d.dispatch("R", np.empty(0, dtype=np.int64), 0.0)
+        assert d.stats.messages == 0
+
+
+class TestBroadcastDispatch:
+    def test_probe_amplification(self):
+        d = make_dispatcher(4, partitioner_cls=RandomBroadcastPartitioner)
+        d.dispatch("R", np.arange(10), 0.0)
+        assert d.stats.probes_sent == 40
+        probes = queued_ops(d.groups["S"], OP_PROBE)
+        assert set(probes.keys()) == {0, 1, 2, 3}
+        for got in probes.values():
+            assert sorted(got) == list(range(10))
+
+
+class TestRoutingOverrides:
+    def test_override_redirects_stores_and_probes(self):
+        d = make_dispatcher(4)
+        key = 7
+        default = int(hash_to_instance(np.array([key]), 4)[0])
+        new_target = (default + 1) % 4
+        d.routing["R"].install([key], new_target)
+        d.routing["S"].install([key], new_target)
+        d.dispatch("R", np.array([key]), 0.0)
+        stores = queued_ops(d.groups["R"], OP_STORE)
+        probes = queued_ops(d.groups["S"], OP_PROBE)
+        assert stores == {new_target: [key]}
+        assert probes == {new_target: [key]}
+
+    def test_non_overridden_keys_unaffected(self):
+        d = make_dispatcher(4)
+        d.routing["R"].install([7], 0)
+        keys = np.array([k for k in range(100) if k != 7])
+        d.dispatch("R", keys, 0.0)
+        expected = hash_to_instance(keys, 4)
+        stores = queued_ops(d.groups["R"], OP_STORE)
+        for inst_id, got in stores.items():
+            assert sorted(got) == sorted(keys[expected == inst_id].tolist())
+
+
+class TestDelays:
+    def test_arrival_times_include_delay(self):
+        d = make_dispatcher(2, delay=DispatchDelay(base=0.5, per_instance=0.0))
+        d.dispatch("R", np.array([1, 2, 3]), emit_time=1.0)
+        for inst in d.groups["R"] + d.groups["S"]:
+            batch = inst.queue.peek_visible(np.inf)
+            if len(batch):
+                assert np.all(batch.times == 1.5)
+
+    def test_delay_grows_with_group(self):
+        dd = DispatchDelay(base=0.001, per_instance=0.001)
+        assert dd.delay(64) > dd.delay(16)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ConfigError):
+            DispatchDelay().delay(0)
+
+
+class TestWiringValidation:
+    def test_partitioner_size_mismatch_rejected(self):
+        groups = {
+            side: [JoinInstance(i, side=side) for i in range(4)]
+            for side in ("R", "S")
+        }
+        partitioners = {"R": HashPartitioner(5), "S": HashPartitioner(4)}
+        routing = {side: RoutingTable(4) for side in ("R", "S")}
+        with pytest.raises(ConfigError):
+            Dispatcher(groups, partitioners, routing)
+
+    def test_missing_side_rejected(self):
+        with pytest.raises(ConfigError):
+            Dispatcher({"R": []}, {"R": HashPartitioner(1)}, {"R": RoutingTable(1)})

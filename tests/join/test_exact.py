@@ -1,0 +1,158 @@
+"""Completeness tests: every matching pair joined exactly once.
+
+These tests fuzz the exact-semantics engine (same ordering rules as the
+performance simulator) with random workloads and adversarial migration
+timing — the paper's requirement 3 (section I) and the ordering argument
+of section III-D.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MigrationError
+from repro.join.exact import ExactBiclique, ExactTuple
+
+
+class TestBasicJoin:
+    def test_simple_match(self):
+        b = ExactBiclique(2)
+        b.ingest("R", key=5, now=0.0)
+        b.ingest("S", key=5, now=0.0)
+        b.drain(1.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+        assert len(b.pairs) == 1
+
+    def test_no_match_different_keys(self):
+        b = ExactBiclique(2)
+        b.ingest("R", key=1, now=0.0)
+        b.ingest("S", key=2, now=0.0)
+        b.drain(1.0)
+        assert b.pairs == []
+        assert b.check_exactly_once()[0]
+
+    def test_many_to_many(self):
+        b = ExactBiclique(3)
+        for _ in range(3):
+            b.ingest("R", key=7, now=0.0)
+        for _ in range(4):
+            b.ingest("S", key=7, now=0.0)
+        b.drain(1.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+        assert len(b.pairs) == 12
+
+    def test_interleaved_arrivals(self):
+        b = ExactBiclique(2)
+        for i in range(10):
+            b.ingest("R" if i % 2 == 0 else "S", key=3, now=float(i))
+            b.step(float(i))
+        b.drain(20.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+
+    def test_dispatch_delay_does_not_break_completeness(self):
+        b = ExactBiclique(2, dispatch_delay=0.5)
+        for i in range(20):
+            b.ingest("R", key=i % 3, now=float(i) * 0.1)
+            b.ingest("S", key=i % 3, now=float(i) * 0.1)
+        b.drain(100.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+
+
+class TestMigrationCompleteness:
+    def test_migration_of_idle_key(self):
+        b = ExactBiclique(2)
+        b.ingest("R", key=1, now=0.0)
+        b.drain(1.0)
+        src = b._route("R", 1)
+        b.migrate("R", src, 1 - src, {1}, now=1.0)
+        b.ingest("S", key=1, now=2.0)
+        b.drain(3.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+
+    def test_migration_with_inflight_tuples(self):
+        """Tuples queued (not yet visible) at the source when migration
+        fires must still join exactly once."""
+        b = ExactBiclique(2, dispatch_delay=1.0)
+        b.ingest("R", key=1, now=0.0)
+        b.ingest("S", key=1, now=0.1)    # both still invisible at t=0.5
+        src = b._route("R", 1)
+        b.migrate("R", src, 1 - src, {1}, now=0.5, duration=2.0)
+        b.ingest("R", key=1, now=0.6)    # dispatched after routing update
+        b.ingest("S", key=1, now=0.7)
+        b.drain(10.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+        assert len(b.pairs) == 4  # 2 R x 2 S
+
+    def test_migration_back_and_forth(self):
+        b = ExactBiclique(2)
+        b.ingest("R", key=9, now=0.0)
+        b.drain(0.5)
+        src = b._route("R", 9)
+        b.migrate("R", src, 1 - src, {9}, now=1.0)
+        b.ingest("S", key=9, now=1.5)
+        b.migrate("R", 1 - src, src, {9}, now=2.0)
+        b.ingest("S", key=9, now=2.5)
+        b.drain(10.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+
+    def test_same_instance_migration_rejected(self):
+        b = ExactBiclique(2)
+        with pytest.raises(MigrationError):
+            b.migrate("R", 0, 0, {1}, now=0.0)
+
+    def test_both_sides_migrated(self):
+        b = ExactBiclique(2)
+        for i in range(5):
+            b.ingest("R", key=4, now=float(i))
+            b.ingest("S", key=4, now=float(i) + 0.5)
+        b.step(2.0)
+        r_src = b._route("R", 4)
+        s_src = b._route("S", 4)
+        b.migrate("R", r_src, 1 - r_src, {4}, now=2.0, duration=0.5)
+        b.migrate("S", s_src, 1 - s_src, {4}, now=2.1, duration=0.5)
+        b.drain(20.0)
+        ok, msg = b.check_exactly_once()
+        assert ok, msg
+        assert len(b.pairs) == 25
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    n_instances=st.sampled_from([2, 3, 4]),
+    delay=st.sampled_from([0.0, 0.3, 1.0]),
+)
+def test_exactly_once_under_random_schedules(data, n_instances, delay):
+    """Fuzz: random tuple arrivals, random step times, random migrations —
+    the pair multiset must always be exactly the per-key cross product."""
+    b = ExactBiclique(n_instances, dispatch_delay=delay)
+    n_events = data.draw(st.integers(5, 60))
+    now = 0.0
+    for _ in range(n_events):
+        now += data.draw(st.floats(0.0, 0.5))
+        action = data.draw(st.sampled_from(["R", "S", "step", "migrate"]))
+        if action in ("R", "S"):
+            key = data.draw(st.integers(0, 5))
+            b.ingest(action, key, now)
+        elif action == "step":
+            b.step(now)
+        else:
+            side = data.draw(st.sampled_from(["R", "S"]))
+            source = data.draw(st.integers(0, n_instances - 1))
+            target = data.draw(st.integers(0, n_instances - 1))
+            if source == target:
+                continue
+            keys = set(data.draw(st.lists(st.integers(0, 5), max_size=3)))
+            duration = data.draw(st.floats(0.0, 1.0))
+            b.migrate(side, source, target, keys, now, duration)
+    b.drain(now + 10.0)
+    ok, msg = b.check_exactly_once()
+    assert ok, msg

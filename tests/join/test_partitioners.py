@@ -1,0 +1,140 @@
+"""Tests for partitioning strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.join.partitioners import (
+    ContRandPartitioner,
+    HashPartitioner,
+    RandomBroadcastPartitioner,
+)
+
+
+def rng():
+    return np.random.Generator(np.random.PCG64(0))
+
+
+class TestHashPartitioner:
+    def test_store_targets_deterministic(self):
+        p = HashPartitioner(8)
+        keys = np.arange(100)
+        assert np.array_equal(p.store_targets(keys, rng()), p.store_targets(keys, rng()))
+
+    def test_same_key_same_instance(self):
+        p = HashPartitioner(8)
+        out = p.store_targets(np.array([7, 7, 7]), rng())
+        assert out[0] == out[1] == out[2]
+
+    def test_probe_targets_colocate_with_store(self):
+        """Completeness under hash partitioning: probes of key k go exactly
+        where stores of key k live."""
+        p = HashPartitioner(16)
+        keys = np.arange(500)
+        store = p.store_targets(keys, rng())
+        dest, src = p.probe_targets(keys, rng())
+        assert np.array_equal(dest, store)
+        assert np.array_equal(src, np.arange(500))
+
+    def test_fanout_is_one(self):
+        assert HashPartitioner(4).fanout == 1
+
+    def test_content_based(self):
+        assert HashPartitioner(4).content_based
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            HashPartitioner(0)
+
+
+class TestRandomBroadcastPartitioner:
+    def test_store_targets_in_range(self):
+        p = RandomBroadcastPartitioner(8)
+        out = p.store_targets(np.arange(1000), rng())
+        assert out.min() >= 0 and out.max() < 8
+
+    def test_store_spread_is_uniform(self):
+        p = RandomBroadcastPartitioner(4)
+        out = p.store_targets(np.zeros(8000, dtype=np.int64), rng())
+        counts = np.bincount(out, minlength=4)
+        assert counts.min() > 0.85 * 2000
+
+    def test_probe_broadcasts_to_all(self):
+        p = RandomBroadcastPartitioner(3)
+        dest, src = p.probe_targets(np.array([10, 20]), rng())
+        assert len(dest) == 6
+        # every (tuple, instance) pair appears exactly once
+        pairs = set(zip(src.tolist(), dest.tolist()))
+        assert pairs == {(i, j) for i in range(2) for j in range(3)}
+
+    def test_not_content_based(self):
+        assert not RandomBroadcastPartitioner(4).content_based
+
+    def test_fanout_equals_group(self):
+        assert RandomBroadcastPartitioner(5).fanout == 5
+
+
+class TestContRandPartitioner:
+    def test_subgroup_must_divide(self):
+        with pytest.raises(ConfigError):
+            ContRandPartitioner(10, 3)
+
+    def test_store_stays_in_key_subgroup(self):
+        p = ContRandPartitioner(12, 4)
+        keys = np.arange(2000)
+        targets = p.store_targets(keys, rng())
+        subs = p._subgroups(keys)
+        assert np.all(targets // 4 == subs)
+
+    def test_probe_covers_whole_subgroup(self):
+        p = ContRandPartitioner(8, 4)
+        dest, src = p.probe_targets(np.array([42]), rng())
+        assert len(dest) == 4
+        assert len(set(dest.tolist())) == 4
+        sub = p._subgroups(np.array([42]))[0]
+        assert all(d // 4 == sub for d in dest.tolist())
+
+    def test_probe_and_store_subgroups_agree(self):
+        """Completeness for ContRand: any instance a store can land on is
+        visited by every probe of the same key."""
+        p = ContRandPartitioner(12, 3)
+        keys = np.arange(300)
+        g = rng()
+        stores = p.store_targets(keys, g)
+        dest, src = p.probe_targets(keys, g)
+        probe_sets = {}
+        for d, s in zip(dest.tolist(), src.tolist()):
+            probe_sets.setdefault(s, set()).add(d)
+        for i, store_target in enumerate(stores.tolist()):
+            assert store_target in probe_sets[i]
+
+    def test_g1_degenerates_to_hash_routing_granularity(self):
+        p = ContRandPartitioner(8, 1)
+        keys = np.arange(100)
+        a = p.store_targets(keys, rng())
+        b = p.store_targets(keys, rng())
+        assert np.array_equal(a, b)  # no randomness left within subgroups
+        assert p.fanout == 1
+
+    def test_gn_degenerates_to_broadcast(self):
+        p = ContRandPartitioner(4, 4)
+        dest, _ = p.probe_targets(np.array([1]), rng())
+        assert sorted(dest.tolist()) == [0, 1, 2, 3]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_keys=st.integers(1, 200),
+    n_inst=st.sampled_from([2, 4, 8, 12]),
+    g=st.sampled_from([1, 2, 4]),
+)
+def test_contrand_probe_fanout_property(n_keys, n_inst, g):
+    if n_inst % g != 0:
+        return
+    p = ContRandPartitioner(n_inst, g)
+    keys = np.arange(n_keys)
+    dest, src = p.probe_targets(keys, rng())
+    assert len(dest) == n_keys * g
+    assert np.array_equal(np.sort(np.unique(src)), np.arange(n_keys))

@@ -1,0 +1,117 @@
+"""Tests for the keyed store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.join.storage import KeyedStore
+
+
+class TestKeyedStore:
+    def test_empty(self):
+        s = KeyedStore()
+        assert s.total == 0
+        assert s.n_keys == 0
+        assert s.count(5) == 0
+
+    def test_add_batch(self):
+        s = KeyedStore()
+        s.add_batch(np.array([1, 1, 2], dtype=np.int64))
+        assert s.total == 3
+        assert s.count(1) == 2
+        assert s.count(2) == 1
+
+    def test_add_single(self):
+        s = KeyedStore()
+        s.add(9, 4)
+        assert s.count(9) == 4
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(StorageError):
+            KeyedStore().add(1, -1)
+
+    def test_match_counts_vectorised(self):
+        s = KeyedStore()
+        s.add_batch(np.array([1, 1, 3], dtype=np.int64))
+        out = s.match_counts(np.array([1, 2, 3], dtype=np.int64))
+        assert out.tolist() == [2, 0, 1]
+
+    def test_remove_keys(self):
+        s = KeyedStore()
+        s.add_batch(np.array([1, 1, 2, 3], dtype=np.int64))
+        removed = s.remove_keys({1, 3, 99})
+        assert removed == {1: 2, 3: 1}
+        assert s.total == 1
+        assert s.count(1) == 0
+
+    def test_merge_counts(self):
+        s = KeyedStore()
+        s.add(1, 1)
+        s.merge_counts({1: 2, 5: 3})
+        assert s.count(1) == 3
+        assert s.count(5) == 3
+        assert s.total == 6
+
+    def test_merge_negative_rejected(self):
+        with pytest.raises(StorageError):
+            KeyedStore().merge_counts({1: -2})
+
+    def test_evict_counts(self):
+        s = KeyedStore()
+        s.add_batch(np.array([1, 1, 2], dtype=np.int64))
+        s.evict_counts({1: 1})
+        assert s.count(1) == 1
+        s.evict_counts({1: 1})
+        assert s.count(1) == 0
+        assert 1 not in s.counts_snapshot()
+
+    def test_evict_too_many_rejected(self):
+        s = KeyedStore()
+        s.add(1, 1)
+        with pytest.raises(StorageError):
+            s.evict_counts({1: 2})
+
+    def test_clear(self):
+        s = KeyedStore()
+        s.add_batch(np.array([1, 2, 3], dtype=np.int64))
+        s.clear()
+        assert s.total == 0 and s.n_keys == 0
+
+    def test_snapshot_is_a_copy(self):
+        s = KeyedStore()
+        s.add(1, 1)
+        snap = s.counts_snapshot()
+        snap[1] = 999
+        assert s.count(1) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(0, 30), min_size=0, max_size=200))
+def test_total_equals_sum_of_counts(keys):
+    """Invariant: store total == sum over keys of per-key counts."""
+    s = KeyedStore()
+    s.add_batch(np.array(keys, dtype=np.int64))
+    snap = s.counts_snapshot()
+    assert s.total == sum(snap.values()) == len(keys)
+    assert s.n_keys == len(set(keys))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+    migrate=st.sets(st.integers(0, 20)),
+)
+def test_migration_conserves_tuples(keys, migrate):
+    """Tuples removed from the source and merged into a target are
+    conserved: no tuple appears or disappears during a migration."""
+    src = KeyedStore()
+    dst = KeyedStore()
+    src.add_batch(np.array(keys, dtype=np.int64))
+    before = src.total + dst.total
+    moved = src.remove_keys(migrate)
+    dst.merge_counts(moved)
+    assert src.total + dst.total == before
+    for k in migrate:
+        assert src.count(k) == 0

@@ -1,0 +1,72 @@
+"""Model-based testing of WindowedStore against a reference list model."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.join.window import WindowedStore
+
+N_SUB = 3
+
+
+class WindowedStoreModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = WindowedStore(N_SUB)
+        # reference: list of per-sub-window Counters, oldest first
+        self.model: list[Counter] = [Counter() for _ in range(N_SUB)]
+
+    @rule(keys=st.lists(st.integers(0, 8), min_size=1, max_size=25))
+    def add_batch(self, keys):
+        self.store.add_batch(np.array(keys, dtype=np.int64))
+        self.model[-1].update(keys)
+
+    @rule(counts=st.dictionaries(st.integers(0, 8), st.integers(1, 10), max_size=4))
+    def merge(self, counts):
+        self.store.merge_counts(counts)
+        self.model[-1].update(counts)
+
+    @rule()
+    def rotate(self):
+        expired = self.store.rotate()
+        head = self.model.pop(0)
+        self.model.append(Counter())
+        assert expired == sum(head.values())
+
+    @rule(keys=st.sets(st.integers(0, 8), max_size=3))
+    def migrate_out(self, keys):
+        removed = self.store.remove_keys(keys)
+        expected: dict[int, int] = {}
+        for sub in self.model:
+            for k in keys:
+                if sub[k]:
+                    expected[k] = expected.get(k, 0) + sub[k]
+                    del sub[k]
+        assert removed == expected
+
+    @invariant()
+    def totals_match(self):
+        assert self.store.total == sum(sum(c.values()) for c in self.model)
+
+    @invariant()
+    def per_key_counts_match(self):
+        combined = Counter()
+        for sub in self.model:
+            combined.update(sub)
+        for k in range(9):
+            assert self.store.count(k) == combined.get(k, 0)
+
+    @invariant()
+    def subwindow_sizes_match(self):
+        assert self.store.subwindow_sizes() == [
+            sum(c.values()) for c in self.model
+        ]
+
+
+TestWindowedStoreStateful = WindowedStoreModel.TestCase
+TestWindowedStoreStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

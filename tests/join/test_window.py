@@ -1,0 +1,144 @@
+"""Tests for window-based join structures (paper section III-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.join.window import SubWindowVector, WindowedStore
+
+
+class TestWindowedStore:
+    def test_acts_like_store_before_rotation(self):
+        w = WindowedStore(3)
+        w.add_batch(np.array([1, 1, 2], dtype=np.int64))
+        assert w.total == 3
+        assert w.count(1) == 2
+
+    def test_rotation_evicts_oldest_subwindow(self):
+        w = WindowedStore(2)
+        w.add_batch(np.array([1, 1], dtype=np.int64))   # sub-window A
+        w.rotate()                                       # A becomes oldest
+        w.add_batch(np.array([2], dtype=np.int64))       # sub-window B
+        expired = w.rotate()                             # A expires
+        assert expired == 2
+        assert w.count(1) == 0
+        assert w.count(2) == 1
+
+    def test_full_rotation_empties_store(self):
+        w = WindowedStore(3)
+        for k in range(5):
+            w.add_batch(np.array([k], dtype=np.int64))
+            w.rotate()
+        w.rotate()
+        w.rotate()
+        assert w.total == 0
+
+    def test_single_subwindow_is_tumbling(self):
+        w = WindowedStore(1)
+        w.add_batch(np.array([1, 2], dtype=np.int64))
+        w.rotate()
+        assert w.total == 0
+
+    def test_migrated_in_counts_credited_to_current(self):
+        w = WindowedStore(2)
+        w.merge_counts({5: 3})
+        assert w.total == 3
+        w.rotate()
+        w.rotate()  # the sub-window that received the merge expires
+        assert w.total == 0
+
+    def test_remove_keys_scrubs_subwindows(self):
+        w = WindowedStore(2)
+        w.add_batch(np.array([1, 1], dtype=np.int64))
+        removed = w.remove_keys({1})
+        assert removed == {1: 2}
+        # Rotating must NOT try to evict the already-migrated tuples.
+        w.rotate()
+        w.rotate()
+        assert w.total == 0
+
+    def test_subwindow_sizes(self):
+        w = WindowedStore(2)
+        w.add_batch(np.array([1], dtype=np.int64))
+        w.rotate()
+        w.add_batch(np.array([2, 3], dtype=np.int64))
+        assert w.subwindow_sizes() == [1, 2]
+
+    def test_invalid_subwindows(self):
+        with pytest.raises(ConfigError):
+            WindowedStore(0)
+
+    def test_match_counts_delegates(self):
+        w = WindowedStore(2)
+        w.add_batch(np.array([4, 4], dtype=np.int64))
+        assert w.match_counts(np.array([4, 5], dtype=np.int64)).tolist() == [2, 0]
+
+
+class TestSubWindowVector:
+    def test_total_accumulates(self):
+        v = SubWindowVector(3)
+        v.record_inserts(5)
+        v.rotate()
+        v.record_inserts(2)
+        assert v.total == 7
+
+    def test_rotation_expires_head(self):
+        v = SubWindowVector(2)
+        v.record_inserts(5)
+        v.rotate()          # [5, 0] -> head 0 popped? no: [0,5] semantics
+        v.rotate()
+        assert v.total == 0
+
+    def test_rotate_returns_head_size(self):
+        v = SubWindowVector(1)
+        v.record_inserts(4)
+        assert v.rotate() == 4
+
+    def test_negative_insert_rejected(self):
+        with pytest.raises(ValueError):
+            SubWindowVector(2).record_inserts(-1)
+
+    def test_as_list_oldest_first(self):
+        v = SubWindowVector(2)
+        v.record_inserts(1)
+        v.rotate()
+        v.record_inserts(9)
+        assert v.as_list() == [1, 9]
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            SubWindowVector(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_sub=st.integers(1, 5),
+    events=st.lists(
+        st.one_of(
+            st.lists(st.integers(0, 10), min_size=1, max_size=20),  # insert batch
+            st.just("rotate"),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_windowed_store_total_matches_reference(n_sub, events):
+    """The windowed store's total always equals a reference computed from a
+    plain list-of-subwindow model."""
+    w = WindowedStore(n_sub)
+    ref: list[list[int]] = [[] for _ in range(n_sub)]
+    for ev in events:
+        if ev == "rotate":
+            w.rotate()
+            ref.pop(0)
+            ref.append([])
+        else:
+            w.add_batch(np.array(ev, dtype=np.int64))
+            ref[-1].extend(ev)
+    flat = [k for sub in ref for k in sub]
+    assert w.total == len(flat)
+    for key in set(flat):
+        assert w.count(key) == flat.count(key)
+    assert w.subwindow_sizes() == [len(sub) for sub in ref]

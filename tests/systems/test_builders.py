@@ -1,0 +1,113 @@
+"""Tests for system assembly and the factory."""
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.config import SystemConfig as SC
+from repro.core.selection import GreedyFit, SAFit
+from repro.data import RideHailingSpec, RideHailingWorkload
+from repro.engine.rng import SeedSequenceFactory
+from repro.errors import ConfigError
+from repro.join.partitioners import ContRandPartitioner, HashPartitioner
+from repro.systems import SYSTEMS, make_selector
+
+
+def sources(seed=0, n_locations=100, rate=500.0, scale=0.2):
+    seeds = SeedSequenceFactory(seed)
+    wl = RideHailingWorkload.build(
+        RideHailingSpec(n_locations=n_locations, order_rate=rate, scale=scale), seeds
+    )
+    return wl.sources(seeds)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert set(SYSTEMS) == {"fastjoin", "bistream", "contrand"}
+
+    def test_unknown_name_rejected(self):
+        r, s = sources()
+        with pytest.raises(ConfigError):
+            build_system("flink", SystemConfig(n_instances=4), r, s)
+
+    def test_builds_all_three(self):
+        for name in SYSTEMS:
+            r, s = sources()
+            rt = build_system(name, SystemConfig(n_instances=4), r, s)
+            assert len(rt.instances) == 8  # both sides
+
+
+class TestWiring:
+    def test_fastjoin_monitors_active(self):
+        r, s = sources()
+        rt = build_system("fastjoin", SystemConfig(n_instances=4), r, s)
+        assert all(m.active for m in rt.monitors.values())
+
+    def test_baselines_monitors_passive(self):
+        for name in ("bistream", "contrand"):
+            r, s = sources()
+            rt = build_system(name, SystemConfig(n_instances=4), r, s)
+            assert all(not m.active for m in rt.monitors.values())
+
+    def test_fastjoin_requires_theta(self):
+        r, s = sources()
+        with pytest.raises(ConfigError):
+            build_system("fastjoin", SystemConfig(n_instances=4, theta=None), r, s)
+
+    def test_contrand_subgroup_must_divide(self):
+        r, s = sources()
+        with pytest.raises(ConfigError):
+            build_system(
+                "contrand", SystemConfig(n_instances=6, contrand_subgroup=4), r, s
+            )
+
+    def test_partitioner_types(self):
+        r, s = sources()
+        rt = build_system("bistream", SystemConfig(n_instances=4), r, s)
+        assert isinstance(rt.dispatcher.partitioners["R"], HashPartitioner)
+        r, s = sources()
+        rt = build_system(
+            "contrand", SystemConfig(n_instances=4, contrand_subgroup=2), r, s
+        )
+        assert isinstance(rt.dispatcher.partitioners["R"], ContRandPartitioner)
+
+    def test_windowed_instances(self):
+        r, s = sources()
+        rt = build_system(
+            "fastjoin", SystemConfig(n_instances=2, window_subwindows=3), r, s
+        )
+        from repro.join.window import WindowedStore
+        assert all(isinstance(i.store, WindowedStore) for i in rt.instances)
+        assert rt.window_rotation_period is not None
+
+
+class TestMakeSelector:
+    def test_greedyfit(self):
+        sel = make_selector(SC(selector="greedyfit", theta_gap=5.0))
+        assert isinstance(sel, GreedyFit)
+        assert sel.theta_gap == 5.0
+
+    def test_safit(self):
+        sel = make_selector(SC(selector="safit", safit_temperature=2.0, seed=4))
+        assert isinstance(sel, SAFit)
+        assert sel.temperature == 2.0
+        assert sel.seed == 4
+
+
+class TestConfig:
+    def test_with_copies(self):
+        c = SystemConfig(n_instances=8)
+        d = c.with_(n_instances=16)
+        assert d.n_instances == 16
+        assert c.n_instances == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(n_instances=0)
+        with pytest.raises(ConfigError):
+            SystemConfig(theta=0.9)
+        with pytest.raises(ConfigError):
+            SystemConfig(selector="magic")
+        with pytest.raises(ConfigError):
+            SystemConfig(tick=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(window_subwindows=0)

@@ -1,0 +1,83 @@
+"""Public-API surface tests: imports, exports, and docstring presence."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_systems_registry(self):
+        assert set(repro.SYSTEMS) == {"fastjoin", "bistream", "contrand"}
+
+    def test_error_hierarchy(self):
+        for err in (
+            repro.ConfigError,
+            repro.RoutingError,
+            repro.MigrationError,
+            repro.StorageError,
+            repro.SimulationError,
+            repro.WorkloadError,
+        ):
+            assert issubclass(err, repro.ReproError)
+            assert issubclass(err, Exception)
+
+
+SUBMODULES = [
+    "repro.engine",
+    "repro.engine.clock",
+    "repro.engine.cost",
+    "repro.engine.metrics",
+    "repro.engine.queues",
+    "repro.engine.rng",
+    "repro.engine.runtime",
+    "repro.engine.tuples",
+    "repro.join",
+    "repro.join.storage",
+    "repro.join.window",
+    "repro.join.instance",
+    "repro.join.partitioners",
+    "repro.join.dispatcher",
+    "repro.join.exact",
+    "repro.core",
+    "repro.core.load_model",
+    "repro.core.routing",
+    "repro.core.monitor",
+    "repro.core.migration",
+    "repro.core.selection",
+    "repro.core.selection.greedyfit",
+    "repro.core.selection.safit",
+    "repro.core.selection.knapsack",
+    "repro.systems",
+    "repro.data",
+    "repro.analysis",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+def test_submodule_imports_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+def test_public_callables_documented(module_name):
+    """Every public class/function exported by a module has a docstring."""
+    module = importlib.import_module(module_name)
+    names = getattr(module, "__all__", None)
+    if names is None:
+        return
+    for name in names:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

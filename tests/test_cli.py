@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_minimal_args(self):
+        args = build_parser().parse_args(["fastjoin"])
+        assert args.system == "fastjoin"
+        assert args.workload == "ridehailing"
+
+    def test_compare_mode(self):
+        args = build_parser().parse_args(["compare", "--duration", "5"])
+        assert args.system == "compare"
+        assert args.duration == 5.0
+
+    def test_synthetic_workload(self):
+        args = build_parser().parse_args(["bistream", "--workload", "G12"])
+        assert args.workload == "G12"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparkstreaming"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fastjoin", "--workload", "G99"])
+
+    def test_selector_choice(self):
+        args = build_parser().parse_args(["fastjoin", "--selector", "safit"])
+        assert args.selector == "safit"
+
+
+class TestMain:
+    def test_single_system_run(self, capsys):
+        code = main([
+            "fastjoin", "--instances", "2", "--duration", "4",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fastjoin" in out
+        assert "throughput" in out
+
+    def test_compare_run(self, capsys):
+        code = main([
+            "compare", "--instances", "2", "--duration", "3",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for system in ("fastjoin", "bistream", "contrand"):
+            assert system in out
+
+    def test_synthetic_run(self, capsys):
+        code = main([
+            "bistream", "--workload", "G01", "--instances", "2",
+            "--duration", "3", "--rate", "200", "--warmup", "1",
+        ])
+        assert code == 0
+        assert "bistream" in capsys.readouterr().out
