@@ -14,8 +14,13 @@ Run a synthetic skew group::
 
     python -m repro fastjoin --workload G12 --duration 20 --instances 8
 
-The CLI is a thin veneer over :mod:`repro.bench.experiments`; everything it
-can do is also available programmatically.
+Cross-check a system against the exact-semantics oracle::
+
+    python -m repro validate --system fastjoin --seed 7 --ticks 2000
+
+The CLI is a thin veneer over :mod:`repro.bench.experiments` and
+:mod:`repro.validate`; everything it can do is also available
+programmatically.
 """
 
 from __future__ import annotations
@@ -45,8 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "system",
-        choices=[*SYSTEMS, "compare"],
-        help="system to run, or 'compare' for all three",
+        choices=[*SYSTEMS, "compare", "validate"],
+        help="system to run, 'compare' for all three, or 'validate' to "
+        "cross-check a system against the exact-semantics oracle",
     )
     parser.add_argument(
         "--workload",
@@ -54,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["ridehailing", *SKEW_GROUPS],
         help="ride-hailing (DiDi substitute) or a Gxy synthetic skew group",
     )
-    parser.add_argument("--instances", type=int, default=16,
-                        help="join instances per biclique side")
+    parser.add_argument("--instances", type=int, default=None,
+                        help="join instances per biclique side "
+                        "(default: 16 for experiments, 4 for validate)")
     parser.add_argument("--duration", type=float, default=30.0,
                         help="simulated seconds to run")
     parser.add_argument("--theta", type=float, default=2.2,
@@ -68,6 +75,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--warmup", type=float, default=None,
                         help="seconds excluded from steady-state averages")
+
+    validate = parser.add_argument_group(
+        "validate", "options for the 'validate' subcommand"
+    )
+    validate.add_argument(
+        "--system",
+        dest="validate_system",
+        default=None,
+        choices=list(SYSTEMS),
+        help="system to cross-check (default: all three)",
+    )
+    validate.add_argument("--ticks", type=int, default=2_000,
+                          help="simulation ticks before drain")
+    validate.add_argument(
+        "--scenario",
+        default="zipf",
+        choices=["zipf", "ridehailing", "windowed"],
+        help="validation workload family",
+    )
+    validate.add_argument("--zipf", type=float, default=1.2,
+                          help="Zipf exponent of the zipf/windowed scenarios")
+    validate.add_argument("--no-guards", action="store_true",
+                          help="disable the runtime invariant guards")
     return parser
 
 
@@ -109,9 +139,48 @@ def _row(result: ExperimentResult) -> dict:
     }
 
 
+def _run_validate(args: argparse.Namespace) -> int:
+    """The ``validate`` subcommand: differential oracle cross-checks."""
+    from .errors import ValidationError
+    from .validate import run_differential
+
+    systems = (
+        [args.validate_system] if args.validate_system else list(SYSTEMS)
+    )
+    failures = 0
+    for system in systems:
+        print(
+            f"validating {system} on {args.scenario} "
+            f"(seed={args.seed}, ticks={args.ticks})...",
+            file=sys.stderr,
+        )
+        try:
+            report = run_differential(
+                system,
+                workload=args.scenario,
+                seed=args.seed,
+                ticks=args.ticks,
+                n_instances=args.instances if args.instances is not None else 4,
+                zipf=args.zipf,
+                guards=not args.no_guards,
+            )
+        except ValidationError as exc:
+            print(f"invariant violated: {exc}")
+            failures += 1
+            continue
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.system == "validate":
+        return _run_validate(args)
+    if args.instances is None:
+        args.instances = 16
     systems = list(SYSTEMS) if args.system == "compare" else [args.system]
     rows = []
     for system in systems:

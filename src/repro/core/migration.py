@@ -126,4 +126,5 @@ class MigrationExecutor:
             duration=duration,
             li_before=li_before,
             li_after_estimate=li_after,
+            keys=tuple(sorted(int(k) for k in result.selected_keys)),
         )

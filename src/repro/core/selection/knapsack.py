@@ -11,8 +11,14 @@ fills the gap ``L_i - L_j`` as much as possible without reaching it
 (Eq. 9 requires ``ΔL > 0``), breaking ties toward migrating fewer tuples.
 
 Benefits are real-valued, so we quantise them onto an integer grid of
-``resolution`` cells; the result is optimal for the quantised instance and
-within one grid cell of the true optimum.
+``resolution`` cells using *floor* weights, which keeps every truly
+feasible key set representable in the table (ceil weights would push any
+solution within one grid cell of the gap over the capacity and silently
+drop it — the failure mode the differential tests caught).  The final
+answer is the best table entry whose exact benefit respects the strict
+``< gap`` constraint, falling back to a drop-smallest repair of the best
+over-gap entry; GreedyFit's own solution is always kept as a floor, so the
+DP is never worse than the heuristic it is meant to benchmark.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from ...errors import ConfigError
 from .base import SelectionProblem, SelectionResult, evaluate_selection
+from .greedyfit import GreedyFit
 
 __all__ = ["ExactKnapsack"]
 
@@ -60,12 +67,14 @@ class ExactKnapsack:
             return SelectionResult()
 
         benefits = problem.benefits()
-        # Quantise: weight w_k = ceil(F_k / cell).  ceil keeps every
-        # quantised-feasible solution close to real-feasible; a final check
-        # below repairs the rare residual violation.
+        # Quantise: weight w_k = floor(F_k / cell).  For any truly feasible
+        # set (total benefit < gap) the floor weights sum below
+        # ``resolution``, so every feasible set stays representable; the
+        # exact-benefit check at extraction time below restores the strict
+        # ``< gap`` constraint that floor weights alone cannot enforce.
         cell = gap / self.resolution
-        weights = np.ceil(benefits / cell).astype(np.int64)
-        capacity = self.resolution - 1  # strict: total benefit < gap
+        weights = np.floor(benefits / cell).astype(np.int64)
+        capacity = self.resolution - 1
         stored = problem.key_stored.astype(np.int64)
 
         width = capacity + 1
@@ -94,31 +103,57 @@ class ExactKnapsack:
                 cur_b[idx] = cand_b[better]
                 cur_t[idx] = cand_t[better]
 
-        # Best cell under (max benefit, min tuples).
         final_b = snap_benefit[n]
         final_t = snap_tuples[n]
-        best_cells = np.nonzero(final_b >= final_b.max() - 1e-12)[0]
-        c = int(best_cells[np.argmin(final_t[best_cells])])
 
-        selected: list[int] = []
-        for k in range(n - 1, -1, -1):
-            b_with, b_without = snap_benefit[k + 1][c], snap_benefit[k][c]
-            t_with, t_without = snap_tuples[k + 1][c], snap_tuples[k][c]
-            if b_with != b_without or t_with != t_without:
-                # Item k's processing changed this cell, so the optimum at
-                # this cell includes key k.
-                selected.append(int(problem.keys[k]))
-                c -= int(weights[k])
-        selected.reverse()
+        def backtrack(c: int) -> list[int]:
+            selected: list[int] = []
+            for k in range(n - 1, -1, -1):
+                b_with, b_without = snap_benefit[k + 1][c], snap_benefit[k][c]
+                t_with, t_without = snap_tuples[k + 1][c], snap_tuples[k][c]
+                if b_with != b_without or t_with != t_without:
+                    # Item k's processing changed this cell, so the optimum
+                    # at this cell includes key k.
+                    selected.append(int(problem.keys[k]))
+                    c -= int(weights[k])
+            selected.reverse()
+            return selected
 
-        result = evaluate_selection(problem, selected)
-        result.evaluations = n * width
-        # Quantisation can at worst step over the strict gap constraint;
-        # drop the smallest-benefit key until feasible again.
-        benefits_map = dict(zip(problem.keys.tolist(), benefits.tolist()))
-        while result.total_benefit >= gap and result.selected_keys:
-            worst = min(result.selected_keys, key=lambda kk: benefits_map[kk])
-            remaining = [kk for kk in result.selected_keys if kk != worst]
-            result = evaluate_selection(problem, remaining)
-            result.evaluations = n * width
-        return result
+        # Exact benefits are tracked per cell, so the strict constraint is
+        # applied on the true values, not the quantised weights.
+        candidates: list[SelectionResult] = []
+        feasible = np.nonzero((final_b < gap) & (final_b > 0))[0]
+        if feasible.size:
+            fb = final_b[feasible]
+            ties = feasible[np.nonzero(fb >= fb.max() - 1e-12)[0]]
+            candidates.append(
+                evaluate_selection(problem, backtrack(int(ties[np.argmin(final_t[ties])])))
+            )
+        # A cell champion may overshoot the gap (floor weights under-count);
+        # repair the best such set by dropping smallest-benefit keys.
+        over = np.nonzero(final_b >= gap)[0]
+        if over.size:
+            result = evaluate_selection(problem, backtrack(int(over[np.argmax(final_b[over])])))
+            benefits_map = dict(zip(problem.keys.tolist(), benefits.tolist()))
+            while result.total_benefit >= gap and result.selected_keys:
+                worst = min(result.selected_keys, key=lambda kk: benefits_map[kk])
+                result = evaluate_selection(
+                    problem, [kk for kk in result.selected_keys if kk != worst]
+                )
+            if result.selected_keys:
+                candidates.append(result)
+        # An infeasible champion can shadow feasible sets in its cell; the
+        # greedy solution bounds that loss — the DP never reports worse
+        # than the heuristic it benchmarks.
+        greedy = GreedyFit().select(problem)
+        if not greedy.empty and greedy.total_benefit < gap:
+            candidates.append(greedy)
+
+        if not candidates:
+            return SelectionResult(evaluations=n * width)
+        best = max(
+            candidates,
+            key=lambda r: (r.total_benefit, -(r.moved_stored + r.moved_backlog)),
+        )
+        best.evaluations = n * width
+        return best

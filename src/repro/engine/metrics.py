@@ -73,7 +73,13 @@ class Reservoir:
 
 @dataclass(frozen=True)
 class MigrationEvent:
-    """One executed migration, for the Fig. 11 narrative."""
+    """One executed migration, for the Fig. 11 narrative.
+
+    ``keys`` records the exact migrated key set so validation tooling can
+    replay the same migration schedule against the exact-semantics oracle
+    (:mod:`repro.validate.differential`); it is empty only for events
+    constructed by legacy callers.
+    """
 
     time: float
     side: str
@@ -84,6 +90,7 @@ class MigrationEvent:
     duration: float
     li_before: float
     li_after_estimate: float
+    keys: tuple[int, ...] = ()
 
 
 @dataclass
@@ -182,6 +189,12 @@ class MetricsCollector:
 
     def record_migration(self, event: MigrationEvent) -> None:
         self._migrations.append(event)
+
+    def migration_events(self) -> list[MigrationEvent]:
+        """Live view of migrations recorded so far (used by the validation
+        layer to mirror the migration schedule mid-run, before
+        ``finalize``)."""
+        return list(self._migrations)
 
     # -- finalisation --------------------------------------------------- #
 

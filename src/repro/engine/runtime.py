@@ -59,6 +59,23 @@ class StreamJoinRuntime:
         # precisely how load imbalance destroys throughput (Fig. 1d).
         self.backpressure_max_queue = backpressure_max_queue
         self.throttled_ticks = 0
+        self.tick_index = 0
+        # Optional invariant guards (repro.validate.invariants).  None by
+        # default: the only steady-state cost of the hook is one ``is not
+        # None`` test per tick, so benchmarks are unaffected unless a
+        # validation run opts in via attach_guards().
+        self.guards = None
+
+    def attach_guards(self, guards) -> None:
+        """Opt in to per-tick invariant checking.
+
+        ``guards`` is an :class:`repro.validate.invariants.InvariantGuards`
+        (duck-typed here to keep the engine layer free of a dependency on
+        the validation layer); it is bound to this runtime and its
+        ``after_tick`` hook runs at the end of every :meth:`step`.
+        """
+        guards.bind(self)
+        self.guards = guards
 
     # ------------------------------------------------------------------ #
 
@@ -104,6 +121,9 @@ class StreamJoinRuntime:
                 inst.rotate_window()
 
         self.clock.advance()
+        self.tick_index += 1
+        if self.guards is not None:
+            self.guards.after_tick(self, end)
 
     def run(
         self,

@@ -34,3 +34,74 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/data generator was configured or used incorrectly."""
+
+
+class ValidationError(ReproError):
+    """An invariant guard or differential check failed.
+
+    Unlike the other exceptions, a validation failure is a *semantic* bug
+    report: the simulation kept running but produced (or was about to
+    produce) wrong join results.  The exception therefore carries enough
+    structured context to replay the failing run deterministically —
+    ``repro.validate.replay`` consumes these fields, and ``repro_command``
+    renders a copy-pastable shell command.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the violated invariant.
+    invariant:
+        Stable identifier of the check that fired (e.g. ``"conservation"``,
+        ``"colocation"``, ``"exactly-once"``).
+    seed:
+        Root seed of the run, when known — replaying with this seed
+        reproduces the violation.
+    tick:
+        Simulation tick index at which the check fired.
+    context:
+        Free-form structured details (side, instance, key, routing epoch,
+        system name, workload...) for diagnostics and replay.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str | None = None,
+        seed: int | None = None,
+        tick: int | None = None,
+        context: dict | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.seed = seed
+        self.tick = tick
+        self.context = dict(context) if context else {}
+        parts = [message]
+        if invariant is not None:
+            parts.append(f"[invariant={invariant}]")
+        if seed is not None:
+            parts.append(f"[seed={seed}]")
+        if tick is not None:
+            parts.append(f"[tick={tick}]")
+        cmd = self._render_command(seed, self.context)
+        if cmd:
+            parts.append(f"(replay: {cmd})")
+        super().__init__(" ".join(parts))
+
+    @staticmethod
+    def _render_command(seed: int | None, context: dict) -> str | None:
+        if seed is None:
+            return None
+        system = context.get("system")
+        if system is None:
+            return None
+        ticks = context.get("ticks", 2000)
+        return (
+            f"PYTHONPATH=src python -m repro validate "
+            f"--system {system} --seed {seed} --ticks {ticks}"
+        )
+
+    @property
+    def repro_command(self) -> str | None:
+        """Shell command that replays this failure, when enough is known."""
+        return self._render_command(self.seed, self.context)

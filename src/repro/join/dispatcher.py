@@ -21,7 +21,7 @@ paper uses to explain rising latency in Fig. 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -62,10 +62,18 @@ class DispatchDelay:
 
 @dataclass
 class DispatchStats:
-    """Message accounting (probe amplification shows up here)."""
+    """Message accounting (probe amplification shows up here).
+
+    The per-side breakdowns record how many operations were delivered *to*
+    each biclique side's group; the completeness-conservation invariant
+    (tuples stored + queued == tuples dispatched, see
+    :mod:`repro.validate.invariants`) balances against these.
+    """
 
     stores_sent: int = 0
     probes_sent: int = 0
+    stores_to_side: dict = field(default_factory=lambda: {"R": 0, "S": 0})
+    probes_to_side: dict = field(default_factory=lambda: {"R": 0, "S": 0})
 
     @property
     def messages(self) -> int:
@@ -144,6 +152,7 @@ class Dispatcher:
         t_store = np.full(n, emit_time + self.delay.delay(len(self.groups[own])))
         self._scatter(own, store_dest, keys, t_store, OP_STORE)
         self.stats.stores_sent += n
+        self.stats.stores_to_side[own] += n
 
         # --- probe path --------------------------------------------------- #
         part_other = self.partitioners[other]
@@ -157,3 +166,4 @@ class Dispatcher:
         )
         self._scatter(other, probe_dest, probe_keys, t_probe, OP_PROBE)
         self.stats.probes_sent += int(probe_keys.shape[0])
+        self.stats.probes_to_side[other] += int(probe_keys.shape[0])

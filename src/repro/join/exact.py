@@ -41,7 +41,7 @@ __all__ = ["ExactTuple", "ExactInstance", "ExactBiclique"]
 class ExactTuple:
     """A queued operation in the exact engine."""
 
-    stream: str      # which stream the tuple belongss to ("R"/"S")
+    stream: str      # which stream the tuple belongs to ("R"/"S")
     key: int
     uid: int
     op: str          # "store" | "probe"

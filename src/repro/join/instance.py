@@ -16,6 +16,7 @@ and the probe backlog (``phi_si``), with per-key breakdowns for GreedyFit.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,7 +26,7 @@ from ..core.load_model import InstanceLoad
 from ..engine.cost import CostModel, ScanCost
 from ..engine.queues import TupleQueue
 from ..engine.tuples import OP_PROBE, OP_STORE, Batch
-from ..errors import ConfigError
+from ..errors import ConfigError, StorageError
 from .storage import KeyedStore
 from .window import WindowedStore
 
@@ -140,6 +141,10 @@ class JoinInstance:
         self.total_stored = 0
         self.total_probed = 0
         self.total_results = 0.0
+        # Opt-in per-key join-result accounting for the differential
+        # validation layer (repro.validate).  Off by default: the datapath
+        # pays only one ``is None`` test per tick when disabled.
+        self._result_counts: dict[int, float] | None = None
 
     # ------------------------------------------------------------------ #
     # data path
@@ -241,7 +246,15 @@ class JoinInstance:
             self.store.add_batch(store_keys)
         n_stored = int(store_keys.shape[0])
         n_probed = n_take - n_stored
-        n_results = float(match_counts[:n_take][~taken_store].sum())
+        probe_results = match_counts[:n_take][~taken_store]
+        n_results = float(probe_results.sum())
+        if self._result_counts is not None and n_probed:
+            counts = self._result_counts
+            for k, c in zip(
+                taken.keys[~taken_store].tolist(), probe_results.tolist()
+            ):
+                if c:
+                    counts[k] += c
 
         # Per-tuple completion time within the tick: the instant the tuple's
         # cumulative work finished at this capacity.  latency = completion -
@@ -279,6 +292,60 @@ class JoinInstance:
             stored=self.store.total,
             backlog=backlog,
         )
+
+    def enable_result_tracking(self) -> None:
+        """Start per-key join-result accounting (validation layer only).
+
+        The differential harness compares the per-key result multiset
+        against the exact oracle's ``|R(k)| x |S(k)|`` cross product; the
+        datapath never needs it, so it is opt-in.
+        """
+        if self._result_counts is None:
+            self._result_counts = defaultdict(float)
+
+    @property
+    def result_tracking(self) -> bool:
+        return self._result_counts is not None
+
+    def result_counts_snapshot(self) -> dict[int, float]:
+        """Per-key join results emitted by this instance's probes so far.
+
+        Raises :class:`ConfigError` when tracking was never enabled, so a
+        silent empty dict can't masquerade as "zero results".
+        """
+        if self._result_counts is None:
+            raise ConfigError(
+                "result tracking is disabled; call enable_result_tracking() "
+                "before the run"
+            )
+        return dict(self._result_counts)
+
+    def check_consistency(self) -> None:
+        """Deep self-check of redundant counters (validation layer).
+
+        Verifies that the store's cached total matches the per-key counts
+        and that the queue's incremental probe counter matches a recount of
+        the live region.  O(state) — called by invariant guards, never by
+        the datapath.
+        """
+        counts = self.store.counts_snapshot()
+        if sum(counts.values()) != self.store.total:
+            raise StorageError(
+                f"instance {self.instance_id}/{self.side}: store total "
+                f"{self.store.total} != sum of per-key counts "
+                f"{sum(counts.values())}"
+            )
+        if any(c < 0 for c in counts.values()):
+            raise StorageError(
+                f"instance {self.instance_id}/{self.side}: negative stored "
+                "count"
+            )
+        recount = sum(self.queue.probe_counts_snapshot().values())
+        if recount != self.queue.probe_backlog:
+            raise StorageError(
+                f"instance {self.instance_id}/{self.side}: probe backlog "
+                f"counter {self.queue.probe_backlog} != recount {recount}"
+            )
 
     def selection_problem(self, target: "JoinInstance") -> SelectionProblem:
         """Build the GreedyFit input for migrating from self to ``target``.

@@ -1,0 +1,70 @@
+"""Differential validation subsystem.
+
+FastJoin's central correctness claim is join *completeness under
+migration*: every matching ``(r, s)`` pair is joined exactly once even
+while keys move between instances (paper section III-D).  This package
+turns the tuple-level exact engine (:mod:`repro.join.exact`) into a
+first-class validation layer with three entry points:
+
+- :mod:`repro.validate.differential` — run any production system
+  (``bistream`` / ``contrand`` / ``fastjoin``) and the exact oracle on the
+  same workload, mirroring the system's migration schedule into the
+  oracle, and assert the joined-pair multiset is identical with
+  multiplicity one;
+- :mod:`repro.validate.invariants` — opt-in runtime guards (conservation,
+  colocation, monotone clock, non-negative load, ``LI >= 1``, trigger
+  hysteresis) that raise replayable :class:`~repro.errors.ValidationError`
+  exceptions;
+- :mod:`repro.validate.fuzz` — deterministic adversarial schedule fuzzing
+  of the migration protocol, driving the real GreedyFit / SAFit selectors
+  and (optionally) deliberately-broken protocol variants that must be
+  caught.
+
+``python -m repro validate --system fastjoin --seed 7 --ticks 2000`` runs
+the differential harness from the shell; :mod:`repro.validate.replay`
+reproduces any captured failure from its seed.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .differential import (
+    DifferentialReport,
+    DifferentialHarness,
+    FirstDivergence,
+    KeyDivergence,
+    run_differential,
+)
+from .fuzz import (
+    FAULT_MODES,
+    FuzzAction,
+    FuzzReport,
+    ScheduleFuzzer,
+    run_instance_fuzz,
+    run_oracle_fuzz,
+)
+from .invariants import GuardConfig, InvariantGuards
+from .replay import replay, repro_command
+from .workloads import VALIDATION_WORKLOADS, make_sources, validation_config
+
+__all__ = [
+    "ValidationError",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "FirstDivergence",
+    "KeyDivergence",
+    "run_differential",
+    "GuardConfig",
+    "InvariantGuards",
+    "FuzzAction",
+    "FuzzReport",
+    "FAULT_MODES",
+    "ScheduleFuzzer",
+    "run_oracle_fuzz",
+    "run_instance_fuzz",
+    "replay",
+    "repro_command",
+    "VALIDATION_WORKLOADS",
+    "make_sources",
+    "validation_config",
+]

@@ -1,0 +1,335 @@
+"""Runtime invariant guards for the stream-join engine.
+
+Each guard encodes one property the paper's design argues can never be
+violated, no matter how migrations interleave with the datapath:
+
+- **conservation** — every tuple the dispatcher sent to a biclique side is
+  either already applied (served store / served probe) or still queued at
+  exactly one instance of that side.  Migration moves queued tuples
+  between instances but never creates or destroys them (Algorithm 2's
+  "temporary queue", section III-D).
+- **colocation** — after a migration commits, no key's stored tuples are
+  split across two instances of one side, and every stored key sits on the
+  instance the routing table currently resolves it to (section III-D
+  updates routing *last* precisely so this holds at every quiescent
+  point).  Only checked for content-based partitioners; ContRand smears
+  keys by design.
+- **monotone clock** — simulated time strictly increases tick over tick.
+- **non-negative load** — ``|R_i| >= 0``, ``phi_si >= 0`` and therefore
+  ``L_i = |R_i| * phi_si >= 0`` (Eq. 1 is a product of counts).
+- **LI bounds** — the degree of load imbalance (Eq. 2) is a max/min ratio
+  and must be ``>= 1`` and finite.
+- **hysteresis** — migrations of one group are spaced at least the
+  monitor's cooldown apart and only ever trigger above ``Theta``
+  (section III-B: migrations "can never take place frequently").
+
+Guards are *opt-in* (``runtime.attach_guards(InvariantGuards(...))``) and
+cost nothing when not attached; O(state) checks run every
+``GuardConfig.period`` ticks.  A violated guard raises a structured
+:class:`~repro.errors.ValidationError` carrying the run's seed and tick so
+the failure replays deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StorageError, ValidationError
+
+__all__ = ["GuardConfig", "InvariantGuards"]
+
+#: slack for float comparisons on times and EWMA'd loads
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Which guards run, and how often the O(state) ones do.
+
+    ``period`` throttles the expensive checks (conservation, colocation,
+    deep counter recounts) to every N-th tick; the cheap per-tick checks
+    (clock monotonicity, migration hysteresis) always run.
+    """
+
+    conservation: bool = True
+    colocation: bool = True
+    monotone_clock: bool = True
+    nonnegative_load: bool = True
+    li_bounds: bool = True
+    hysteresis: bool = True
+    deep_consistency: bool = True
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+
+
+class InvariantGuards:
+    """Per-tick invariant checking bound to one :class:`StreamJoinRuntime`.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the run, embedded in raised errors for replay.
+    config:
+        Which checks to run (all, by default).
+    context:
+        Extra structured context merged into every raised error — the
+        differential harness passes ``{"system": ..., "workload": ...,
+        "ticks": ...}`` so the error can render a replay command.
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        config: GuardConfig | None = None,
+        context: dict | None = None,
+    ) -> None:
+        self.seed = seed
+        self.config = config if config is not None else GuardConfig()
+        self.context = dict(context) if context else {}
+        self.checks_run = 0
+        self.violations = 0
+        self._runtime = None
+        self._last_now = -math.inf
+        self._seen_migrations = 0
+        self._last_migration_time: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def bind(self, runtime) -> None:
+        """Called by ``runtime.attach_guards``; remembers the runtime."""
+        self._runtime = runtime
+        self._last_now = -math.inf
+
+    def _fail(self, invariant: str, message: str, **extra) -> None:
+        self.violations += 1
+        runtime = self._runtime
+        context = dict(self.context)
+        context.update(extra)
+        raise ValidationError(
+            message,
+            invariant=invariant,
+            seed=self.seed,
+            tick=runtime.tick_index if runtime is not None else None,
+            context=context,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the hook the runtime calls
+    # ------------------------------------------------------------------ #
+
+    def after_tick(self, runtime, now: float) -> None:
+        """Run the enabled checks for the tick that just ended at ``now``."""
+        cfg = self.config
+        self.checks_run += 1
+        if cfg.monotone_clock:
+            self.check_monotone_clock(now)
+        if cfg.hysteresis:
+            self.check_hysteresis(runtime)
+        if runtime.tick_index % cfg.period == 0:
+            if cfg.nonnegative_load:
+                self.check_nonnegative_load(runtime)
+            if cfg.li_bounds:
+                self.check_li_bounds(runtime)
+            if cfg.conservation:
+                self.check_conservation(runtime)
+            if cfg.colocation:
+                self.check_colocation(runtime)
+            if cfg.deep_consistency:
+                self.check_deep_consistency(runtime)
+
+    # ------------------------------------------------------------------ #
+    # individual checks (public so tests can violate + fire them directly)
+    # ------------------------------------------------------------------ #
+
+    def check_monotone_clock(self, now: float) -> None:
+        """Simulated time must strictly increase between ticks."""
+        if now <= self._last_now:
+            self._fail(
+                "monotone-clock",
+                f"tick ended at t={now} but a previous tick already ended "
+                f"at t={self._last_now}",
+                now=now,
+                previous=self._last_now,
+            )
+        self._last_now = now
+
+    def check_nonnegative_load(self, runtime) -> None:
+        """Eq. 1 terms: ``|R_i| >= 0`` and ``phi_si >= 0`` everywhere."""
+        for inst in runtime.instances:
+            snap = inst.snapshot()
+            if snap.stored < 0 or not math.isfinite(float(snap.stored)):
+                self._fail(
+                    "nonnegative-load",
+                    f"instance {inst.instance_id}/{inst.side} reports "
+                    f"|R_i|={snap.stored}",
+                    side=inst.side,
+                    instance=inst.instance_id,
+                )
+            if snap.backlog < 0 or not math.isfinite(float(snap.backlog)):
+                self._fail(
+                    "nonnegative-load",
+                    f"instance {inst.instance_id}/{inst.side} reports "
+                    f"phi_si={snap.backlog}",
+                    side=inst.side,
+                    instance=inst.instance_id,
+                )
+
+    def check_li_bounds(self, runtime) -> None:
+        """Eq. 2: LI is a max/min ratio, so ``LI >= 1`` and finite."""
+        for side, monitor in runtime.monitors.items():
+            if not monitor.li_history:
+                continue
+            t, li = monitor.li_history[-1]
+            if li < 1.0 - _EPS or not math.isfinite(li):
+                self._fail(
+                    "li-bounds",
+                    f"monitor {side} sampled LI={li} at t={t} "
+                    "(Eq. 2 requires LI >= 1)",
+                    side=side,
+                    li=li,
+                )
+
+    def check_conservation(self, runtime) -> None:
+        """Dispatched == applied + queued, per side and operation kind.
+
+        ``JoinInstance.total_stored`` / ``total_probed`` are lifetime
+        counters unaffected by migration and window eviction, so the
+        balance holds for every system and window mode.
+        """
+        stats = runtime.dispatcher.stats
+        for side, group in runtime.dispatcher.groups.items():
+            served_stores = sum(inst.total_stored for inst in group)
+            served_probes = sum(inst.total_probed for inst in group)
+            queued_probes = sum(inst.queue.probe_backlog for inst in group)
+            queued_stores = sum(
+                len(inst.queue) - inst.queue.probe_backlog for inst in group
+            )
+            sent_stores = stats.stores_to_side[side]
+            sent_probes = stats.probes_to_side[side]
+            if served_stores + queued_stores != sent_stores:
+                self._fail(
+                    "conservation",
+                    f"side {side}: {sent_stores} store ops dispatched but "
+                    f"{served_stores} applied + {queued_stores} queued "
+                    f"= {served_stores + queued_stores}",
+                    side=side,
+                    kind="store",
+                )
+            if served_probes + queued_probes != sent_probes:
+                self._fail(
+                    "conservation",
+                    f"side {side}: {sent_probes} probe ops dispatched but "
+                    f"{served_probes} applied + {queued_probes} queued "
+                    f"= {served_probes + queued_probes}",
+                    side=side,
+                    kind="probe",
+                )
+
+    def check_colocation(self, runtime) -> None:
+        """No key's stored tuples split across instances; storage follows
+        routing.  Skipped for non-content-based partitioners (ContRand
+        smears keys across a subgroup by design)."""
+        for side, group in runtime.dispatcher.groups.items():
+            if not runtime.dispatcher.partitioners[side].content_based:
+                continue
+            routing = runtime.dispatcher.routing[side]
+            seen: dict[int, int] = {}
+            for inst in group:
+                for key, count in inst.store.counts_snapshot().items():
+                    if count == 0:
+                        continue
+                    if key in seen:
+                        self._fail(
+                            "colocation",
+                            f"side {side}: key {key} stored on instances "
+                            f"{seen[key]} and {inst.instance_id} "
+                            "simultaneously",
+                            side=side,
+                            key=key,
+                            instance=inst.instance_id,
+                            other_instance=seen[key],
+                            routing_epoch=routing.version,
+                        )
+                    seen[key] = inst.instance_id
+            # storage must sit where routing resolves the key
+            part = runtime.dispatcher.partitioners[side]
+            for key, instance_id in seen.items():
+                override = routing.target_of(key)
+                if override is not None:
+                    expected = override
+                else:
+                    expected = int(
+                        part.store_targets(np.array([key], dtype=np.int64), None)[0]
+                    )
+                if instance_id != expected:
+                    self._fail(
+                        "colocation",
+                        f"side {side}: key {key} stored on instance "
+                        f"{instance_id} but routes to {expected}",
+                        side=side,
+                        key=key,
+                        instance=instance_id,
+                        expected_instance=expected,
+                        routing_epoch=routing.version,
+                    )
+
+    def check_hysteresis(self, runtime) -> None:
+        """New migrations respect ``Theta`` and the monitor cooldown."""
+        events = runtime.metrics.migration_events()
+        for event in events[self._seen_migrations:]:
+            monitor = runtime.monitors.get(event.side)
+            if monitor is not None and monitor.theta is not None:
+                if event.li_before <= monitor.theta + _EPS:
+                    self._fail(
+                        "hysteresis",
+                        f"migration on side {event.side} at t={event.time} "
+                        f"triggered with LI={event.li_before} <= "
+                        f"Theta={monitor.theta}",
+                        side=event.side,
+                        li=event.li_before,
+                        theta=monitor.theta,
+                    )
+                last = self._last_migration_time.get(event.side)
+                if (
+                    last is not None
+                    and event.time - last < monitor.cooldown - _EPS
+                ):
+                    self._fail(
+                        "hysteresis",
+                        f"migrations on side {event.side} at t={last} and "
+                        f"t={event.time} are closer than the cooldown "
+                        f"{monitor.cooldown}",
+                        side=event.side,
+                        spacing=event.time - last,
+                        cooldown=monitor.cooldown,
+                    )
+            if event.source == event.target:
+                self._fail(
+                    "hysteresis",
+                    f"migration on side {event.side} at t={event.time} has "
+                    f"source == target == {event.source}",
+                    side=event.side,
+                    instance=event.source,
+                )
+            self._last_migration_time[event.side] = event.time
+        self._seen_migrations = len(events)
+
+    def check_deep_consistency(self, runtime) -> None:
+        """Recount redundant per-instance counters (store totals, probe
+        backlog) and fail on any drift."""
+        for inst in runtime.instances:
+            try:
+                inst.check_consistency()
+            except StorageError as exc:
+                self._fail(
+                    "deep-consistency",
+                    str(exc),
+                    side=inst.side,
+                    instance=inst.instance_id,
+                )

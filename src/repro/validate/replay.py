@@ -1,0 +1,76 @@
+"""Deterministic replay of captured validation failures.
+
+Every :class:`~repro.errors.ValidationError` the validation layer raises
+carries the run's root seed plus a structured ``context`` describing which
+harness produced it.  :func:`replay` dispatches on that context and re-runs
+the *same* harness with the *same* parameters — the whole stack is
+seed-deterministic, so the failure either reproduces exactly or has been
+fixed.  :func:`repro_command` renders the equivalent shell command for
+humans and CI logs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+__all__ = ["replay", "repro_command"]
+
+
+def replay(error: ValidationError):
+    """Re-run the harness that produced ``error`` from its recorded seed.
+
+    Returns whatever the harness returns (a ``DifferentialReport`` or
+    ``FuzzReport``); if the original defect is still present, the replay
+    raises the same :class:`ValidationError` again.
+    """
+    if error.seed is None:
+        raise ValueError(
+            "cannot replay: the error carries no seed "
+            f"(context={error.context!r})"
+        )
+    ctx = error.context
+    fuzz_mode = ctx.get("fuzz")
+    if fuzz_mode == "oracle":
+        from .fuzz import run_oracle_fuzz
+
+        report = run_oracle_fuzz(
+            error.seed,
+            n_actions=ctx.get("n_actions", 40),
+            selector=ctx.get("selector", "greedyfit"),
+            fault=ctx.get("fault"),
+        )
+        if not report.ok:
+            raise ValidationError(
+                f"replay reproduced the failure: {report.message}",
+                invariant="exactly-once",
+                seed=error.seed,
+                context=dict(ctx),
+            )
+        return report
+    if fuzz_mode == "instance":
+        from .fuzz import run_instance_fuzz
+
+        return run_instance_fuzz(
+            error.seed,
+            n_actions=ctx.get("n_actions", 40),
+            selector=ctx.get("selector", "greedyfit"),
+            windowed=ctx.get("windowed", False),
+        )
+    if "system" in ctx:
+        from .differential import run_differential
+
+        return run_differential(
+            ctx["system"],
+            workload=ctx.get("workload", "zipf"),
+            seed=error.seed,
+            ticks=ctx.get("ticks", 2_000),
+            raise_on_failure=True,
+        )
+    raise ValueError(
+        f"cannot replay: unrecognised error context {ctx!r}"
+    )
+
+
+def repro_command(error: ValidationError) -> str:
+    """Shell command that reproduces ``error`` (best effort)."""
+    return error.repro_command

@@ -1,0 +1,128 @@
+"""Validation workloads and the validation operating point.
+
+The differential harness needs workloads that are (a) seed-deterministic,
+(b) small enough to replay the whole run at tuple granularity inside the
+exact oracle, and (c) skewed enough that FastJoin actually migrates within
+a couple of thousand ticks — otherwise the cross-check never exercises the
+migration protocol it exists to validate.
+
+Three kinds mirror the repo's benchmark families:
+
+- ``"zipf"`` — both streams draw from one shared, permuted key universe
+  with configurable Zipf exponents (the Gxy synthetic structure, but with
+  a continuous exponent so tests can probe z in {0.0, 0.8, 1.2, ...});
+- ``"ridehailing"`` — the scaled-down DiDi substitute;
+- ``"windowed"`` — the Zipf workload run under the window-based join
+  (sub-window eviction on), validating completeness interacts correctly
+  with expiry.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..data.distributions import KeySampler, zipf_probabilities
+from ..data.ridehailing import RideHailingSpec, RideHailingWorkload
+from ..data.streams import StreamSource
+from ..engine.cost import IndexedCost
+from ..engine.rng import SeedSequenceFactory
+from ..errors import WorkloadError
+
+import numpy as np
+
+__all__ = ["VALIDATION_WORKLOADS", "make_sources", "validation_config"]
+
+#: workload kinds the harness and CLI accept
+VALIDATION_WORKLOADS = ("zipf", "ridehailing", "windowed")
+
+
+def make_sources(
+    kind: str,
+    seed: int,
+    *,
+    zipf: float = 1.2,
+    zipf_r: float | None = None,
+    zipf_s: float | None = None,
+    n_keys: int = 300,
+    tuples_per_stream: int = 5_000,
+    rate: float = 2_000.0,
+) -> tuple[StreamSource, StreamSource]:
+    """Build the R and S sources for one validation run.
+
+    ``zipf`` sets both streams' exponents unless ``zipf_r`` / ``zipf_s``
+    override them individually.  Both streams share one permuted key
+    universe so the hottest key is hot on both sides — the regime where
+    migration matters.
+    """
+    if kind not in VALIDATION_WORKLOADS:
+        raise WorkloadError(
+            f"unknown validation workload {kind!r}; expected one of "
+            f"{VALIDATION_WORKLOADS}"
+        )
+    seeds = SeedSequenceFactory(seed)
+    if kind == "ridehailing":
+        spec = RideHailingSpec(
+            n_locations=max(n_keys, 100),
+            order_rate=rate / 4.0,
+            track_to_order_ratio=3.0,
+            scale=max(tuples_per_stream, 1_000)
+            / (max(n_keys, 100) * 14.0 * 3.0),
+        )
+        workload = RideHailingWorkload.build(spec, seeds)
+        return workload.sources(seeds)
+    exp_r = zipf if zipf_r is None else zipf_r
+    exp_s = zipf if zipf_s is None else zipf_s
+    perm = seeds.generator("validate.perm").permutation(n_keys).astype(np.int64)
+    r_sampler = KeySampler(zipf_probabilities(n_keys, exp_r), key_ids=perm)
+    s_sampler = KeySampler(zipf_probabilities(n_keys, exp_s), key_ids=perm)
+    r_source = StreamSource(
+        "R", r_sampler, rate, seeds.generator("validate.source.R"),
+        total=tuples_per_stream,
+    )
+    s_source = StreamSource(
+        "S", s_sampler, rate, seeds.generator("validate.source.S"),
+        total=tuples_per_stream,
+    )
+    return r_source, s_source
+
+
+def validation_config(
+    kind: str = "zipf",
+    n_instances: int = 4,
+    seed: int = 0,
+    theta: float | None = 1.8,
+    **overrides,
+) -> SystemConfig:
+    """The validation operating point.
+
+    Deliberately small and aggressive: few instances, modest capacity (so
+    the hot instance builds a backlog), a low migration threshold and a
+    tiny minimum-load gate, so skewed validation workloads trigger real
+    migrations within ~10 simulated seconds.  Backpressure is off — the
+    oracle replay is simplest when the sources run open-loop — and the
+    indexed cost model keeps per-op cost flat so run length is predictable.
+    """
+    base = dict(
+        n_instances=n_instances,
+        capacity=1_200.0,
+        cost_model=IndexedCost(probe_base=1.0, emit_cost=0.02),
+        theta=theta,
+        tick=0.01,
+        monitor_period=0.25,
+        monitor_min_load=2_000.0,
+        monitor_cooldown=0.5,
+        backpressure_max_queue=None,
+        load_smoothing_tau=0.5,
+        warmup=0.0,
+        seed=seed,
+    )
+    if kind == "windowed":
+        # Exercise the WindowedStore datapath (sub-window match counts,
+        # migration remove/merge across sub-windows) but keep the rotation
+        # horizon beyond the run: the exact oracle is full-history, so the
+        # pair multiset is only well-defined while nothing expires.
+        # Eviction-vs-migration interleavings are covered by the instance
+        # fuzzer's ``rotate`` action and the deep-consistency guards.
+        base["window_subwindows"] = 4
+        base["window_rotation_period"] = 100_000.0
+    base.update(overrides)
+    return SystemConfig(**base)

@@ -1,10 +1,23 @@
 """Shared test configuration.
 
-Registers a hypothesis profile without per-example deadlines: simulation
-steps allocate numpy arrays whose first-touch cost varies wildly across
-machines, which makes wall-clock deadlines flaky.
+Two hypothesis profiles:
+
+- ``repro`` (default) — no per-example deadlines: simulation steps allocate
+  numpy arrays whose first-touch cost varies wildly across machines, which
+  makes wall-clock deadlines flaky;
+- ``ci`` — same, plus a bounded example budget and derandomized example
+  selection so CI runs are deterministic and time-boxed.  Select it with
+  ``HYPOTHESIS_PROFILE=ci``.
+
+The ``--repro-seed`` option feeds the session-scoped ``rng`` /
+``repro_seed`` fixtures; every failing test report carries a copy-pastable
+command that re-runs just that test with the same seed.
 """
 
+import os
+
+import numpy as np
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -12,4 +25,55 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "ci",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=25,
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=0,
+        help="root seed for the session-scoped rng fixture; failing tests "
+        "print a command that replays them with this seed",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_seed(request) -> int:
+    """The run's root seed (``--repro-seed``, default 0)."""
+    return request.config.getoption("--repro-seed")
+
+
+@pytest.fixture(scope="session")
+def rng(repro_seed) -> np.random.Generator:
+    """Session-scoped generator derived from ``--repro-seed``.
+
+    Session-scoped on purpose: tests that need independent streams should
+    spawn children via ``rng.spawn()`` or use
+    :class:`repro.engine.rng.SeedSequenceFactory` with ``repro_seed``.
+    """
+    return np.random.default_rng(repro_seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = item.config.getoption("--repro-seed")
+        report.sections.append(
+            (
+                "repro",
+                "re-run this failure with the same seed:\n"
+                f"  PYTHONPATH=src python -m pytest {item.nodeid!r} "
+                f"--repro-seed {seed}",
+            )
+        )

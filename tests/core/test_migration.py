@@ -122,3 +122,47 @@ class TestMigrationExecutor:
         assert event is not None
         moved_stored = before_src - src.store.total
         assert event.n_tuples >= moved_stored
+
+
+class TestMigrationEdgeCases:
+    """Edge cases surfaced by the validation layer (repro.validate)."""
+
+    def test_empty_selection_leaves_routing_untouched(self):
+        a = JoinInstance(0, capacity=1e6, backlog_smoothing_tau=0.0)
+        b = JoinInstance(1, capacity=1e6, backlog_smoothing_tau=0.0)
+        a.enqueue(stores([1]))
+        a.step(0.0, 1.0)
+        routing = RoutingTable(2)
+        version_before = routing.version
+        ex = MigrationExecutor(routing)
+        assert ex.execute(0.0, "R", a, b, GreedyFit(), li_before=1.0) is None
+        assert routing.n_overrides == 0
+        assert routing.version == version_before
+
+    def test_negative_tuple_count_rejected(self):
+        with pytest.raises(ConfigError):
+            MigrationCostModel().duration(0, -1)
+        with pytest.raises(ConfigError):
+            MigrationCostModel().duration(-1, -1)
+
+    def test_pause_equals_cost_model_duration(self):
+        src, dst = loaded_pair()
+        ex = MigrationExecutor(RoutingTable(2))
+        now = 10.0
+        event = ex.execute(now, "R", src, dst, GreedyFit(), li_before=5.0)
+        assert event is not None
+        assert src._paused_until == pytest.approx(now + event.duration)
+        # and the event's duration is the cost model's, not an ad-hoc value
+        moved = event.n_tuples
+        problem_keys = event.n_keys
+        # n_keys_considered is the whole candidate set, not just selected
+        assert event.duration >= ex.cost_model.duration(problem_keys, moved)
+
+    def test_event_records_selected_keys(self):
+        src, dst = loaded_pair()
+        routing = RoutingTable(2)
+        ex = MigrationExecutor(routing)
+        event = ex.execute(10.0, "R", src, dst, GreedyFit(), li_before=5.0)
+        assert event is not None
+        assert event.keys == tuple(sorted(routing.overrides_snapshot()))
+        assert len(event.keys) == event.n_keys

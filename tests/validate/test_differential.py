@@ -1,0 +1,122 @@
+"""Differential oracle cross-checks for all three systems.
+
+The core acceptance property of the reproduction: on identical workloads,
+every production system's joined-pair multiset equals the exact oracle's
+``{(r, s) : r.key == s.key}`` with multiplicity one — including FastJoin
+runs where real migrations fired mid-stream (paper section III-D).
+"""
+
+import pytest
+
+from repro.errors import ValidationError, WorkloadError
+from repro.validate import (
+    DifferentialHarness,
+    make_sources,
+    run_differential,
+    validation_config,
+)
+
+SYSTEMS = ("bistream", "contrand", "fastjoin")
+ZIPF_LEVELS = (0.0, 0.8, 1.2)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("z", ZIPF_LEVELS)
+def test_system_matches_oracle(system, z):
+    report = run_differential(
+        system,
+        seed=5,
+        ticks=300,
+        zipf=z,
+        tuples_per_stream=1_200,
+        raise_on_failure=True,
+    )
+    assert report.ok, report.summary()
+    assert report.pairs_expected > 0
+    assert (
+        report.pairs_expected
+        == report.results_system
+        == report.pairs_oracle
+    )
+    assert report.oracle_ok
+
+
+def test_fastjoin_run_includes_migrations():
+    """The cross-check must exercise the migration protocol, not just the
+    static datapath: the skewed fastjoin case has to migrate."""
+    report = run_differential(
+        "fastjoin", seed=5, ticks=300, zipf=1.2, tuples_per_stream=1_200
+    )
+    assert report.n_migrations >= 1
+    assert report.n_migrations_replayed == report.n_migrations
+    assert report.ok, report.summary()
+
+
+def test_baselines_never_migrate():
+    for system in ("bistream", "contrand"):
+        report = run_differential(
+            system, seed=5, ticks=200, zipf=1.2, tuples_per_stream=800
+        )
+        assert report.n_migrations == 0
+        assert report.ok
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", ["windowed", "ridehailing"])
+def test_alternate_workloads(workload):
+    report = run_differential(
+        "fastjoin",
+        workload=workload,
+        seed=7,
+        ticks=300,
+        tuples_per_stream=1_200,
+    )
+    assert report.ok, report.summary()
+
+
+def test_divergence_is_diagnosed():
+    """Tampering with an instance's result counts must produce a report
+    with per-key divergences and first-divergence diagnostics."""
+    harness = DifferentialHarness(
+        "bistream", seed=3, ticks=150, tuples_per_stream=600, guards=False
+    )
+    report = harness.run()
+    assert report.ok
+    # forge one instance's view: claim extra results for a real key
+    inst = next(
+        i for i in harness.runtime.instances if i.result_counts_snapshot()
+    )
+    key = next(iter(inst.result_counts_snapshot()))
+    inst._result_counts[key] += 2
+    forged = harness._compare(extra_ticks=0)
+    assert not forged.ok
+    assert forged.divergences
+    d = forged.first_divergence
+    assert d is not None
+    assert d.kind == "extra"
+    assert d.key in {div.key for div in forged.divergences}
+    assert d.routing_epoch >= 0
+    with pytest.raises(ValidationError) as err:
+        forged.raise_on_failure()
+    assert err.value.seed == 3
+    assert err.value.context["system"] == "bistream"
+
+
+def test_determinism():
+    a = run_differential("fastjoin", seed=9, ticks=150, tuples_per_stream=600)
+    b = run_differential("fastjoin", seed=9, ticks=150, tuples_per_stream=600)
+    assert a.pairs_expected == b.pairs_expected
+    assert a.n_migrations == b.n_migrations
+    assert a.ok and b.ok
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(WorkloadError):
+        make_sources("nope", 0)
+
+
+def test_validation_config_overrides():
+    config = validation_config(theta=None, n_instances=3, capacity=500.0)
+    assert config.theta is None
+    assert config.n_instances == 3
+    assert config.capacity == 500.0

@@ -1,0 +1,90 @@
+"""Replay machinery: a captured ValidationError reproduces its run."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import replay, repro_command
+
+
+def test_replay_requires_seed():
+    with pytest.raises(ValueError):
+        replay(ValidationError("no seed", context={"fuzz": "oracle"}))
+
+
+def test_replay_requires_known_context():
+    with pytest.raises(ValueError):
+        replay(ValidationError("mystery", seed=1, context={"what": "ever"}))
+
+
+def test_replay_oracle_fuzz_reproduces_fault():
+    """Regression path: a failure context that still fails must fail again
+    on replay — same seed, same schedule, same verdict."""
+    error = ValidationError(
+        "captured",
+        invariant="exactly-once",
+        seed=0,
+        tick=12,
+        context={
+            "fuzz": "oracle",
+            "selector": "greedyfit",
+            "n_actions": 40,
+            "fault": "drop_queued",
+        },
+    )
+    with pytest.raises(ValidationError) as err:
+        replay(error)
+    assert "replay reproduced" in str(err.value)
+
+
+def test_replay_oracle_fuzz_passes_when_fixed():
+    error = ValidationError(
+        "captured",
+        invariant="exactly-once",
+        seed=0,
+        tick=12,
+        context={"fuzz": "oracle", "selector": "greedyfit", "n_actions": 40},
+    )
+    report = replay(error)
+    assert report.ok
+
+
+def test_replay_instance_fuzz():
+    error = ValidationError(
+        "captured",
+        invariant="conservation",
+        seed=11,
+        tick=5,
+        context={"fuzz": "instance", "selector": "safit", "n_actions": 30},
+    )
+    report = replay(error)
+    assert report.ok
+
+
+def test_replay_differential():
+    error = ValidationError(
+        "captured",
+        invariant="exactly-once",
+        seed=5,
+        tick=100,
+        context={"system": "bistream", "workload": "zipf", "ticks": 150},
+    )
+    report = replay(error)
+    assert report.ok
+    assert report.system == "bistream"
+    assert report.seed == 5
+
+
+def test_repro_command_rendering():
+    error = ValidationError(
+        "boom",
+        invariant="conservation",
+        seed=7,
+        tick=42,
+        context={"system": "fastjoin", "ticks": 2_000},
+    )
+    command = repro_command(error)
+    assert "--seed 7" in command
+    assert "fastjoin" in command
+    # the metadata is also baked into the message itself
+    assert "seed=7" in str(error)
+    assert "tick=42" in str(error)

@@ -1,0 +1,237 @@
+"""Hypothesis stateful machines over the fuzzer's action vocabulary.
+
+Where :mod:`repro.validate.fuzz` plays fixed seed-derived schedules,
+these machines let Hypothesis *search* the schedule space and shrink any
+counterexample to a minimal action sequence.  The rules mirror the
+fuzzer's vocabulary (burst / migrate mid-burst / migrate-back / settle /
+rotate) one-to-one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.migration import MigrationExecutor
+from repro.core.routing import RoutingTable
+from repro.core.selection import GreedyFit
+from repro.engine.cost import IndexedCost
+from repro.engine.rng import hash_to_instance
+from repro.engine.tuples import Batch
+from repro.join.exact import ExactBiclique
+from repro.join.instance import JoinInstance
+from repro.validate.fuzz import ACTION_KINDS
+
+pytestmark = pytest.mark.fuzz
+
+N_INSTANCES = 3
+KEYS = st.lists(st.integers(0, 15), min_size=1, max_size=25)
+STREAMS = st.sampled_from(["R", "S"])
+
+
+def test_rule_vocabulary_matches_fuzzer():
+    """Keep the machines honest: every fuzzer action kind has a rule."""
+    machine_rules = {
+        "burst", "migrate_mid", "migrate_back", "zero_benefit", "rotate",
+        "settle",
+    }
+    assert set(ACTION_KINDS) == machine_rules
+
+
+class OracleProtocolMachine(RuleBasedStateMachine):
+    """Exactly-once must survive any interleaving of ingest and migration."""
+
+    def __init__(self):
+        super().__init__()
+        self.oracle = ExactBiclique(N_INSTANCES, dispatch_delay=0.005)
+        self.now = 0.0
+        self.last_migrated: tuple[str, set, int] | None = None
+
+    def _selector_migrate(self, side):
+        totals = [inst.stored_total() for inst in self.oracle.groups[side]]
+        source = int(np.argmax(totals))
+        target = int(np.argmin(totals))
+        if source == target:
+            return
+        src = self.oracle.groups[side][source]
+        stored = {k: len(v) for k, v in src.store.items() if v}
+        if not stored:
+            return
+        # any key choice is protocol-legal; pick the heaviest for skew realism
+        key = max(stored, key=stored.get)
+        self.oracle.migrate(
+            side, source, target, {key}, now=self.now, duration=0.02
+        )
+        self.last_migrated = (side, {key}, target)
+
+    @rule(stream=STREAMS, keys=KEYS)
+    def burst(self, stream, keys):
+        for key in keys:
+            self.oracle.ingest(stream, key, self.now)
+        self.now += 0.01
+        self.oracle.step(self.now)
+
+    @rule(stream=STREAMS, keys=KEYS, side=STREAMS)
+    def migrate_mid(self, stream, keys, side):
+        half = len(keys) // 2
+        for key in keys[:half]:
+            self.oracle.ingest(stream, key, self.now)
+        self._selector_migrate(side)
+        for key in keys[half:]:
+            self.oracle.ingest(stream, key, self.now)
+        self.now += 0.01
+        self.oracle.step(self.now)
+
+    @rule()
+    def migrate_back(self):
+        if self.last_migrated is None:
+            return
+        side, keys, holder = self.last_migrated
+        dest = (holder + 1) % N_INSTANCES
+        self.oracle.migrate(
+            side, holder, dest, keys, now=self.now, duration=0.02
+        )
+        self.last_migrated = (side, keys, dest)
+
+    @rule(dt=st.floats(0.01, 0.2))
+    def settle(self, dt):
+        self.now += dt
+        self.oracle.step(self.now)
+
+    def teardown(self):
+        self.oracle.drain(self.now + 10.0)
+        ok, msg = self.oracle.check_exactly_once()
+        assert ok, msg
+
+
+class InstanceConservationMachine(RuleBasedStateMachine):
+    """Production instances + executor: conservation and colocation hold
+    after every action, including migration during sub-window eviction."""
+
+    def __init__(self):
+        super().__init__()
+        self.routing = RoutingTable(N_INSTANCES)
+        self.executor = MigrationExecutor(self.routing)
+        self.instances = [
+            JoinInstance(
+                i,
+                side="R",
+                capacity=2_000.0,
+                cost_model=IndexedCost(probe_base=1.0, emit_cost=0.0),
+                window_subwindows=4,
+                backlog_smoothing_tau=0.0,
+            )
+            for i in range(N_INSTANCES)
+        ]
+        self.selector = GreedyFit()
+        self.now = 0.0
+        self.dispatched_stores = 0
+        self.dispatched_probes = 0
+
+    def _dispatch(self, keys):
+        arr = np.array(keys, dtype=np.int64)
+        probe_mask = np.arange(arr.shape[0]) % 2 == 0
+        targets = self.routing.apply(arr, hash_to_instance(arr, N_INSTANCES))
+        times = np.full(arr.shape[0], self.now)
+        for i in range(N_INSTANCES):
+            mine = targets == i
+            s_mask = mine & ~probe_mask
+            p_mask = mine & probe_mask
+            if s_mask.any():
+                self.instances[i].enqueue(Batch.stores(arr[s_mask], times[s_mask]))
+                self.dispatched_stores += int(s_mask.sum())
+            if p_mask.any():
+                self.instances[i].enqueue(Batch.probes(arr[p_mask], times[p_mask]))
+                self.dispatched_probes += int(p_mask.sum())
+
+    def _step(self, dt):
+        for inst in self.instances:
+            inst.step(self.now, dt)
+        self.now += dt
+
+    def _migrate(self):
+        loads = [
+            inst.store.total * max(inst.queue.probe_backlog, 1)
+            for inst in self.instances
+        ]
+        source = self.instances[int(np.argmax(loads))]
+        target = self.instances[int(np.argmin(loads))]
+        if source is target:
+            return
+        self.executor.execute(
+            self.now, "R", source, target, self.selector, li_before=0.0
+        )
+
+    @rule(keys=KEYS)
+    def burst(self, keys):
+        self._dispatch(keys)
+        self._step(0.01)
+
+    @rule(keys=KEYS)
+    def migrate_mid(self, keys):
+        half = len(keys) // 2
+        self._dispatch(keys[:half])
+        self._migrate()
+        self._dispatch(keys[half:])
+        self._step(0.01)
+
+    @rule()
+    def migrate_back(self):
+        self._migrate()
+        self._migrate()
+
+    @rule()
+    def zero_benefit(self):
+        self._migrate()
+
+    @rule()
+    def rotate(self):
+        for inst in self.instances:
+            inst.rotate_window()
+
+    @rule(dt=st.floats(0.02, 0.2))
+    def settle(self, dt):
+        self._step(dt)
+
+    @invariant()
+    def conservation(self):
+        served_stores = sum(i.total_stored for i in self.instances)
+        served_probes = sum(i.total_probed for i in self.instances)
+        queued_probes = sum(i.queue.probe_backlog for i in self.instances)
+        queued_stores = sum(
+            len(i.queue) - i.queue.probe_backlog for i in self.instances
+        )
+        assert served_stores + queued_stores == self.dispatched_stores
+        assert served_probes + queued_probes == self.dispatched_probes
+
+    @invariant()
+    def colocation(self):
+        seen = {}
+        for inst in self.instances:
+            for key, count in inst.store.counts_snapshot().items():
+                if count:
+                    assert key not in seen, (
+                        f"key {key} on instances {seen[key]} and "
+                        f"{inst.instance_id}"
+                    )
+                    seen[key] = inst.instance_id
+        for key, holder in seen.items():
+            override = self.routing.target_of(key)
+            expected = (
+                override
+                if override is not None
+                else int(hash_to_instance(np.array([key]), N_INSTANCES)[0])
+            )
+            assert holder == expected
+
+
+_stateful_settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+
+TestOracleProtocol = OracleProtocolMachine.TestCase
+TestOracleProtocol.settings = _stateful_settings
+
+TestInstanceConservation = InstanceConservationMachine.TestCase
+TestInstanceConservation.settings = _stateful_settings
