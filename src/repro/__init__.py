@@ -40,8 +40,10 @@ from .errors import (
     RoutingError,
     SimulationError,
     StorageError,
+    ValidationError,
     WorkloadError,
 )
+from .obs import Observability
 from .systems import SYSTEMS, build_system
 
 __version__ = "1.0.0"
@@ -70,6 +72,8 @@ __all__ = [
     "MigrationError",
     "StorageError",
     "SimulationError",
+    "ValidationError",
     "WorkloadError",
+    "Observability",
     "__version__",
 ]

@@ -164,11 +164,22 @@ def run_ridehailing(
     duration: float | None = RUN_DURATION,
     unbounded: bool = True,
     max_duration: float = 240.0,
+    obs=None,
 ) -> ExperimentResult:
-    """Run one system on the ride-hailing workload and collect results."""
+    """Run one system on the ride-hailing workload and collect results.
+
+    ``obs`` (an :class:`repro.obs.Observability`) attaches event tracing /
+    metrics / profiling to the run; the caller owns its lifecycle.
+    """
     spec = spec or canonical_workload_spec()
     orders, tracks = ridehailing_sources(spec, config.seed, unbounded=unbounded)
     runtime = build_system(system, config, orders, tracks)
+    if obs is not None:
+        runtime.attach_observer(
+            obs,
+            meta={"system": system, "workload": "ridehailing",
+                  "seed": config.seed},
+        )
     metrics = runtime.run(
         duration=duration, drain=not unbounded, max_duration=max_duration
     )
@@ -187,6 +198,7 @@ def run_synthetic_group(
     n_keys: int = 1_000,
     rate: float = 4_500.0,
     duration: float = 40.0,
+    obs=None,
 ) -> ExperimentResult:
     """Run one system on a Gxy synthetic skew group (Fig. 12/13).
 
@@ -203,6 +215,11 @@ def run_synthetic_group(
     r_source.total = None
     s_source.total = None
     runtime = build_system(system, config, r_source, s_source)
+    if obs is not None:
+        runtime.attach_observer(
+            obs,
+            meta={"system": system, "workload": label, "seed": config.seed},
+        )
     metrics = runtime.run(duration=duration, drain=False, max_duration=240.0)
     return ExperimentResult(
         system=system,

@@ -18,14 +18,20 @@ Cross-check a system against the exact-semantics oracle::
 
     python -m repro validate --system fastjoin --seed 7 --ticks 2000
 
-The CLI is a thin veneer over :mod:`repro.bench.experiments` and
-:mod:`repro.validate`; everything it can do is also available
-programmatically.
+Record a structured event trace and inspect it afterwards::
+
+    python -m repro fastjoin --workload G21 --duration 20 --trace run.jsonl
+    python -m repro inspect run.jsonl
+
+The CLI is a thin veneer over :mod:`repro.bench.experiments`,
+:mod:`repro.validate` and :mod:`repro.obs`; everything it can do is also
+available programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench.experiments import (
@@ -50,9 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "system",
-        choices=[*SYSTEMS, "compare", "validate"],
-        help="system to run, 'compare' for all three, or 'validate' to "
-        "cross-check a system against the exact-semantics oracle",
+        choices=[*SYSTEMS, "compare", "validate", "inspect"],
+        help="system to run, 'compare' for all three, 'validate' to "
+        "cross-check a system against the exact-semantics oracle, or "
+        "'inspect' to replay a recorded JSONL trace into a report",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="trace file to read (the 'inspect' subcommand)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL event trace of the run (run/validate), or "
+        "the trace to read for 'inspect'",
     )
     parser.add_argument(
         "--workload",
@@ -98,10 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Zipf exponent of the zipf/windowed scenarios")
     validate.add_argument("--no-guards", action="store_true",
                           help="disable the runtime invariant guards")
+
+    inspect_group = parser.add_argument_group(
+        "inspect", "options for the 'inspect' subcommand"
+    )
+    inspect_group.add_argument("--top", type=int, default=10,
+                               help="hot keys to list in the report")
     return parser
 
 
-def _run_one(system: str, args: argparse.Namespace) -> ExperimentResult:
+def _trace_path(base: str, system: str, multi: bool) -> str:
+    """Per-system trace path when one invocation runs several systems."""
+    return f"{base}.{system}" if multi else base
+
+
+def _run_one(system: str, args: argparse.Namespace, obs=None) -> ExperimentResult:
     theta = args.theta if system == "fastjoin" else None
     warmup = args.warmup if args.warmup is not None else min(
         25.0, args.duration / 2
@@ -119,13 +150,16 @@ def _run_one(system: str, args: argparse.Namespace) -> ExperimentResult:
             if args.rate
             else canonical_workload_spec()
         )
-        return run_ridehailing(system, config, spec=spec, duration=args.duration)
+        return run_ridehailing(
+            system, config, spec=spec, duration=args.duration, obs=obs
+        )
     return run_synthetic_group(
         system,
         args.workload,
         config,
         rate=args.rate or 1_500.0,
         duration=args.duration,
+        obs=obs,
     )
 
 
@@ -154,6 +188,13 @@ def _run_validate(args: argparse.Namespace) -> int:
             f"(seed={args.seed}, ticks={args.ticks})...",
             file=sys.stderr,
         )
+        obs = None
+        if args.trace:
+            from .obs import Observability
+
+            obs = Observability.create(
+                jsonl_path=_trace_path(args.trace, system, len(systems) > 1)
+            )
         try:
             report = run_differential(
                 system,
@@ -163,20 +204,53 @@ def _run_validate(args: argparse.Namespace) -> int:
                 n_instances=args.instances if args.instances is not None else 4,
                 zipf=args.zipf,
                 guards=not args.no_guards,
+                obs=obs,
             )
         except ValidationError as exc:
             print(f"invariant violated: {exc}")
             failures += 1
             continue
+        finally:
+            if obs is not None:
+                obs.close()
         print(report.summary())
         if not report.ok:
             failures += 1
     return 1 if failures else 0
 
 
+def _run_inspect(args: argparse.Namespace) -> int:
+    """The ``inspect`` subcommand: replay a JSONL trace into a report."""
+    from .obs.inspect import TraceFormatError, build_report, read_events, render_report
+
+    path = args.path or args.trace
+    if path is None:
+        print("inspect requires a trace file (positional or --trace)",
+              file=sys.stderr)
+        return 2
+    try:
+        events = read_events(path)
+        report = build_report(events)
+    except FileNotFoundError:
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"bad trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(report, top=args.top))
+    except BrokenPipeError:
+        # e.g. `repro inspect t.jsonl | head` — redirect stdout to devnull
+        # so the interpreter's exit flush doesn't raise again
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.system == "inspect":
+        return _run_inspect(args)
     if args.system == "validate":
         return _run_validate(args)
     if args.instances is None:
@@ -187,7 +261,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"running {system} on {args.workload} "
               f"({args.instances} instances, {args.duration:g}s)...",
               file=sys.stderr)
-        rows.append(_row(_run_one(system, args)))
+        obs = None
+        if args.trace:
+            from .obs import Observability
+
+            obs = Observability.create(
+                jsonl_path=_trace_path(args.trace, system, len(systems) > 1)
+            )
+        try:
+            rows.append(_row(_run_one(system, args, obs=obs)))
+        finally:
+            if obs is not None:
+                if obs.profiler is not None:
+                    print(obs.profiler.summary(), file=sys.stderr)
+                obs.close()
     print(comparison_table(rows, list(rows[0].keys())))
     return 0
 

@@ -48,12 +48,24 @@ class MigrationCostModel:
     per_tuple: float = 5e-6
 
     def duration(self, n_keys_considered: int, n_tuples_moved: int) -> float:
+        b = self.breakdown(n_keys_considered, n_tuples_moved)
+        return b["fixed"] + b["select"] + b["transfer"]
+
+    def breakdown(self, n_keys_considered: int, n_tuples_moved: int) -> dict:
+        """The duration's additive components, for span timelines.
+
+        ``select`` is the key-selection work, ``transfer`` the per-tuple
+        movement, ``fixed`` the protocol's bookkeeping overhead (pause /
+        extract / reroute / drain); their sum is :meth:`duration`.
+        """
         if n_keys_considered < 0 or n_tuples_moved < 0:
             raise ConfigError("counts must be non-negative")
         k = max(n_keys_considered, 1)
-        return self.fixed + self.per_key * k * float(np.log2(k + 1)) + (
-            self.per_tuple * n_tuples_moved
-        )
+        return {
+            "fixed": self.fixed,
+            "select": self.per_key * k * float(np.log2(k + 1)),
+            "transfer": self.per_tuple * n_tuples_moved,
+        }
 
 
 class MigrationExecutor:
@@ -66,6 +78,8 @@ class MigrationExecutor:
     ) -> None:
         self.routing = routing
         self.cost_model = cost_model if cost_model is not None else MigrationCostModel()
+        # Optional observability bundle (repro.obs); one test per migration.
+        self.obs = None
 
     def execute(
         self,
@@ -83,6 +97,12 @@ class MigrationExecutor:
         """
         if source is target:
             raise MigrationError("source and target must differ")
+        obs = self.obs
+        wall_start = (
+            obs.profiler.now()
+            if obs is not None and obs.profiler is not None
+            else 0.0
+        )
         problem: SelectionProblem = source.selection_problem(target)
         result: SelectionResult = selector.select(problem)
         if result.empty:
@@ -116,7 +136,7 @@ class MigrationExecutor:
             * (problem.backlog_j + result.moved_backlog),
         )
         li_after = load_imbalance([max(l_i, 0.0), max(l_j, 0.0)])
-        return MigrationEvent(
+        event = MigrationEvent(
             time=now,
             side=side,
             source=source.instance_id,
@@ -128,3 +148,13 @@ class MigrationExecutor:
             li_after_estimate=li_after,
             keys=tuple(sorted(int(k) for k in result.selected_keys)),
         )
+        if obs is not None:
+            wall = (
+                obs.profiler.now() - wall_start
+                if obs.profiler is not None
+                else 0.0
+            )
+            obs.on_migration(
+                event, self.cost_model.breakdown(problem.n_keys, moved), wall
+            )
+        return event

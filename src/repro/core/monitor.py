@@ -89,6 +89,8 @@ class Monitor:
         self._cooldown_until = 0.0
         self.n_migrations = 0
         self.li_history: list[tuple[float, float]] = []
+        # Optional observability bundle (repro.obs); one test per sample.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
 
@@ -98,11 +100,14 @@ class Monitor:
 
     def sample(self, now: float) -> float:
         """Refresh the load table from the instances; return current LI."""
-        self.table.update_many([inst.snapshot() for inst in self.instances])
+        snapshots = [inst.snapshot() for inst in self.instances]
+        self.table.update_many(snapshots)
         li = self.table.imbalance()
         self.li_history.append((now, li))
         if self.metrics is not None:
             self.metrics.record_li(self.side, now, li)
+        if self.obs is not None:
+            self.obs.on_li_sample(self.side, now, li, snapshots)
         return li
 
     def tick(self, now: float) -> bool:

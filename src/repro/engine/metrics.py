@@ -141,20 +141,30 @@ class RunMetrics:
 class MetricsCollector:
     """Accumulates per-second statistics during a run."""
 
-    def __init__(self, warmup: float = 0.0, reservoir_capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        warmup: float = 0.0,
+        reservoir_capacity: int = 4096,
+        reservoir_seed: int = 0,
+    ) -> None:
         self._results: dict[int, float] = {}
         self._processed: dict[int, int] = {}
         self._lat_sum: dict[int, float] = {}
         self._lat_cnt: dict[int, int] = {}
         self._li: dict[str, list[tuple[float, float]]] = {}
         self._migrations: list[MigrationEvent] = []
-        self._reservoir = Reservoir(reservoir_capacity)
+        # The reservoir's replacement draws come from the run seed so that
+        # reported percentiles are a pure function of (config, seed), like
+        # every other statistic.
+        self._reservoir = Reservoir(reservoir_capacity, seed=reservoir_seed)
         self._total_results = 0
         self._total_processed = 0
         self._lat_total = 0.0
         self._lat_total_n = 0
         self._warmup = float(warmup)
         self._max_time = 0.0
+        # Optional observability bundle (repro.obs); one test per record.
+        self.obs = None
 
     # -- recording ----------------------------------------------------- #
 
@@ -182,6 +192,8 @@ class MetricsCollector:
                 self._lat_total += s
                 self._lat_total_n += int(latencies.size)
                 self._reservoir.add_many(latencies)
+        if self.obs is not None:
+            self.obs.on_record_service(now, n_processed, n_results, latencies)
 
     def record_li(self, side: str, now: float, li: float) -> None:
         self._li.setdefault(side, []).append((now, li))
@@ -204,16 +216,21 @@ class MetricsCollector:
         thr = np.zeros(n_sec)
         proc = np.zeros(n_sec)
         lat = np.full(n_sec, np.nan)
+        # An event recorded at exactly t == n_sec (an integer run end) falls
+        # in the last window, whose *end* is n_sec — clamp instead of drop,
+        # so series sums equal the lifetime totals (``total_results ==
+        # throughput.sum()``).
+        lat_sum = np.zeros(n_sec)
+        lat_cnt = np.zeros(n_sec, dtype=np.int64)
         for sec, v in self._results.items():
-            if sec < n_sec:
-                thr[sec] = v
+            thr[min(sec, n_sec - 1)] += v
         for sec, v in self._processed.items():
-            if sec < n_sec:
-                proc[sec] = v
+            proc[min(sec, n_sec - 1)] += v
         for sec, s in self._lat_sum.items():
-            cnt = self._lat_cnt.get(sec, 0)
-            if cnt and sec < n_sec:
-                lat[sec] = s / cnt
+            lat_sum[min(sec, n_sec - 1)] += s
+            lat_cnt[min(sec, n_sec - 1)] += self._lat_cnt.get(sec, 0)
+        nz = lat_cnt > 0
+        lat[nz] = lat_sum[nz] / lat_cnt[nz]
         li_series: dict[str, np.ndarray] = {}
         for side, samples in self._li.items():
             arr = np.full(n_sec, np.nan)

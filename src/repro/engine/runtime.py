@@ -65,6 +65,18 @@ class StreamJoinRuntime:
         # None`` test per tick, so benchmarks are unaffected unless a
         # validation run opts in via attach_guards().
         self.guards = None
+        # Optional observability bundle (repro.obs).  Same contract as the
+        # guards hook: None by default, one ``is not None`` test per site.
+        self.obs = None
+
+    def attach_observer(self, obs, meta: dict | None = None) -> None:
+        """Opt in to structured observability (events/metrics/profiling).
+
+        ``obs`` is an :class:`repro.obs.Observability` (duck-typed here to
+        keep the engine layer free of a dependency on the observability
+        layer); its ``bind`` wires every hook site of this runtime.
+        """
+        obs.bind(self, meta=meta)
 
     def attach_guards(self, guards) -> None:
         """Opt in to per-tick invariant checking.
@@ -90,27 +102,53 @@ class StreamJoinRuntime:
         """Advance the system by one tick."""
         now = self.clock.now
         dt = self.clock.tick
+        obs = self.obs
+        prof = obs.profiler if obs is not None else None
 
+        t_mark = prof.now() if prof is not None else 0.0
         throttled = self.backpressure_max_queue is not None and any(
             len(inst.queue) > self.backpressure_max_queue for inst in self.instances
         )
+        n_emitted = 0
         if throttled:
             self.throttled_ticks += 1
         else:
             r_keys = self.r_source.emit(dt)
             s_keys = self.s_source.emit(dt)
+            n_emitted = int(r_keys.shape[0] + s_keys.shape[0])
             if r_keys.shape[0]:
                 self.dispatcher.dispatch("R", r_keys, now)
             if s_keys.shape[0]:
                 self.dispatcher.dispatch("S", s_keys, now)
+        if prof is not None:
+            t_now = prof.now()
+            prof.add("dispatch", t_now - t_mark, work=n_emitted)
+            t_mark = t_now
 
         end = now + dt
+        tot_processed = 0
+        tot_results = 0.0
+        lat_sum = 0.0
+        lat_count = 0
+        work_done = 0.0
         for inst in self.instances:
             report = inst.step(now, dt)
             if not report.idle:
                 self.metrics.record_service(
                     end, report.n_processed, report.n_results, report.latencies
                 )
+                if obs is not None:
+                    tot_processed += report.n_processed
+                    tot_results += report.n_results
+                    lat_sum += float(report.latencies.sum())
+                    lat_count += int(report.latencies.size)
+                    work_done += report.work_units
+        if prof is not None:
+            t_now = prof.now()
+            prof.add("service", t_now - t_mark, work=work_done)
+            t_mark = t_now
+        if obs is not None and tot_processed:
+            obs.on_service_tick(end, tot_processed, tot_results, lat_sum, lat_count)
 
         for monitor in self.monitors.values():
             monitor.tick(end)
@@ -119,9 +157,13 @@ class StreamJoinRuntime:
             self._next_rotation += self.window_rotation_period  # type: ignore[operator]
             for inst in self.instances:
                 inst.rotate_window()
+        if prof is not None:
+            prof.add("monitor", prof.now() - t_mark)
 
         self.clock.advance()
         self.tick_index += 1
+        if obs is not None:
+            obs.on_tick(end, self.tick_index, throttled)
         if self.guards is not None:
             self.guards.after_tick(self, end)
 

@@ -48,7 +48,13 @@ class TraceMatrix:
         }
 
     def final_spread(self) -> float:
-        """max/min ratio of the last sample (floor-clamped)."""
+        """max/min ratio of the last sample (floor-clamped).
+
+        ``nan`` when no sample was ever taken (a run shorter than the
+        sampling period) — the spread of nothing is undefined, not 1.0.
+        """
+        if self.n_samples == 0 or self.n_instances == 0:
+            return float("nan")
         last = self.values[-1]
         return float(last.max() / max(last.min(), 1.0))
 
@@ -103,7 +109,12 @@ class InstanceTracer:
         now = self.runtime.clock.now
         if now < self._next:
             return False
-        self._next += self.period
+        # Catch the deadline up past ``now``: one large step() can advance
+        # the clock across several periods, and advancing by a single
+        # period would leave the deadline in the past — emitting a burst
+        # of stale immediate samples on the following calls.
+        while self._next <= now:
+            self._next += self.period
         self._times.append(now)
         self._rows.append(
             [self._sample_instance(i) for i in self.runtime.dispatcher.groups[self.side]]

@@ -61,7 +61,15 @@ class ValidationError(ReproError):
     context:
         Free-form structured details (side, instance, key, routing epoch,
         system name, workload...) for diagnostics and replay.
+
+    When an observability trace (:mod:`repro.obs`) is active at raise
+    time, the error additionally captures ``trace_tail`` — the trailing
+    window of structured events from the trace's flight recorder — so a
+    replayed failure arrives with the event history that led to it.
     """
+
+    #: how many trailing trace events are captured at raise time
+    TRACE_TAIL = 32
 
     def __init__(
         self,
@@ -76,6 +84,11 @@ class ValidationError(ReproError):
         self.seed = seed
         self.tick = tick
         self.context = dict(context) if context else {}
+        # Lazy import: repro.obs.events is stdlib-only, but errors must
+        # stay importable first (every layer depends on it).
+        from .obs.events import active_trace_tail
+
+        self.trace_tail: list[dict] = active_trace_tail(self.TRACE_TAIL)
         parts = [message]
         if invariant is not None:
             parts.append(f"[invariant={invariant}]")
@@ -86,6 +99,8 @@ class ValidationError(ReproError):
         cmd = self._render_command(seed, self.context)
         if cmd:
             parts.append(f"(replay: {cmd})")
+        if self.trace_tail:
+            parts.append(f"[trace: {len(self.trace_tail)} trailing events]")
         super().__init__(" ".join(parts))
 
     @staticmethod

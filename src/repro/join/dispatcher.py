@@ -106,6 +106,8 @@ class Dispatcher:
         self.delay = delay if delay is not None else DispatchDelay()
         self.rng = rng if rng is not None else np.random.Generator(np.random.PCG64(0))
         self.stats = DispatchStats()
+        # Optional observability bundle (repro.obs); one test per dispatch.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
 
@@ -167,3 +169,8 @@ class Dispatcher:
         self._scatter(other, probe_dest, probe_keys, t_probe, OP_PROBE)
         self.stats.probes_sent += int(probe_keys.shape[0])
         self.stats.probes_to_side[other] += int(probe_keys.shape[0])
+
+        if self.obs is not None:
+            self.obs.on_dispatch(
+                stream, keys, int(probe_keys.shape[0]), other, emit_time
+            )

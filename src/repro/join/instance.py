@@ -70,6 +70,7 @@ class ServiceReport:
     n_probed: int = 0
     n_results: float = 0.0
     latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
+    work_units: float = 0.0
 
     @property
     def idle(self) -> bool:
@@ -145,6 +146,8 @@ class JoinInstance:
         # validation layer (repro.validate).  Off by default: the datapath
         # pays only one ``is None`` test per tick when disabled.
         self._result_counts: dict[int, float] | None = None
+        # Optional observability bundle (repro.obs); same one-test contract.
+        self.obs = None
 
     # ------------------------------------------------------------------ #
     # data path
@@ -266,13 +269,17 @@ class JoinInstance:
         self.total_stored += n_stored
         self.total_probed += n_probed
         self.total_results += n_results
-        return ServiceReport(
+        report = ServiceReport(
             n_processed=n_take,
             n_stored=n_stored,
             n_probed=n_probed,
             n_results=n_results,
             latencies=latencies,
+            work_units=spent,
         )
+        if self.obs is not None:
+            self.obs.on_instance_step(self, report)
+        return report
 
     # ------------------------------------------------------------------ #
     # monitoring & migration hooks

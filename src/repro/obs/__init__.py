@@ -1,0 +1,64 @@
+"""Structured observability: events, spans, metrics registry, profiling.
+
+The paper's evaluation is built entirely out of *observations* — per-second
+throughput/latency/LI series (section VI-A), per-instance workload over
+time (Fig. 1c), and sub-second migration timelines (Fig. 11).  This package
+gives the reproduction one first-class place to produce them:
+
+- :mod:`repro.obs.events` — a zero-overhead-when-disabled event bus emitting
+  typed, timestamped events (tick, dispatch, service, li-sample,
+  guard-violation) and migration *spans* to pluggable sinks (in-memory ring
+  buffer, JSONL file, null);
+- :mod:`repro.obs.registry` — a Counter/Gauge/Histogram metrics registry
+  with labels, exported as JSON or Prometheus text;
+- :mod:`repro.obs.profile` — wall-time / work-unit attribution per runtime
+  phase (dispatch / service / monitor / migrate);
+- :mod:`repro.obs.context` — the :class:`Observability` bundle that wires
+  all of the above into a :class:`~repro.engine.runtime.StreamJoinRuntime`;
+- :mod:`repro.obs.inspect` — replays a recorded JSONL trace into a terminal
+  report (per-second series, migration waterfall, load envelope, hot keys).
+
+Every hook in the engine costs one ``is not None`` test when observability
+is not attached, so benchmarks are unaffected by the instrumentation.
+"""
+
+from .context import Observability
+from .events import (
+    EVENT_KINDS,
+    MIGRATION_PHASES,
+    Event,
+    EventBus,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    active_trace,
+    active_trace_tail,
+    set_active_trace,
+)
+from .inspect import InspectReport, build_report, read_events, render_report
+from .profile import PhaseProfiler, PhaseStats
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Observability",
+    "Event",
+    "EventBus",
+    "EVENT_KINDS",
+    "MIGRATION_PHASES",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "active_trace",
+    "active_trace_tail",
+    "set_active_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseProfiler",
+    "PhaseStats",
+    "InspectReport",
+    "read_events",
+    "build_report",
+    "render_report",
+]

@@ -1,0 +1,320 @@
+"""The :class:`Observability` bundle and its engine wiring.
+
+One ``Observability`` object groups the three instruments — event bus,
+metrics registry, phase profiler — and knows how to bind them to a wired
+:class:`~repro.engine.runtime.StreamJoinRuntime`.  The engine never imports
+this module: every hook site holds a plain ``obs`` attribute (``None`` by
+default) and calls a method on it only when it is set, so the steady-state
+cost of the entire observability layer is one ``is not None`` test per
+hook.
+
+The hook methods here are the single place that decides *what* gets
+emitted and published; the engine only reports *that* something happened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import EventBus, JsonlSink, MIGRATION_PHASES, RingBufferSink, set_active_trace
+from .profile import PhaseProfiler
+from .registry import MetricsRegistry
+
+__all__ = ["Observability"]
+
+#: how many hottest keys a dispatch event records
+DISPATCH_TOP_KEYS = 5
+
+
+class Observability:
+    """Event bus + metrics registry + profiler, bound to one runtime.
+
+    Parameters
+    ----------
+    bus:
+        Event bus (``None`` disables trace events).
+    registry:
+        Metrics registry (``None`` disables aggregate metrics).
+    profiler:
+        Phase profiler (``None`` disables wall-time attribution).
+    """
+
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
+    ) -> None:
+        self.bus = bus
+        self.registry = registry
+        self.profiler = profiler
+        self._wire_registry()
+
+    @classmethod
+    def create(
+        cls,
+        jsonl_path=None,
+        ring_capacity: int = 512,
+        registry: bool = True,
+        profile: bool = True,
+    ) -> "Observability":
+        """The standard instrument set: flight recorder + optional JSONL
+        file + registry + profiler."""
+        sinks: list = [RingBufferSink(ring_capacity)]
+        if jsonl_path is not None:
+            sinks.append(JsonlSink(jsonl_path))
+        return cls(
+            bus=EventBus(sinks),
+            registry=MetricsRegistry() if registry else None,
+            profiler=PhaseProfiler() if profile else None,
+        )
+
+    def _wire_registry(self) -> None:
+        reg = self.registry
+        if reg is None:
+            self._ctr_results = None
+            return
+        self._ctr_results = reg.counter(
+            "repro_results_total", "join-result tuples emitted"
+        ).labels()
+        self._ctr_processed = reg.counter(
+            "repro_processed_total", "input tuples served"
+        ).labels()
+        self._hist_latency = reg.histogram(
+            "repro_latency_seconds", "arrival-to-completion tuple latency"
+        ).labels()
+        self._ctr_ticks = reg.counter(
+            "repro_ticks_total", "simulation steps executed"
+        ).labels()
+        self._ctr_throttled = reg.counter(
+            "repro_throttled_ticks_total", "steps spent in spout backpressure"
+        ).labels()
+        self._ctr_stores = reg.counter(
+            "repro_dispatch_stores_total", "store ops delivered", ("side",)
+        )
+        self._ctr_probes = reg.counter(
+            "repro_dispatch_probes_total", "probe ops delivered", ("side",)
+        )
+        self._ctr_migrations = reg.counter(
+            "repro_migrations_total", "migrations executed", ("side",)
+        )
+        self._gauge_li = reg.gauge(
+            "repro_load_imbalance", "degree of load imbalance (Eq. 2)", ("side",)
+        )
+        self._gauge_stored = reg.gauge(
+            "repro_instance_stored", "stored tuples |R_i|", ("side", "instance")
+        )
+        self._gauge_backlog = reg.gauge(
+            "repro_instance_backlog", "probe backlog phi_si", ("side", "instance")
+        )
+        self._ctr_inst_results = reg.counter(
+            "repro_instance_results_total",
+            "join results emitted per instance",
+            ("side", "instance"),
+        )
+        # per-(side)/(side,instance) children, cached to keep hooks cheap
+        self._side_children: dict[tuple[str, str], object] = {}
+        self._inst_children: dict[tuple[str, str, int], object] = {}
+
+    def _side_child(self, family, name: str, side: str):
+        key = (name, side)
+        child = self._side_children.get(key)
+        if child is None:
+            child = self._side_children[key] = family.labels(side=side)
+        return child
+
+    def _inst_child(self, family, name: str, side: str, instance: int):
+        key = (name, side, instance)
+        child = self._inst_children.get(key)
+        if child is None:
+            child = self._inst_children[key] = family.labels(
+                side=side, instance=instance
+            )
+        return child
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+
+    def bind(self, runtime, meta: dict | None = None) -> None:
+        """Wire every hook site of ``runtime`` to this bundle.
+
+        ``meta`` (system name, workload, seed...) is emitted as the trace's
+        ``run_meta`` header event so ``inspect`` can label its report.
+        """
+        runtime.obs = self
+        runtime.metrics.obs = self
+        runtime.dispatcher.obs = self
+        for inst in runtime.instances:
+            inst.obs = self
+        for monitor in runtime.monitors.values():
+            monitor.obs = self
+            if monitor.executor is not None:
+                monitor.executor.obs = self
+        if self.bus is not None:
+            set_active_trace(self.bus)
+            self.bus.emit(
+                runtime.clock.now, "run_meta",
+                tick=runtime.clock.tick,
+                n_instances={
+                    side: len(group)
+                    for side, group in runtime.dispatcher.groups.items()
+                },
+                **(meta or {}),
+            )
+
+    def close(self) -> None:
+        """Flush and close sinks; clear the active-trace context."""
+        if self.bus is not None:
+            from .events import active_trace
+
+            if active_trace() is self.bus:
+                set_active_trace(None)
+            self.bus.close()
+
+    # ------------------------------------------------------------------ #
+    # hooks (called by the engine, always behind an ``is not None`` test)
+    # ------------------------------------------------------------------ #
+
+    def on_tick(self, end: float, tick_index: int, throttled: bool) -> None:
+        if self._ctr_results is not None:
+            self._ctr_ticks.inc()
+            if throttled:
+                self._ctr_throttled.inc()
+        if self.bus is not None:
+            self.bus.emit(end, "tick", tick=tick_index, throttled=throttled)
+
+    def on_dispatch(
+        self, stream: str, keys, n_probes: int, probe_side: str, emit_time: float
+    ) -> None:
+        n = int(keys.shape[0])
+        if self._ctr_results is not None:
+            self._side_child(self._ctr_stores, "stores", stream).inc(n)
+            self._side_child(self._ctr_probes, "probes", probe_side).inc(n_probes)
+        if self.bus is not None:
+            uniq, counts = np.unique(keys, return_counts=True)
+            top = np.argsort(counts)[::-1][:DISPATCH_TOP_KEYS]
+            self.bus.emit(
+                emit_time, "dispatch",
+                stream=stream, n=n, n_probes=int(n_probes),
+                top_keys=[
+                    [int(uniq[i]), int(counts[i])] for i in top
+                ],
+            )
+
+    def on_service_tick(
+        self,
+        end: float,
+        n_processed: int,
+        n_results: float,
+        latency_sum: float,
+        latency_count: int,
+    ) -> None:
+        """One tick's aggregated join-instance work (emitted by the
+        runtime so the trace carries one event per tick, not per
+        instance — the per-second rebinning in ``inspect`` matches
+        :meth:`MetricsCollector.finalize` exactly)."""
+        if self.bus is not None:
+            self.bus.emit(
+                end, "service",
+                n_processed=int(n_processed),
+                n_results=float(n_results),
+                latency_sum=float(latency_sum),
+                latency_count=int(latency_count),
+            )
+
+    def on_record_service(self, now: float, n_processed: int, n_results: float,
+                          latencies) -> None:
+        """Aggregate-metric publication from ``MetricsCollector``."""
+        if self._ctr_results is None:
+            return
+        if n_processed:
+            self._ctr_processed.inc(n_processed)
+        if n_results:
+            self._ctr_results.inc(n_results)
+        if latencies is not None and latencies.size:
+            self._hist_latency.observe_many(latencies)
+
+    def on_instance_step(self, inst, report) -> None:
+        """Per-instance publication from ``JoinInstance.step``."""
+        if self._ctr_results is None:
+            return
+        side, iid = inst.side, inst.instance_id
+        self._inst_child(self._gauge_stored, "stored", side, iid).set(
+            inst.store.total
+        )
+        self._inst_child(self._gauge_backlog, "backlog", side, iid).set(
+            inst.queue.probe_backlog
+        )
+        if report.n_results:
+            self._inst_child(self._ctr_inst_results, "results", side, iid).inc(
+                report.n_results
+            )
+
+    def on_li_sample(self, side: str, now: float, li: float, loads) -> None:
+        """One monitor sample: LI plus the per-instance load table."""
+        if self._ctr_results is not None:
+            self._side_child(self._gauge_li, "li", side).set(li)
+        if self.bus is not None:
+            self.bus.emit(
+                now, "li_sample",
+                side=side, li=float(li),
+                loads=[
+                    [int(s.instance), float(s.stored), float(s.backlog),
+                     float(s.load)]
+                    for s in loads
+                ],
+            )
+
+    def on_migration(self, event, breakdown: dict, wall: float = 0.0) -> None:
+        """One executed migration becomes a seven-phase span (Fig. 11).
+
+        ``breakdown`` is :meth:`MigrationCostModel.breakdown`'s output;
+        the fixed overhead is apportioned across the protocol's
+        bookkeeping phases so the span's phases tile ``[time, time +
+        duration]`` with monotone timestamps.
+        """
+        if self._ctr_results is not None:
+            self._side_child(self._ctr_migrations, "migrations", event.side).inc()
+        if self.profiler is not None:
+            self.profiler.add("migrate", wall, work=event.n_tuples)
+        if self.bus is None:
+            return
+        fixed = breakdown["fixed"]
+        durations = {
+            "trigger": 0.0,
+            "select": breakdown["select"],
+            "pause": 0.25 * fixed,
+            "extract": 0.35 * fixed,
+            "transfer": breakdown["transfer"],
+            "reroute": 0.15 * fixed,
+            "drain": 0.25 * fixed,
+        }
+        span_id = self.bus.next_span_id()
+        t = event.time
+        for i, phase in enumerate(MIGRATION_PHASES):
+            t1 = t + durations[phase]
+            extra = {}
+            if phase == "trigger":
+                extra = {"li_before": event.li_before}
+            elif phase == "drain":
+                extra = {
+                    "n_keys": event.n_keys,
+                    "n_tuples": event.n_tuples,
+                    "duration": event.duration,
+                    "li_after_estimate": event.li_after_estimate,
+                }
+            self.bus.emit_phase(
+                span_id, "migration", phase, t, t1,
+                side=event.side, source=event.source, target=event.target,
+                seq=i, **extra,
+            )
+            t = t1
+
+    def on_guard_violation(self, now: float, invariant: str, message: str,
+                           **extra) -> None:
+        if self.bus is not None:
+            self.bus.emit(
+                now, "guard_violation",
+                invariant=invariant, message=message, **extra,
+            )

@@ -1,0 +1,229 @@
+"""The event bus: typed, timestamped structured events with span support.
+
+Events are the trace-level signal of the observability layer: each one is a
+``(ts, kind, data)`` triple where ``ts`` is *simulated* seconds (the
+timeline the paper's figures are drawn in) and ``kind`` is one of
+:data:`EVENT_KINDS`.  Spans group several events under one ``span_id`` —
+the migration protocol emits one ``span`` event per phase
+(:data:`MIGRATION_PHASES`), which is exactly the data behind a Fig. 11
+timeline.
+
+Design constraints:
+
+- **zero overhead when disabled** — nothing in the engine constructs an
+  :class:`Event` unless a bus is attached; every hook is guarded by a
+  single ``is not None`` test;
+- **pluggable sinks** — a :class:`RingBufferSink` keeps the trailing window
+  in memory (the context attached to :class:`~repro.errors.ValidationError`),
+  a :class:`JsonlSink` streams to disk for ``python -m repro inspect``, a
+  :class:`NullSink` swallows everything (overhead measurement);
+- **no engine dependencies** — this module imports only the standard
+  library, so any layer (including :mod:`repro.errors`) may import it
+  without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EVENT_KINDS",
+    "MIGRATION_PHASES",
+    "Event",
+    "EventBus",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "set_active_trace",
+    "active_trace",
+    "active_trace_tail",
+]
+
+#: every kind the engine emits; ``inspect`` treats unknown kinds as opaque
+EVENT_KINDS = (
+    "tick",            # one simulation step finished
+    "dispatch",        # one source batch routed into a biclique side
+    "service",         # aggregated join-instance work for one tick
+    "li_sample",       # one monitor sample: LI + per-instance loads
+    "guard_violation", # an invariant guard fired (just before it raises)
+    "span",            # one phase of a named span (migration timeline)
+    "run_meta",        # run header: system, config digest, seed
+)
+
+#: ordered phases of one migration span (Algorithm 2 / Fig. 11)
+MIGRATION_PHASES = (
+    "trigger",   # monitor crossed Theta and picked source/target
+    "select",    # key-selection algorithm (GreedyFit / SAFit) runs
+    "pause",     # source instance stops store/join processing
+    "extract",   # stored tuples + queued ops of SK removed at the source
+    "transfer",  # tuples move source -> target
+    "reroute",   # routing-table override installed (section III-D, last)
+    "drain",     # source resumes; forwarded tuples become visible
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation at simulated time ``ts``."""
+
+    ts: float
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSON-serialisable form (``ts``/``kind`` + payload)."""
+        out = {"ts": self.ts, "kind": self.kind}
+        out.update(self.data)
+        return out
+
+
+class NullSink:
+    """Swallows events; useful to measure bus overhead in isolation."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the trailing ``capacity`` events in memory.
+
+    This is the "flight recorder": when a validation invariant fires, the
+    trailing window explains what led up to it (see
+    :func:`active_trace_tail` and :class:`repro.errors.ValidationError`).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._buf: deque[Event] = deque(maxlen=self.capacity)
+        self.n_emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._buf.append(event)
+        self.n_emitted += 1
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The most recent ``n`` events (all buffered ones by default)."""
+        events = list(self._buf)
+        return events if n is None else events[-n:]
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a file.
+
+    The format ``python -m repro inspect`` consumes: one event per line,
+    each a flat object with at least ``ts`` and ``kind``.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self.n_emitted = 0
+
+    def emit(self, event: Event) -> None:
+        json.dump(event.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.n_emitted += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class EventBus:
+    """Fans events out to its sinks and allocates span identifiers.
+
+    A bus with no sinks still accepts events (they are dropped after
+    construction cost); the engine avoids even that by never emitting
+    unless an :class:`~repro.obs.context.Observability` is attached.
+    """
+
+    def __init__(self, sinks: list | None = None) -> None:
+        self.sinks = list(sinks) if sinks else []
+        self._next_span = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sinks)
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, ts: float, kind: str, **data) -> None:
+        """Construct and deliver one event to every sink."""
+        event = Event(ts=float(ts), kind=kind, data=data)
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def next_span_id(self) -> int:
+        """Allocate a fresh span identifier (unique within this bus)."""
+        self._next_span += 1
+        return self._next_span
+
+    def emit_phase(
+        self, span_id: int, name: str, phase: str, t0: float, t1: float, **data
+    ) -> None:
+        """Emit one phase of span ``span_id`` covering ``[t0, t1]``."""
+        self.emit(
+            t0, "span", span_id=span_id, name=name, phase=phase,
+            t0=float(t0), t1=float(t1), **data,
+        )
+
+    def ring_sink(self) -> RingBufferSink | None:
+        """The first ring-buffer sink, if any (the flight recorder)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """Trailing events from the ring sink ([] when none attached)."""
+        ring = self.ring_sink()
+        return ring.tail(n) if ring is not None else []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+# --------------------------------------------------------------------- #
+# the active trace context
+#
+# One bus per process can be "active"; ValidationError looks it up at
+# raise time to attach the trailing event window, so a replayed failure
+# arrives with the history that led to it.  A plain module global (not a
+# contextvar): the simulator is single-threaded by design.
+# --------------------------------------------------------------------- #
+
+_ACTIVE: EventBus | None = None
+
+
+def set_active_trace(bus: EventBus | None) -> None:
+    """Install (or, with ``None``, clear) the process-wide active trace."""
+    global _ACTIVE
+    _ACTIVE = bus
+
+
+def active_trace() -> EventBus | None:
+    """The currently active bus, if any."""
+    return _ACTIVE
+
+
+def active_trace_tail(n: int = 32) -> list[dict]:
+    """Trailing events of the active trace as plain dicts ([] if none)."""
+    if _ACTIVE is None:
+        return []
+    return [event.to_dict() for event in _ACTIVE.tail(n)]

@@ -87,7 +87,7 @@ def assemble(
         baselines (passive monitors that only record LI).
     """
     seeds = SeedSequenceFactory(config.seed)
-    metrics = MetricsCollector(warmup=config.warmup)
+    metrics = MetricsCollector(warmup=config.warmup, reservoir_seed=config.seed)
 
     groups = {side: _make_group(side, config) for side in ("R", "S")}
     partitioners = {side: partitioner_factory(config.n_instances) for side in ("R", "S")}

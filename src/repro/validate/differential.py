@@ -212,6 +212,7 @@ class DifferentialHarness:
         guards: bool = True,
         guard_period: int = 25,
         config_overrides: dict | None = None,
+        obs=None,
     ) -> None:
         self.system = system
         self.workload = workload
@@ -238,6 +239,14 @@ class DifferentialHarness:
         self.runtime = build_system(system, self.config, self.r_tap, self.s_tap)
         for inst in self.runtime.instances:
             inst.enable_result_tracking()
+        if obs is not None:
+            # Attach before the guards so a violation's ValidationError can
+            # capture the active trace's trailing events.
+            self.runtime.attach_observer(
+                obs,
+                meta={"system": system, "workload": workload, "seed": seed,
+                      "ticks": ticks},
+            )
         if guards:
             self.runtime.attach_guards(
                 InvariantGuards(

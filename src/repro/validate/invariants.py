@@ -111,6 +111,17 @@ class InvariantGuards:
         runtime = self._runtime
         context = dict(self.context)
         context.update(extra)
+        obs = getattr(runtime, "obs", None)
+        if obs is not None:
+            # Record the violation in the trace *before* raising, so the
+            # event stream (and the error's trailing-event context) ends
+            # with the failure itself.
+            obs.on_guard_violation(
+                runtime.clock.now,
+                invariant,
+                message,
+                tick=runtime.tick_index,
+            )
         raise ValidationError(
             message,
             invariant=invariant,

@@ -96,3 +96,52 @@ class TestMetricsCollector:
         run = MetricsCollector().finalize()
         assert run.total_results == 0
         assert run.seconds.shape[0] == 1
+
+
+class TestReservoirDeterminism:
+    def test_same_seed_same_percentiles(self):
+        rng = np.random.default_rng(3)
+        stream = rng.random(50_000)
+        a = MetricsCollector(reservoir_seed=7)
+        b = MetricsCollector(reservoir_seed=7)
+        for m in (a, b):
+            m.record_service(0.5, stream.size, 0.0, stream)
+        ra, rb = a.finalize(), b.finalize()
+        assert ra.latency_p50 == rb.latency_p50
+        assert ra.latency_p95 == rb.latency_p95
+        assert ra.latency_p99 == rb.latency_p99
+
+    def test_different_seed_different_sample(self):
+        rng = np.random.default_rng(3)
+        stream = rng.random(50_000)
+        a = MetricsCollector(reservoir_seed=1)
+        b = MetricsCollector(reservoir_seed=2)
+        for m in (a, b):
+            m.record_service(0.5, stream.size, 0.0, stream)
+        assert not np.array_equal(
+            a._reservoir.values(), b._reservoir.values()
+        )
+
+
+class TestTotalsMatchSeries:
+    def test_totals_equal_series_sums(self):
+        m = MetricsCollector()
+        m.record_service(0.5, 10, 100, np.array([0.1] * 10))
+        m.record_service(1.5, 20, 200, np.array([0.2] * 20))
+        m.record_service(2.0, 5, 50, None)  # exactly at the integer run end
+        run = m.finalize()
+        assert run.total_results == run.throughput.sum()
+        assert run.total_processed == run.processed.sum()
+
+    def test_event_at_integer_end_lands_in_last_bin(self):
+        # regression: events recorded at exactly t == ceil(max_time) were
+        # silently dropped from the series (sec == n_sec fell off the end)
+        m = MetricsCollector()
+        m.record_service(0.5, 1, 10, None)
+        m.record_service(2.0, 2, 20, np.array([0.4, 0.6]))
+        run = m.finalize()
+        assert run.seconds.shape[0] == 2
+        # the t=2.0 event clamps into the last window instead of vanishing
+        assert run.throughput.tolist() == [10.0, 20.0]
+        assert run.processed.tolist() == [1.0, 2.0]
+        assert run.latency_mean[1] == pytest.approx(0.5)

@@ -79,3 +79,56 @@ class TestTraceMatrix:
 
     def test_final_spread(self):
         assert self._matrix().final_spread() == pytest.approx(3.0)
+
+    def test_final_spread_of_empty_matrix_is_nan(self):
+        # regression: used to raise IndexError on values[-1]
+        matrix = TraceMatrix(times=np.empty(0), values=np.empty((0, 0)))
+        assert np.isnan(matrix.final_spread())
+
+    def test_final_spread_nan_after_sampleless_run(self):
+        rt = make_runtime()
+        tracer = InstanceTracer(rt, period=100.0)
+        matrix = tracer.run_traced(1.0)
+        assert np.isnan(matrix.final_spread())
+
+
+class _StubClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _StubRuntime:
+    """Just enough runtime for InstanceTracer: a clock and empty groups."""
+
+    class _Dispatcher:
+        groups = {"R": [], "S": []}
+
+    def __init__(self):
+        self.clock = _StubClock()
+        self.dispatcher = self._Dispatcher()
+
+
+class TestTracerCatchUp:
+    def test_deadline_catches_up_past_now(self):
+        # regression: one big time jump used to leave the deadline in the
+        # past, so the following calls emitted a burst of stale samples
+        rt = _StubRuntime()
+        tracer = InstanceTracer(rt, side="R", quantity="stored", period=1.0)
+        rt.clock.now = 5.7  # jumped across five periods in one step
+        assert tracer.maybe_sample()
+        rt.clock.now = 5.8
+        assert not tracer.maybe_sample()  # no burst
+        rt.clock.now = 5.9
+        assert not tracer.maybe_sample()
+        rt.clock.now = 6.1  # next period boundary reached normally
+        assert tracer.maybe_sample()
+        assert tracer.matrix().n_samples == 2
+
+    def test_exact_boundary_still_samples_once_per_period(self):
+        rt = _StubRuntime()
+        tracer = InstanceTracer(rt, side="R", quantity="stored", period=1.0)
+        for step in range(1, 5):
+            rt.clock.now = float(step)
+            assert tracer.maybe_sample()
+            assert not tracer.maybe_sample()
+        assert tracer.matrix().n_samples == 4

@@ -1,0 +1,160 @@
+"""Tests for the event bus, sinks and the active-trace context."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.events import (
+    EVENT_KINDS,
+    MIGRATION_PHASES,
+    Event,
+    EventBus,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    active_trace,
+    active_trace_tail,
+    set_active_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_active_trace():
+    """Never leak an active trace between tests."""
+    set_active_trace(None)
+    yield
+    set_active_trace(None)
+
+
+class TestEvent:
+    def test_to_dict_flattens_payload(self):
+        e = Event(ts=1.5, kind="tick", data={"tick": 3, "throttled": False})
+        assert e.to_dict() == {
+            "ts": 1.5, "kind": "tick", "tick": 3, "throttled": False,
+        }
+
+    def test_frozen(self):
+        e = Event(ts=0.0, kind="tick")
+        with pytest.raises(AttributeError):
+            e.ts = 1.0
+
+    def test_kind_constants(self):
+        assert "span" in EVENT_KINDS
+        assert MIGRATION_PHASES[0] == "trigger"
+        assert MIGRATION_PHASES[-1] == "drain"
+        assert len(MIGRATION_PHASES) == 7
+
+
+class TestRingBufferSink:
+    def test_keeps_only_trailing_window(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(10):
+            ring.emit(Event(ts=float(i), kind="tick"))
+        assert len(ring) == 3
+        assert ring.n_emitted == 10
+        assert [e.ts for e in ring.tail()] == [7.0, 8.0, 9.0]
+
+    def test_tail_n(self):
+        ring = RingBufferSink(capacity=5)
+        for i in range(5):
+            ring.emit(Event(ts=float(i), kind="tick"))
+        assert [e.ts for e in ring.tail(2)] == [3.0, 4.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_parseable_line_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(Event(ts=0.5, kind="tick", data={"tick": 1}))
+        sink.emit(Event(ts=1.0, kind="service", data={"n_results": 4.0}))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"ts": 0.5, "kind": "tick", "tick": 1}
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestEventBus:
+    def test_fans_out_to_all_sinks(self, tmp_path):
+        ring = RingBufferSink(8)
+        jsonl = JsonlSink(tmp_path / "t.jsonl")
+        bus = EventBus([ring, jsonl, NullSink()])
+        bus.emit(2.0, "tick", tick=7)
+        bus.close()
+        assert ring.n_emitted == 1
+        assert json.loads((tmp_path / "t.jsonl").read_text())["tick"] == 7
+
+    def test_span_ids_unique_and_increasing(self):
+        bus = EventBus()
+        ids = [bus.next_span_id() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_emit_phase_shape(self):
+        ring = RingBufferSink(8)
+        bus = EventBus([ring])
+        sid = bus.next_span_id()
+        bus.emit_phase(sid, "migration", "pause", 1.0, 1.25, side="R")
+        (event,) = ring.tail()
+        assert event.kind == "span"
+        assert event.ts == 1.0
+        assert event.data["span_id"] == sid
+        assert event.data["phase"] == "pause"
+        assert event.data["t1"] == 1.25
+        assert event.data["side"] == "R"
+
+    def test_tail_without_ring_sink_is_empty(self):
+        assert EventBus([NullSink()]).tail() == []
+
+    def test_enabled(self):
+        assert not EventBus().enabled
+        assert EventBus([NullSink()]).enabled
+
+
+class TestActiveTrace:
+    def test_set_get_clear(self):
+        bus = EventBus([RingBufferSink(4)])
+        set_active_trace(bus)
+        assert active_trace() is bus
+        set_active_trace(None)
+        assert active_trace() is None
+
+    def test_tail_returns_plain_dicts(self):
+        bus = EventBus([RingBufferSink(4)])
+        set_active_trace(bus)
+        bus.emit(3.0, "tick", tick=1)
+        tail = active_trace_tail()
+        assert tail == [{"ts": 3.0, "kind": "tick", "tick": 1}]
+
+    def test_tail_empty_without_active_trace(self):
+        assert active_trace_tail() == []
+
+
+class TestValidationErrorTraceTail:
+    """The acceptance criterion: a ValidationError raised while a trace
+    is attached carries the trailing event context."""
+
+    def test_carries_trailing_events(self):
+        bus = EventBus([RingBufferSink(64)])
+        set_active_trace(bus)
+        for i in range(40):
+            bus.emit(float(i) * 0.1, "tick", tick=i)
+        err = ValidationError("conservation broken", invariant="conservation")
+        assert len(err.trace_tail) == ValidationError.TRACE_TAIL
+        assert err.trace_tail[-1]["tick"] == 39  # most recent event last
+        assert err.trace_tail[0]["tick"] == 40 - ValidationError.TRACE_TAIL
+        assert "[trace: 32 trailing events]" in str(err)
+
+    def test_no_trace_no_tail(self):
+        err = ValidationError("quiet failure")
+        assert err.trace_tail == []
+        assert "trace" not in str(err)

@@ -1,0 +1,223 @@
+"""Tests for trace replay: parsing, report building and rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import MIGRATION_PHASES
+from repro.obs.inspect import (
+    SpanTimeline,
+    TraceFormatError,
+    build_report,
+    read_events,
+    render_report,
+)
+
+
+def _write_trace(path, events):
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in events:
+            fh.write(json.dumps(e) + "\n")
+
+
+def _span_events(span_id=1, start=2.0, side="R", complete=True):
+    """A well-formed seven-phase migration span starting at ``start``."""
+    events = []
+    t = start
+    phases = MIGRATION_PHASES if complete else MIGRATION_PHASES[:4]
+    for i, phase in enumerate(phases):
+        t1 = t + 0.01
+        e = {
+            "ts": t, "kind": "span", "span_id": span_id, "name": "migration",
+            "phase": phase, "t0": t, "t1": t1, "side": side,
+            "source": 3, "target": 0, "seq": i,
+        }
+        if phase == "trigger":
+            e["li_before"] = 5.0
+        if phase == "drain":
+            e.update(n_keys=4, n_tuples=100, duration=0.07,
+                     li_after_estimate=1.2)
+        events.append(e)
+        t = t1
+    return events
+
+
+class TestReadEvents:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, [
+            {"ts": 0.5, "kind": "tick", "tick": 1},
+            {"ts": 1.0, "kind": "service", "n_results": 3.0},
+        ])
+        events = read_events(path)
+        assert len(events) == 2
+        assert events[1]["n_results"] == 3.0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ts": 0.1, "kind": "tick"}\n\n\n')
+        assert len(read_events(path)) == 1
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError, match="t.jsonl:1"):
+            read_events(path)
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "tick"}\n')
+        with pytest.raises(TraceFormatError, match="'ts' and 'kind'"):
+            read_events(path)
+
+
+class TestSpanTimeline:
+    def test_complete_requires_all_phases_in_order(self):
+        span = SpanTimeline(span_id=1, name="migration")
+        t = 0.0
+        for phase in MIGRATION_PHASES:
+            span.phases.append((phase, t, t + 0.01))
+            t += 0.01
+        assert span.monotone
+        assert span.complete
+        assert span.duration == pytest.approx(0.07)
+
+    def test_missing_phase_is_incomplete(self):
+        span = SpanTimeline(span_id=1, name="migration")
+        span.phases = [("trigger", 0.0, 0.0), ("drain", 0.0, 0.01)]
+        assert not span.complete
+
+    def test_backwards_time_is_not_monotone(self):
+        span = SpanTimeline(span_id=1, name="migration")
+        t = 0.0
+        for phase in MIGRATION_PHASES:
+            span.phases.append((phase, t, t + 0.01))
+            t += 0.01
+        span.phases[3] = ("extract", 0.5, 0.4)  # t1 < t0
+        assert not span.monotone
+        assert not span.complete
+
+
+class TestBuildReport:
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceFormatError, match="no events"):
+            build_report([])
+
+    def test_per_second_rebinning_matches_finalize_clamp(self):
+        # events at exactly-integer end times accumulate into the last bin
+        events = [
+            {"ts": 0.5, "kind": "service", "n_results": 10.0,
+             "n_processed": 5, "latency_sum": 1.0, "latency_count": 5},
+            {"ts": 1.5, "kind": "service", "n_results": 20.0,
+             "n_processed": 8, "latency_sum": 0.8, "latency_count": 8},
+            {"ts": 2.0, "kind": "service", "n_results": 30.0,
+             "n_processed": 2, "latency_sum": 0.2, "latency_count": 2},
+        ]
+        report = build_report(events)
+        assert report.seconds.tolist() == [1.0, 2.0]
+        assert report.throughput.tolist() == [10.0, 50.0]
+        assert report.processed.tolist() == [5.0, 10.0]
+        assert report.throughput.sum() == pytest.approx(60.0)
+        assert report.latency_mean[1] == pytest.approx(1.0 / 10.0)
+
+    def test_li_last_sample_in_second_wins(self):
+        events = [
+            {"ts": 0.25, "kind": "li_sample", "side": "R", "li": 2.0},
+            {"ts": 0.75, "kind": "li_sample", "side": "R", "li": 4.0},
+        ]
+        report = build_report(events)
+        assert report.li["R"][0] == 4.0
+
+    def test_span_reconstruction(self):
+        events = _span_events(span_id=1) + _span_events(
+            span_id=2, start=5.0, side="S", complete=False
+        )
+        report = build_report(events)
+        assert len(report.spans) == 2
+        assert len(report.complete_spans) == 1
+        span = report.complete_spans[0]
+        assert span.side == "R"
+        assert span.n_tuples == 100
+        assert span.li_before == pytest.approx(5.0)
+        assert span.li_after_estimate == pytest.approx(1.2)
+
+    def test_envelope_from_li_samples(self):
+        events = [
+            {"ts": 1.0, "kind": "li_sample", "side": "R", "li": 2.0,
+             "loads": [[0, 10.0, 1.0, 11.0], [1, 4.0, 0.0, 4.0]]},
+            {"ts": 2.0, "kind": "li_sample", "side": "R", "li": 3.0,
+             "loads": [[1, 6.0, 0.0, 6.0], [0, 12.0, 2.0, 14.0]]},
+        ]
+        report = build_report(events)
+        env = report.envelope["R"]
+        assert env["loads"].shape == (2, 2)
+        # rows are sorted by instance id regardless of event order
+        assert env["loads"][1].tolist() == [14.0, 6.0]
+
+    def test_hot_keys_tallied_per_stream(self):
+        events = [
+            {"ts": 0.1, "kind": "dispatch", "stream": "R", "n": 5,
+             "top_keys": [[7, 3], [2, 1]]},
+            {"ts": 0.2, "kind": "dispatch", "stream": "R", "n": 5,
+             "top_keys": [[7, 4]]},
+        ]
+        report = build_report(events)
+        assert report.hot_keys["R"][0] == (7, 7)
+
+    def test_tick_and_guard_counts(self):
+        events = [
+            {"ts": 0.1, "kind": "tick", "tick": 1, "throttled": False},
+            {"ts": 0.2, "kind": "tick", "tick": 2, "throttled": True},
+            {"ts": 0.2, "kind": "guard_violation", "invariant": "conservation",
+             "message": "lost tuples"},
+        ]
+        report = build_report(events)
+        assert report.n_ticks == 2
+        assert report.n_throttled == 1
+        assert len(report.guard_violations) == 1
+
+
+class TestRenderReport:
+    def test_report_sections(self):
+        events = [
+            {"ts": 0.0, "kind": "run_meta", "system": "fastjoin", "seed": 7},
+            {"ts": 0.5, "kind": "tick", "tick": 1, "throttled": False},
+            {"ts": 0.5, "kind": "service", "n_results": 10.0,
+             "n_processed": 5, "latency_sum": 0.5, "latency_count": 5},
+            {"ts": 0.75, "kind": "li_sample", "side": "R", "li": 2.0,
+             "loads": [[0, 10.0, 1.0, 11.0], [1, 4.0, 0.0, 4.0]]},
+            {"ts": 0.8, "kind": "dispatch", "stream": "R", "n": 5,
+             "top_keys": [[7, 3]]},
+            *_span_events(span_id=1, start=0.9),
+        ]
+        text = render_report(build_report(events))
+        assert "system=fastjoin" in text
+        assert "per-second series" in text
+        assert "load envelope [R]" in text
+        assert "migration spans: 1 total, 1 complete" in text
+        assert "trigger" in text and "drain" in text
+        assert "hot keys" in text
+
+    def test_incomplete_span_flagged(self):
+        text = render_report(
+            build_report(_span_events(span_id=1, complete=False))
+        )
+        assert "[INCOMPLETE]" in text
+
+    def test_guard_violations_rendered(self):
+        events = [
+            {"ts": 1.0, "kind": "guard_violation",
+             "invariant": "conservation", "message": "lost tuples"},
+        ]
+        text = render_report(build_report(events))
+        assert "guard violations: 1" in text
+        assert "conservation" in text
+
+
+class TestNumericHelpers:
+    def test_spark_is_nan_safe(self):
+        from repro.obs.inspect import _spark
+
+        out = _spark(np.array([0.0, np.nan, 1.0]))
+        assert len(out) == 3

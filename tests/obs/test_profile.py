@@ -1,0 +1,53 @@
+"""Tests for the phase profiler."""
+
+import math
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler, PhaseStats, RUNTIME_PHASES
+
+
+class TestPhaseStats:
+    def test_wall_per_unit(self):
+        s = PhaseStats(wall=2.0, work=1000.0, calls=4)
+        assert s.wall_per_unit == pytest.approx(0.002)
+
+    def test_zero_work_is_nan(self):
+        assert math.isnan(PhaseStats(wall=1.0).wall_per_unit)
+
+
+class TestPhaseProfiler:
+    def test_accumulates(self):
+        p = PhaseProfiler()
+        p.add("dispatch", 0.5, work=100)
+        p.add("dispatch", 0.25, work=50)
+        p.add("service", 1.25, work=10)
+        stats = p.phases["dispatch"]
+        assert stats.wall == pytest.approx(0.75)
+        assert stats.work == pytest.approx(150)
+        assert stats.calls == 2
+
+    def test_report_shares_sum_to_one(self):
+        p = PhaseProfiler()
+        p.add("dispatch", 1.0)
+        p.add("service", 3.0)
+        report = p.report()
+        assert sum(r["wall_share"] for r in report.values()) == pytest.approx(1.0)
+        assert report["service"]["wall_share"] == pytest.approx(0.75)
+
+    def test_summary_table(self):
+        p = PhaseProfiler()
+        for phase in RUNTIME_PHASES:
+            p.add(phase, 0.1, work=10)
+        text = p.summary()
+        for phase in RUNTIME_PHASES:
+            assert phase in text
+        assert "wall s" in text
+
+    def test_empty_summary(self):
+        assert "no phases" in PhaseProfiler().summary()
+
+    def test_now_is_monotonic(self):
+        p = PhaseProfiler()
+        t0 = p.now()
+        assert p.now() >= t0

@@ -1,0 +1,134 @@
+"""Tests for the unified metrics registry and its export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_monotone(self):
+        c = Counter("x_total", "help")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_children_are_independent_and_cached(self):
+        c = Counter("x_total", "help", ("side",))
+        c.labels(side="R").inc(3)
+        c.labels(side="S").inc(5)
+        assert c.labels(side="R") is c.labels(side="R")
+        assert c.labels(side="R").value == 3
+        assert c.labels(side="S").value == 5
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("x_total", "help", ("side",))
+        with pytest.raises(ValueError):
+            c.labels(stream="R")
+        with pytest.raises(ValueError):
+            c.inc()  # labelled family has no default child
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name", "help")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x", "help")
+        g.set(10)
+        child = g.labels()
+        child.inc(5)
+        child.dec(2)
+        assert g.value == pytest.approx(13)
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("lat", "help", buckets=(0.1, 1.0))
+        child = h.labels()
+        child.observe(0.05)   # <= 0.1
+        child.observe(0.5)    # <= 1.0
+        child.observe(7.0)    # +Inf
+        assert child.bucket_counts == [1, 1, 1]
+        assert child.cumulative() == [1, 2, 3]
+        assert child.count == 3
+        assert child.sum == pytest.approx(7.55)
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        h = Histogram("lat", "help", buckets=(0.1, 1.0))
+        child = h.labels()
+        child.observe(0.1)  # le="0.1" is inclusive
+        assert child.bucket_counts[0] == 1
+
+    def test_observe_many(self):
+        h = Histogram("lat", "help", buckets=(1.0,))
+        h.observe_many([0.5, 0.6, 2.0])
+        assert h.labels().count == 3
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "help", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("lat", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", "help", buckets=(1.0, float("inf")))
+
+
+class TestMetricsRegistry:
+    def test_reregistration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "help")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("x", "help")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help", ("side",))
+        with pytest.raises(ValueError):
+            reg.counter("x", "help", ("stream",))
+
+    def test_to_json_is_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("results_total", "results").inc(42)
+        reg.gauge("li", "imbalance", ("side",)).labels(side="R").set(1.5)
+        reg.histogram("lat", "latency", buckets=(1.0,)).observe(0.5)
+        blob = json.loads(json.dumps(reg.to_json()))
+        assert blob["results_total"]["type"] == "counter"
+        assert blob["results_total"]["samples"][0]["value"] == 42
+        assert blob["li"]["samples"][0]["labels"] == {"side": "R"}
+        assert blob["lat"]["samples"][0]["count"] == 1
+        assert blob["lat"]["samples"][0]["buckets"]["+Inf"] == 1
+
+    def test_to_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("results_total", "join results").inc(7)
+        reg.gauge("li", "imbalance", ("side",)).labels(side="R").set(2.5)
+        reg.histogram("lat", "latency", buckets=(0.5,)).observe(0.1)
+        text = reg.to_prometheus()
+        assert "# HELP results_total join results" in text
+        assert "# TYPE results_total counter" in text
+        assert "results_total 7.0" in text
+        assert 'li{side="R"} 2.5' in text
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_families_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b", "")
+        reg.counter("a", "")
+        assert [f.name for f in reg.families()] == ["a", "b"]

@@ -61,3 +61,62 @@ class TestMain:
         ])
         assert code == 0
         assert "bistream" in capsys.readouterr().out
+
+
+class TestTraceAndInspect:
+    def test_traced_run_then_inspect(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "fastjoin", "--workload", "G21", "--instances", "2",
+            "--duration", "4", "--rate", "400", "--warmup", "1",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        # the run prints a profiler summary on stderr
+        assert "dispatch" in capsys.readouterr().err
+        assert main(["inspect", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-second series" in out
+        assert "migration spans" in out
+
+    def test_compare_writes_per_system_traces(self, tmp_path, capsys):
+        trace = tmp_path / "cmp.jsonl"
+        code = main([
+            "compare", "--instances", "2", "--duration", "2",
+            "--rate", "200", "--warmup", "1", "--trace", str(trace),
+        ])
+        assert code == 0
+        for system in ("fastjoin", "bistream", "contrand"):
+            per_system = tmp_path / f"cmp.jsonl.{system}"
+            assert per_system.exists() and per_system.stat().st_size > 0
+
+    def test_inspect_requires_a_path(self, capsys):
+        assert main(["inspect"]) == 2
+        assert "requires a trace file" in capsys.readouterr().err
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_inspect_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["inspect", str(bad)]) == 1
+        assert "bad trace" in capsys.readouterr().err
+
+    def test_inspect_accepts_trace_flag(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"ts": 0.5, "kind": "tick", "tick": 1}\n')
+        assert main(["inspect", "--trace", str(trace)]) == 0
+        assert "per-second series" in capsys.readouterr().out
+
+    def test_validate_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "v.jsonl"
+        code = main([
+            "validate", "--system", "fastjoin", "--ticks", "150",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        assert "OK" in capsys.readouterr().out
