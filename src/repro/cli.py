@@ -18,6 +18,12 @@ Cross-check a system against the exact-semantics oracle::
 
     python -m repro validate --system fastjoin --seed 7 --ticks 2000
 
+Run the hot-path performance benchmark and check it against the committed
+baseline::
+
+    python -m repro bench
+    python -m repro bench --quick --check
+
 Record a structured event trace and inspect it afterwards::
 
     python -m repro fastjoin --workload G21 --duration 20 --trace run.jsonl
@@ -56,10 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "system",
-        choices=[*SYSTEMS, "compare", "validate", "inspect"],
+        choices=[*SYSTEMS, "compare", "validate", "inspect", "bench"],
         help="system to run, 'compare' for all three, 'validate' to "
-        "cross-check a system against the exact-semantics oracle, or "
-        "'inspect' to replay a recorded JSONL trace into a report",
+        "cross-check a system against the exact-semantics oracle, "
+        "'inspect' to replay a recorded JSONL trace into a report, or "
+        "'bench' to run the hot-path performance benchmark matrix",
     )
     parser.add_argument(
         "path",
@@ -124,6 +131,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect_group.add_argument("--top", type=int, default=10,
                                help="hot keys to list in the report")
+
+    bench = parser.add_argument_group(
+        "bench", "options for the 'bench' subcommand"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="run only the CI smoke subset of the matrix")
+    bench.add_argument("--check", action="store_true",
+                       help="compare the fresh run against the committed "
+                       "baseline; exit non-zero on regression")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="overwrite the baseline file with this run")
+    bench.add_argument("--baseline", default="BENCH_hotpath.json",
+                       metavar="PATH",
+                       help="baseline report path (default: "
+                       "BENCH_hotpath.json in the current directory)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="also write the fresh report to this path")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="relative wall-clock slowdown vs baseline that "
+                       "fails --check (default 0.20)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="wall-clock repeats per case; the best run is "
+                       "reported (default 3)")
     return parser
 
 
@@ -219,6 +249,50 @@ def _run_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: reproducible hot-path throughput matrix."""
+    from .bench import perf
+
+    repeats = args.repeats if args.repeats is not None else perf.DEFAULT_REPEATS
+    tolerance = (
+        args.tolerance if args.tolerance is not None else perf.DEFAULT_TOLERANCE
+    )
+
+    def progress(case):
+        print(f"bench {case.name} (rate {case.rate:g}, "
+              f"{case.duration:g}s x {repeats} repeats)...", file=sys.stderr)
+
+    report = perf.run_matrix(quick=args.quick, progress=progress,
+                             repeats=repeats)
+    print(perf.format_report(report))
+    if args.output:
+        perf.write_report(report, args.output)
+        print(f"report written to {args.output}", file=sys.stderr)
+    if args.update_baseline:
+        perf.write_report(report, args.baseline)
+        print(f"baseline updated: {args.baseline}", file=sys.stderr)
+        return 0
+    if args.check:
+        try:
+            baseline = perf.load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; run with "
+                  "--update-baseline first", file=sys.stderr)
+            return 2
+        cmp = perf.compare_reports(report, baseline, tolerance=tolerance)
+        for line in cmp.lines:
+            print(line)
+        for warning in cmp.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        for failure in cmp.failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if cmp.failures else 0
+    if not args.output:
+        perf.write_report(report, "BENCH_hotpath.json")
+        print("report written to BENCH_hotpath.json", file=sys.stderr)
+    return 0
+
+
 def _run_inspect(args: argparse.Namespace) -> int:
     """The ``inspect`` subcommand: replay a JSONL trace into a report."""
     from .obs.inspect import TraceFormatError, build_report, read_events, render_report
@@ -253,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_inspect(args)
     if args.system == "validate":
         return _run_validate(args)
+    if args.system == "bench":
+        return _run_bench(args)
     if args.instances is None:
         args.instances = 16
     systems = list(SYSTEMS) if args.system == "compare" else [args.system]

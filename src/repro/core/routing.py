@@ -7,10 +7,15 @@ both stores of the owning stream and probes of the opposite stream — to
 overrides at the *end* of the migration procedure (section III-D explains
 why updating earlier would break completeness).
 
-:class:`RoutingTable` stores overrides for one join-instance group and
-applies them to batches of keys vectorised (override lookups happen on the
-unique keys of a batch, which matters because migrated keys are by
-construction the hottest ones).
+:class:`RoutingTable` stores overrides for one join-instance group two
+ways at once: a dict (the source of truth, total over any int key) and a
+dense ``key -> target`` array with ``-1`` for "no override", which lets
+:meth:`apply` and the dispatcher's route cache resolve whole batches with
+fancy indexing instead of per-key dict lookups (migrated keys are by
+construction the hottest ones, so they dominate batches).  ``version`` is
+bumped on every update — the dispatcher's cached route array uses it as
+its invalidation hook, so routes are recomputed only when a migration
+actually changes them.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ from ..errors import RoutingError
 
 __all__ = ["RoutingTable"]
 
+#: overrides for keys in [0, _DENSE_OVERRIDE_CAP) are mirrored into the
+#: dense array; larger/negative keys stay dict-only (and force the slow
+#: path for batches that contain them).
+_DENSE_OVERRIDE_CAP = 1 << 22
+
+_MIN_DENSE = 1024
+
 
 class RoutingTable:
     """Key -> instance overrides for one instance group."""
@@ -30,6 +42,7 @@ class RoutingTable:
             raise RoutingError(f"n_instances must be >= 1, got {n_instances}")
         self._n = int(n_instances)
         self._overrides: dict[int, int] = {}
+        self._dense = np.full(_MIN_DENSE, -1, dtype=np.int64)
         self._version = 0
 
     @property
@@ -48,6 +61,36 @@ class RoutingTable:
         """The override target for a key, or None if hash-default applies."""
         return self._overrides.get(int(key))
 
+    # -- dense mirror ---------------------------------------------------- #
+
+    def _dense_slot(self, key: int) -> bool:
+        return 0 <= key < _DENSE_OVERRIDE_CAP
+
+    def _ensure(self, max_key: int) -> None:
+        if max_key < self._dense.shape[0]:
+            return
+        cap = _MIN_DENSE
+        while cap <= max_key:
+            cap <<= 1
+        grown = np.full(min(cap, _DENSE_OVERRIDE_CAP), -1, dtype=np.int64)
+        grown[: self._dense.shape[0]] = self._dense
+        self._dense = grown
+
+    def overlay_routes(self, routes: np.ndarray) -> None:
+        """Write the overrides into a dense ``key -> instance`` route array.
+
+        The dispatcher's route cache calls this after recomputing hash
+        defaults for ``routes.shape[0]`` consecutive keys; overrides for
+        keys beyond the array (dict-only giants) are ignored here — any
+        batch containing such a key takes the dispatcher's fallback path,
+        where :meth:`apply` consults the dict.
+        """
+        m = min(routes.shape[0], self._dense.shape[0])
+        if m:
+            sl = self._dense[:m]
+            mask = sl >= 0
+            routes[:m][mask] = sl[mask]
+
     def install(self, keys: list[int] | set[int], target: int) -> None:
         """Route every key in ``keys`` to ``target`` from now on."""
         if not (0 <= target < self._n):
@@ -55,13 +98,20 @@ class RoutingTable:
                 f"target {target} out of range for {self._n} instances"
             )
         for k in keys:
-            self._overrides[int(k)] = int(target)
+            k = int(k)
+            self._overrides[k] = int(target)
+            if self._dense_slot(k):
+                self._ensure(k)
+                self._dense[k] = int(target)
         self._version += 1
 
     def remove(self, keys: list[int] | set[int]) -> None:
         """Drop overrides (a key migrated back to its hash-default home)."""
         for k in keys:
-            self._overrides.pop(int(k), None)
+            k = int(k)
+            self._overrides.pop(k, None)
+            if 0 <= k < self._dense.shape[0]:
+                self._dense[k] = -1
         self._version += 1
 
     def apply(self, keys: np.ndarray, defaults: np.ndarray) -> np.ndarray:
@@ -78,16 +128,17 @@ class RoutingTable:
             return defaults
         if keys.shape != defaults.shape:
             raise RoutingError("keys and defaults must align")
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        uniq_targets = np.full(uniq.shape[0], -1, dtype=np.int64)
+        size = self._dense.shape[0]
+        if keys.shape[0] and int(keys.min()) >= 0 and int(keys.max()) < size:
+            targets = self._dense[keys]
+            return np.where(targets >= 0, targets, defaults)
+        # Mixed batch: dense slots vectorised, the rest through the dict.
+        targets = np.full(keys.shape[0], -1, dtype=np.int64)
+        ok = (keys >= 0) & (keys < size)
+        targets[ok] = self._dense[keys[ok]]
         table = self._overrides
-        hits = False
-        for idx, k in enumerate(uniq.tolist()):
-            t = table.get(k)
+        for i in np.nonzero(~ok)[0].tolist():
+            t = table.get(int(keys[i]))
             if t is not None:
-                uniq_targets[idx] = t
-                hits = True
-        if not hits:
-            return defaults
-        expanded = uniq_targets[inverse]
-        return np.where(expanded >= 0, expanded, defaults)
+                targets[i] = t
+        return np.where(targets >= 0, targets, defaults)

@@ -19,6 +19,7 @@ are simulator-relative by construction (see DESIGN.md section 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -32,6 +33,10 @@ class CostModel:
 
     #: cost of inserting one tuple into the keyed store
     store_cost: float
+
+    #: True when :meth:`probe_costs` actually reads ``store_sizes``; the
+    #: join instance skips computing per-position store sizes otherwise.
+    uses_store_sizes: bool = True
 
     def probe_costs(
         self,
@@ -84,11 +89,15 @@ class ScanCost(CostModel):
     emit_cost: float = 0.01
 
     def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
-        return (
-            self.probe_base
-            + self.scan_coeff * np.asarray(store_sizes, dtype=np.float64)
-            + self.emit_cost * np.asarray(match_counts, dtype=np.float64)
-        )
+        # (base + coeff*s) + emit*m, evaluated with the fewest temporaries:
+        # int64 * float64-scalar promotes elementwise exactly like an asarray
+        # conversion would, and IEEE addition is commutative, so the result
+        # is bit-identical to the naive expression.
+        out = np.multiply(match_counts, self.emit_cost)
+        tmp = np.multiply(store_sizes, self.scan_coeff)
+        tmp += self.probe_base
+        out += tmp
+        return out
 
     def validate(self) -> None:
         super().validate()
@@ -111,10 +120,14 @@ class IndexedCost(CostModel):
     store_cost: float = 1.0
     probe_base: float = 1.0
     emit_cost: float = 0.1
+    uses_store_sizes: ClassVar[bool] = False
 
     def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
         del store_sizes  # irrelevant under an index
-        return self.probe_base + self.emit_cost * np.asarray(match_counts, dtype=np.float64)
+        # base + emit*m with one temporary; bit-identical (commuted add).
+        out = np.multiply(match_counts, self.emit_cost)
+        out += self.probe_base
+        return out
 
     def validate(self) -> None:
         super().validate()

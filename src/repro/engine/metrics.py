@@ -195,6 +195,63 @@ class MetricsCollector:
         if self.obs is not None:
             self.obs.on_record_service(now, n_processed, n_results, latencies)
 
+    def record_service_many(self, now: float, reports) -> None:
+        """Record every instance's work for one tick ending at ``now``.
+
+        Equivalent to calling :meth:`record_service` once per report in
+        order — counters and per-second float sums accumulate in the same
+        sequence — but the latency reservoir is fed one concatenated array
+        per tick instead of one call per instance.  The reservoir state is
+        bit-identical either way: its replacement draws come from a stream
+        generator, so chunking the input differently does not change which
+        random numbers each sample sees.
+        """
+        sec = int(now)
+        self._max_time = max(self._max_time, now)
+        in_window = now >= self._warmup
+        lat_arrays = []
+        obs = self.obs
+        results_by_sec = self._results
+        lat_sum_by_sec = self._lat_sum
+        # Integer counters are associative, so they accumulate in tick-local
+        # variables and land in the dicts once.  The float per-second sums
+        # must keep the per-report addition order (float addition is not),
+        # so those dict updates stay inside the loop.
+        tick_processed = 0
+        tick_results_int = 0
+        tick_lat_n = 0
+        tick_lat_n_window = 0
+        for rep in reports:
+            n_processed = rep.n_processed
+            n_results = rep.n_results
+            latencies = rep.latencies
+            if n_processed:
+                tick_processed += int(n_processed)
+            if n_results:
+                results_by_sec[sec] = results_by_sec.get(sec, 0.0) + float(n_results)
+                tick_results_int += int(round(n_results))
+            if latencies is not None and latencies.size:
+                s = float(latencies.sum())
+                lat_sum_by_sec[sec] = lat_sum_by_sec.get(sec, 0.0) + s
+                tick_lat_n += int(latencies.size)
+                if in_window:
+                    self._lat_total += s
+                    tick_lat_n_window += int(latencies.size)
+                    lat_arrays.append(latencies)
+            if obs is not None:
+                obs.on_record_service(now, n_processed, n_results, latencies)
+        if tick_processed:
+            self._processed[sec] = self._processed.get(sec, 0) + tick_processed
+            self._total_processed += tick_processed
+        self._total_results += tick_results_int
+        if tick_lat_n:
+            self._lat_cnt[sec] = self._lat_cnt.get(sec, 0) + tick_lat_n
+        self._lat_total_n += tick_lat_n_window
+        if lat_arrays:
+            self._reservoir.add_many(
+                lat_arrays[0] if len(lat_arrays) == 1 else np.concatenate(lat_arrays)
+            )
+
     def record_li(self, side: str, now: float, li: float) -> None:
         self._li.setdefault(side, []).append((now, li))
         self._max_time = max(self._max_time, now)

@@ -14,6 +14,12 @@ demand by scanning the live region, because it is only needed when a
 migration is being planned (rare) and keeping it incrementally costs a
 ``np.unique`` + dict update on every push/consume (the datapath hot loop).
 
+The hot-path entry points are shaped for the batched dispatcher: a
+dispatch delivers a block of keys that share one visible-time and one
+operation (:meth:`push_block` broadcasts the scalars instead of
+materialising per-tuple arrays), and the ring buffer takes contiguous
+slice fast paths whenever the live region does not wrap.
+
 Only tuples whose visible-time is <= "now" may be consumed; this is how
 dispatch/network delay is modelled without a separate in-flight structure.
 """
@@ -41,6 +47,13 @@ class TupleQueue:
         self._head = 0  # index of the oldest element
         self._size = 0
         self._n_probes = 0
+        # Visible-times are nondecreasing in enqueue order for the normal
+        # datapath (each block's scalar time is emit-tick + a fixed per-side
+        # delay), which lets peek_visible find the visibility cut with one
+        # searchsorted.  Generic push() (migrations, tests) conservatively
+        # clears the flag; it resets when the queue drains.
+        self._monotonic = True
+        self._tail_time = -np.inf
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -104,6 +117,15 @@ class TupleQueue:
         self._keys, self._times, self._ops = keys, times, ops
         self._head = 0
 
+    def _tail_spans(self, n: int) -> tuple[slice, slice | None, int]:
+        """Ring slots for appending ``n`` items: one or two slices."""
+        tail = (self._head + self._size) % self.capacity
+        end = tail + n
+        if end <= self.capacity:
+            return slice(tail, end), None, 0
+        first = self.capacity - tail
+        return slice(tail, self.capacity), slice(0, n - first), first
+
     def push(self, batch: Batch) -> None:
         """Append a batch at the tail (FIFO order preserved)."""
         n = len(batch)
@@ -111,22 +133,46 @@ class TupleQueue:
             return
         if self._size + n > self.capacity:
             self._grow(n)
-        tail = (self._head + self._size) % self.capacity
-        end = tail + n
-        if end <= self.capacity:
-            self._keys[tail:end] = batch.keys
-            self._times[tail:end] = batch.times
-            self._ops[tail:end] = batch.ops
-        else:
-            first = self.capacity - tail
-            self._keys[tail:] = batch.keys[:first]
-            self._times[tail:] = batch.times[:first]
-            self._ops[tail:] = batch.ops[:first]
-            self._keys[: n - first] = batch.keys[first:]
-            self._times[: n - first] = batch.times[first:]
-            self._ops[: n - first] = batch.ops[first:]
+        lo, hi, first = self._tail_spans(n)
+        self._keys[lo] = batch.keys if hi is None else batch.keys[:first]
+        self._times[lo] = batch.times if hi is None else batch.times[:first]
+        self._ops[lo] = batch.ops if hi is None else batch.ops[:first]
+        if hi is not None:
+            self._keys[hi] = batch.keys[first:]
+            self._times[hi] = batch.times[first:]
+            self._ops[hi] = batch.ops[first:]
         self._size += n
         self._n_probes += int(np.count_nonzero(batch.ops == OP_PROBE))
+        self._monotonic = False
+
+    def push_block(self, keys: np.ndarray, time: float, op: int) -> None:
+        """Append keys that share one visible-time and one operation.
+
+        This is the dispatcher's hot path: a scatter segment is a block of
+        same-op tuples emitted in one tick toward one destination, so the
+        time and op are scalars — broadcasting them here avoids building
+        throwaway per-tuple arrays for every (tick, destination) pair.
+        """
+        n = int(keys.shape[0])
+        if n == 0:
+            return
+        if self._size + n > self.capacity:
+            self._grow(n)
+        lo, hi, first = self._tail_spans(n)
+        self._keys[lo] = keys if hi is None else keys[:first]
+        self._times[lo] = time
+        self._ops[lo] = op
+        if hi is not None:
+            self._keys[hi] = keys[first:]
+            self._times[hi] = time
+            self._ops[hi] = op
+        self._size += n
+        if op == OP_PROBE:
+            self._n_probes += n
+        if time < self._tail_time:
+            self._monotonic = False
+        else:
+            self._tail_time = time
 
     def _live_indices(self, n: int) -> np.ndarray:
         return (self._head + np.arange(n)) % self.capacity
@@ -138,10 +184,31 @@ class TupleQueue:
         is by *enqueue* order; a not-yet-visible tuple blocks everything
         behind it (queues are per-destination, so this models an ordered
         channel, matching Storm's per-task stream semantics).
+
+        The returned batch may share memory with the queue's ring buffer;
+        it is valid until the next ``push``/``_grow``.  Callers that hold
+        on to it across mutations must copy.
         """
         n = self._size if limit is None else min(self._size, int(limit))
         if n == 0:
             return Batch.empty()
+        head = self._head
+        if head + n <= self.capacity:
+            # Contiguous live prefix: slice views, no fancy-index copies.
+            times = self._times[head : head + n]
+            if self._monotonic:
+                # Nondecreasing times: the visibility cut is a bisection.
+                cut = int(times.searchsorted(now, side="right"))
+            else:
+                invisible = np.nonzero(times > now)[0]
+                cut = int(invisible[0]) if invisible.size else n
+            if cut == 0:
+                return Batch.empty()
+            return Batch.wrap(
+                self._keys[head : head + cut],
+                times[:cut],
+                self._ops[head : head + cut],
+            )
         idx = self._live_indices(n)
         times = self._times[idx]
         invisible = np.nonzero(times > now)[0]
@@ -149,22 +216,35 @@ class TupleQueue:
         if cut == 0:
             return Batch.empty()
         idx = idx[:cut]
-        return Batch(keys=self._keys[idx].copy(), times=self._times[idx].copy(),
-                     ops=self._ops[idx].copy())
+        return Batch.wrap(self._keys[idx], self._times[idx], self._ops[idx])
 
-    def consume(self, n: int) -> None:
-        """Remove the first ``n`` tuples (they must have been peeked)."""
+    def consume(self, n: int, n_probes: int | None = None) -> None:
+        """Remove the first ``n`` tuples (they must have been peeked).
+
+        ``n_probes`` is the number of probe operations among them when the
+        caller already knows it (the join instance counts stores anyway);
+        passing it skips re-scanning the consumed ops.
+        """
         if n == 0:
             return
         if n > self._size:
             raise SimulationError(f"consume({n}) exceeds queue size {self._size}")
-        idx = self._live_indices(n)
-        n_probe = int(np.count_nonzero(self._ops[idx] == OP_PROBE))
-        self._n_probes -= n_probe
+        if n_probes is None:
+            head = self._head
+            if head + n <= self.capacity:
+                ops = self._ops[head : head + n]
+            else:
+                ops = self._ops[self._live_indices(n)]
+            n_probes = int(np.count_nonzero(ops == OP_PROBE))
+        self._n_probes -= n_probes
         if self._n_probes < 0:
             raise SimulationError("probe counter underflow")
         self._head = (self._head + n) % self.capacity
         self._size -= n
+        if self._size == 0 and not self._monotonic:
+            # A drained queue is trivially ordered again.
+            self._monotonic = True
+            self._tail_time = -np.inf
 
     def extract_keys(self, keys: set[int] | frozenset[int]) -> Batch:
         """Remove and return every queued tuple whose key is in ``keys``.
@@ -193,14 +273,25 @@ class TupleQueue:
             ops=live_ops[keep].copy(),
         )
         # Rebuild the buffer with the survivors; counters recomputed on push.
+        # A subsequence of an ordered queue is still ordered, so the
+        # monotonic flag survives the rebuild.
+        was_monotonic = self._monotonic
         self._head = 0
         self._size = 0
         self._n_probes = 0
         self.push(kept)
+        if was_monotonic:
+            self._monotonic = True
+            self._tail_time = float(kept.times[-1]) if len(kept) else -np.inf
         return out
 
     def clear(self) -> Batch:
         """Drain the whole queue, returning its contents in FIFO order."""
-        everything = self.peek_visible(np.inf)
-        self.consume(len(everything))
+        keys, times, ops = self._live()  # fancy-indexed, already copies
+        everything = Batch(keys=keys, times=times, ops=ops)
+        self._head = 0
+        self._size = 0
+        self._n_probes = 0
+        self._monotonic = True
+        self._tail_time = -np.inf
         return everything

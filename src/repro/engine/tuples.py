@@ -86,6 +86,17 @@ class Batch:
         return int(self.keys.shape[0])
 
     @classmethod
+    def wrap(cls, keys: np.ndarray, times: np.ndarray, ops: np.ndarray) -> "Batch":
+        """Trusted constructor for the hot path: the caller guarantees the
+        three arrays are already correctly typed and aligned, so the
+        ``__post_init__`` conversions and shape checks are skipped."""
+        batch = object.__new__(cls)
+        batch.keys = keys
+        batch.times = times
+        batch.ops = ops
+        return batch
+
+    @classmethod
     def empty(cls) -> "Batch":
         """An empty batch."""
         return cls(

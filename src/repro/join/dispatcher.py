@@ -13,6 +13,16 @@ After migrations, a :class:`~repro.core.routing.RoutingTable` per side
 redirects migrated keys; the dispatcher "checks the routing table to
 dispatch the tuples to the right join instances".
 
+Routing is batched end to end.  For a content-based side the dispatcher
+keeps a cached dense ``key -> instance`` route array that already folds in
+the routing-table overrides; resolving a tick's batch is then one fancy
+index instead of re-hashing every key on every call.  The cache is
+invalidated only when the routing table's ``version`` changes — i.e. when
+a migration actually installs or removes overrides — or when a new key id
+exceeds the cached range.  Delivery groups the batch by destination with
+one stable argsort and hands each join instance a contiguous key block
+with scalar visible-time/op metadata.
+
 Dispatch latency models the network: tuples become visible at the target
 queue ``delay`` seconds after emission, with the delay growing with group
 size (more instances → more dispatch/gather communication, the effect the
@@ -26,12 +36,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.routing import RoutingTable
-from ..engine.tuples import OP_PROBE, OP_STORE, Batch
+from ..engine.rng import hash_to_instance
+from ..engine.tuples import OP_PROBE, OP_STORE
 from ..errors import ConfigError
 from .instance import JoinInstance
 from .partitioners import Partitioner
 
 __all__ = ["DispatchDelay", "DispatchStats", "Dispatcher", "opposite"]
+
+#: route arrays cover keys in [0, _ROUTE_CACHE_CAP); a batch containing a
+#: negative or larger key falls back to uncached per-batch routing.
+_ROUTE_CACHE_CAP = 1 << 22
+
+_MIN_ROUTES = 1024
 
 
 def opposite(side: str) -> str:
@@ -106,8 +123,57 @@ class Dispatcher:
         self.delay = delay if delay is not None else DispatchDelay()
         self.rng = rng if rng is not None else np.random.Generator(np.random.PCG64(0))
         self.stats = DispatchStats()
+        # Per-side network delay is a pure function of the (fixed) group
+        # size; pre-resolve it instead of recomputing every dispatch.
+        self._delay_of = {
+            side: self.delay.delay(len(groups[side])) for side in ("R", "S")
+        }
+        # Cached dense key -> instance routes per content-based side, with
+        # routing-table overrides folded in.  _route_version records the
+        # table version each cache was built against; a migration bumps the
+        # version, which is the (pre-existing) invalidation hook.
+        self._routes: dict[str, np.ndarray | None] = {"R": None, "S": None}
+        self._route_version: dict[str, int] = {"R": -1, "S": -1}
         # Optional observability bundle (repro.obs); one test per dispatch.
         self.obs = None
+
+    # ------------------------------------------------------------------ #
+    # route cache
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_routes(self, side: str, min_size: int) -> np.ndarray:
+        """Recompute the side's route array covering ``min_size`` keys."""
+        table = self.routing[side]
+        current = self._routes[side]
+        size = _MIN_ROUTES
+        if current is not None:
+            size = max(size, current.shape[0])
+        while size < min_size:
+            size <<= 1
+        size = min(size, _ROUTE_CACHE_CAP)
+        routes = hash_to_instance(
+            np.arange(size, dtype=np.int64),
+            self.partitioners[side].n_instances,
+        )
+        table.overlay_routes(routes)
+        self._routes[side] = routes
+        self._route_version[side] = table.version
+        return routes
+
+    def _routed_targets(self, side: str, keys: np.ndarray, max_key: int) -> np.ndarray:
+        """Cached content-based routing for a batch (fanout-1 sides).
+
+        ``max_key`` is the batch's precomputed maximum; the caller has
+        already verified every key is in ``[0, _ROUTE_CACHE_CAP)``.
+        """
+        routes = self._routes[side]
+        if (
+            routes is None
+            or self._route_version[side] != self.routing[side].version
+            or max_key >= routes.shape[0]
+        ):
+            routes = self._rebuild_routes(side, max_key + 1)
+        return routes[keys]
 
     # ------------------------------------------------------------------ #
 
@@ -116,23 +182,24 @@ class Dispatcher:
         side: str,
         dest: np.ndarray,
         keys: np.ndarray,
-        times: np.ndarray,
+        time: float,
         op: int,
     ) -> None:
-        """Deliver (keys, times) to instances of ``side`` grouped by dest."""
+        """Deliver key blocks to instances of ``side`` grouped by dest."""
         instances = self.groups[side]
-        if dest.shape[0] == 0:
+        n = dest.shape[0]
+        if n == 0:
             return
         order = np.argsort(dest, kind="stable")
         sorted_dest = dest[order]
         sorted_keys = keys[order]
-        sorted_times = times[order]
-        uniq, starts = np.unique(sorted_dest, return_index=True)
-        bounds = np.append(starts, sorted_dest.shape[0])
-        for u, lo, hi in zip(uniq.tolist(), bounds[:-1].tolist(), bounds[1:].tolist()):
-            ops = np.full(hi - lo, op, dtype=np.int8)
-            instances[u].enqueue(
-                Batch(keys=sorted_keys[lo:hi], times=sorted_times[lo:hi], ops=ops)
+        # Segment boundaries of the destination-sorted batch: cheaper than
+        # np.unique on an already-sorted array.
+        cuts = np.nonzero(sorted_dest[1:] != sorted_dest[:-1])[0] + 1
+        bounds = np.concatenate(([0], cuts, [n]))
+        for lo, hi in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            instances[int(sorted_dest[lo])].enqueue_block(
+                sorted_keys[lo:hi], time, op
             )
 
     def dispatch(self, stream: str, keys: np.ndarray, emit_time: float) -> None:
@@ -145,32 +212,52 @@ class Dispatcher:
         if n == 0:
             return
         own, other = stream, opposite(stream)
+        # One bounds scan serves both sides' route-cache eligibility.
+        min_key = int(keys.min())
+        max_key = int(keys.max())
+        cacheable = min_key >= 0 and max_key < _ROUTE_CACHE_CAP
 
         # --- store path -------------------------------------------------- #
         part_own = self.partitioners[own]
-        store_dest = part_own.store_targets(keys, self.rng)
-        if part_own.content_based:
-            store_dest = self.routing[own].apply(keys, store_dest)
-        t_store = np.full(n, emit_time + self.delay.delay(len(self.groups[own])))
-        self._scatter(own, store_dest, keys, t_store, OP_STORE)
+        if part_own.content_based and cacheable:
+            store_dest = self._routed_targets(own, keys, max_key)
+        else:
+            store_dest = part_own.store_targets(keys, self.rng)
+            if part_own.content_based:
+                store_dest = self.routing[own].apply(keys, store_dest)
+        self._scatter(own, store_dest, keys, emit_time + self._delay_of[own],
+                      OP_STORE)
         self.stats.stores_sent += n
         self.stats.stores_to_side[own] += n
 
         # --- probe path --------------------------------------------------- #
         part_other = self.partitioners[other]
-        probe_dest, src = part_other.probe_targets(keys, self.rng)
-        probe_keys = keys[src]
-        if part_other.content_based:
-            probe_dest = self.routing[other].apply(probe_keys, probe_dest)
-        t_probe = np.full(
-            probe_keys.shape[0],
-            emit_time + self.delay.delay(len(self.groups[other])),
-        )
-        self._scatter(other, probe_dest, probe_keys, t_probe, OP_PROBE)
-        self.stats.probes_sent += int(probe_keys.shape[0])
-        self.stats.probes_to_side[other] += int(probe_keys.shape[0])
+        if part_other.probe_broadcast:
+            # Every instance receives the whole batch in key order — the
+            # stable dest-sort of the replicated (dest, src) arrays reduces
+            # to handing each instance the original keys, so neither the
+            # fanout-sized arrays nor the argsort are materialised.
+            t = emit_time + self._delay_of[other]
+            for inst in self.groups[other]:
+                inst.enqueue_block(keys, t, OP_PROBE)
+            n_probes = n * len(self.groups[other])
+        elif part_other.content_based and cacheable:
+            # Content-based probes are fanout-1 and use the same key ->
+            # instance map as stores of that side: reuse the cache.
+            probe_dest = self._routed_targets(other, keys, max_key)
+            self._scatter(other, probe_dest, keys,
+                          emit_time + self._delay_of[other], OP_PROBE)
+            n_probes = n
+        else:
+            probe_dest, src = part_other.probe_targets(keys, self.rng)
+            probe_keys = keys[src]
+            if part_other.content_based:
+                probe_dest = self.routing[other].apply(probe_keys, probe_dest)
+            self._scatter(other, probe_dest, probe_keys,
+                          emit_time + self._delay_of[other], OP_PROBE)
+            n_probes = int(probe_keys.shape[0])
+        self.stats.probes_sent += n_probes
+        self.stats.probes_to_side[other] += n_probes
 
         if self.obs is not None:
-            self.obs.on_dispatch(
-                stream, keys, int(probe_keys.shape[0]), other, emit_time
-            )
+            self.obs.on_dispatch(stream, keys, n_probes, other, emit_time)

@@ -34,30 +34,32 @@ __all__ = ["JoinInstance", "ServiceReport"]
 
 
 def _prior_same_key_stores(
-    inv: np.ndarray, store_mask: np.ndarray
+    keys: np.ndarray, store_mask: np.ndarray
 ) -> np.ndarray:
     """For each position, how many *store* ops with the same key precede it
-    within the chunk (exclusive), given the ``np.unique`` inverse mapping.
-    Makes intra-tick join results exact: a probe sees every store that was
-    served before it, even in the same service chunk.
+    within the chunk (exclusive).  Makes intra-tick join results exact: a
+    probe sees every store that was served before it, even in the same
+    service chunk.  One stable argsort groups equal keys while preserving
+    position order within each group; no key-compaction pass is needed.
     """
-    n = inv.shape[0]
+    n = keys.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.int64)
-    order = np.argsort(inv, kind="stable")  # groups keys, preserves position order
-    flags_sorted = store_mask[order].astype(np.int64)
-    cs = np.cumsum(flags_sorted)
-    inv_sorted = inv[order]
-    group_start = np.ones(n, dtype=bool)
-    group_start[1:] = inv_sorted[1:] != inv_sorted[:-1]
-    start_idx = np.nonzero(group_start)[0]
+    order = np.argsort(keys, kind="stable")  # groups keys, preserves position order
+    keys_sorted = keys[order]
+    flags_sorted = store_mask[order]
+    excl = flags_sorted.cumsum()
+    excl -= flags_sorted  # exclusive global prefix of store flags
+    start = np.empty(n, dtype=bool)
+    start[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=start[1:])
     # exclusive within-group prefix: global exclusive prefix minus the
-    # global prefix at each group's start, broadcast over the group.
-    excl = cs - flags_sorted
-    group_base = np.repeat(excl[start_idx], np.diff(np.append(start_idx, n)))
-    prior_sorted = excl - group_base
+    # prefix at each group's start.  ``excl`` is non-decreasing, so a
+    # running maximum over the group-start values broadcasts each group's
+    # base without materialising segment lengths.
+    base = np.maximum.accumulate(np.where(start, excl, 0))
     out = np.empty(n, dtype=np.int64)
-    out[order] = prior_sorted
+    out[order] = excl - base
     return out
 
 
@@ -75,6 +77,12 @@ class ServiceReport:
     @property
     def idle(self) -> bool:
         return self.n_processed == 0
+
+
+#: Shared report for ticks in which an instance did nothing.  Callers only
+#: read reports, so idle steps reuse one instance instead of allocating a
+#: dataclass (and its empty latency array) thousands of times per run.
+_IDLE_REPORT = ServiceReport()
 
 
 class JoinInstance:
@@ -124,6 +132,16 @@ class JoinInstance:
         self._paused_until = 0.0
         self._work_credit = 0.0
         self._max_chunk = int(max_service_chunk)
+        # Every operation costs at least this much; the peek bound derives
+        # from it.  The cost model is immutable, so resolve it once.
+        self._floor_cost = max(
+            min(
+                self.cost_model.store_cost,
+                getattr(self.cost_model, "probe_base", 1.0),
+            ),
+            1e-9,
+        )
+        self._cost_uses_sizes = getattr(self.cost_model, "uses_store_sizes", True)
         # Exponential moving average of the probe backlog, with time
         # constant tau.  The monitor reads this smoothed value: an
         # instantaneous queue length sampled once a second is a noisy load
@@ -157,6 +175,16 @@ class JoinInstance:
         """Accept dispatched tuples (queueing continues while paused)."""
         self.queue.push(batch)
 
+    def enqueue_block(self, keys: np.ndarray, time: float, op: int) -> None:
+        """Accept one dispatch segment: keys sharing a visible-time and op.
+
+        The batched dispatcher delivers per-destination blocks whose
+        metadata is scalar (one tick, one network delay, one operation);
+        forwarding the scalars lets the queue broadcast them instead of
+        allocating per-tuple arrays.
+        """
+        self.queue.push_block(keys, time, op)
+
     @property
     def paused(self) -> bool:
         return self._paused_until > 0.0
@@ -178,7 +206,7 @@ class JoinInstance:
         else:
             self._backlog_ewma = float(self.queue.probe_backlog)
         if now < self._paused_until:
-            return ServiceReport()
+            return _IDLE_REPORT
         self._paused_until = 0.0
 
         # Budget for this tick plus any overdraft (negative credit) from a
@@ -187,55 +215,82 @@ class JoinInstance:
         credit = self._work_credit + self.capacity * dt
         if len(self.queue) == 0 or credit <= 0:
             self._work_credit = min(credit, 0.0)
-            return ServiceReport()
+            return _IDLE_REPORT
 
         # Bound the peek by what this tick's credit could possibly afford:
         # every operation costs at least min(store, probe_base) work units,
         # so peeking deeper than credit/floor_cost wastes copying on
         # backlogged queues.
-        floor_cost = max(
-            min(self.cost_model.store_cost, getattr(self.cost_model, "probe_base", 1.0)),
-            1e-9,
-        )
-        affordable = int(credit / floor_cost) + 1
+        affordable = int(credit / self._floor_cost) + 1
         batch = self.queue.peek_visible(now + dt, limit=min(self._max_chunk, affordable))
         n_visible = len(batch)
         if n_visible == 0:
             self._work_credit = min(credit, 0.0)
-            return ServiceReport()
+            return _IDLE_REPORT
 
+        # The chunk's store/probe composition picks one of three paths:
+        # all-store chunks never consult the keyed store, all-probe chunks
+        # (the common case under broadcast probes) skip the store-prefix
+        # cumsum and the boolean-mask copies, and only mixed chunks pay for
+        # the intra-chunk same-key correction.
         store_mask = batch.ops == OP_STORE
-        # |R_i| in effect at each position: start size plus stores already
-        # applied earlier in the chunk.
-        start_total = self.store.total
-        store_prefix = np.cumsum(store_mask.astype(np.int64))
-        sizes_at = start_total + store_prefix - store_mask.astype(np.int64)
-        # Matches are exact even intra-chunk: stored count at chunk start
-        # plus same-key stores served earlier in this chunk.  One unique
-        # pass serves both the store lookup (on unique keys only — chunks
-        # repeat hot keys heavily) and the intra-chunk prefix counts.
-        uniq, inv = np.unique(batch.keys, return_inverse=True)
-        match_counts = self.store.match_counts(uniq)[inv] + _prior_same_key_stores(
-            inv, store_mask
-        )
-        costs = np.where(
-            store_mask,
-            self.cost_model.store_cost,
-            self.cost_model.probe_costs(sizes_at, match_counts),
-        )
-        cum = np.cumsum(costs)
+        n_stores_visible = int(np.count_nonzero(store_mask))
+        any_stores = n_stores_visible > 0
+        store_cost = self.cost_model.store_cost
+        if n_stores_visible == n_visible:
+            # Pure store chunk: no probes, no matches, uniform cost.
+            match_counts = None
+            costs = np.full(n_visible, float(store_cost))
+        else:
+            # Matches are exact even intra-chunk: stored count at chunk
+            # start (a dense-table fancy-index on the raw keys) plus
+            # same-key stores served earlier in this chunk.  The intra-chunk
+            # correction only exists when the chunk contains stores, so
+            # probe-only chunks skip the argsort pass entirely.
+            match_counts = self.store.match_counts(batch.keys)
+            if any_stores:
+                # Positions before the chunk's first store need no
+                # correction, so the argsort pass runs on the suffix only —
+                # usually just the tail blocks of a mostly-probe chunk.
+                # match_counts is always a fresh array, so the in-place add
+                # is safe.
+                i0 = int(np.argmax(store_mask))
+                match_counts[i0:] += _prior_same_key_stores(
+                    batch.keys[i0:], store_mask[i0:]
+                )
+                if self._cost_uses_sizes:
+                    # |R_i| in effect at each position: start size plus
+                    # stores already applied earlier in the chunk.
+                    sizes_at = store_mask.cumsum()
+                    sizes_at -= store_mask
+                    sizes_at += self.store.total
+                else:
+                    # The cost model ignores store sizes: skip the prefix
+                    # pass and pass a placeholder.
+                    sizes_at = match_counts
+            else:
+                # No stores in the chunk: the store size is constant; a
+                # scalar broadcasts through the cost arithmetic.
+                sizes_at = np.int64(self.store.total)
+            # probe_costs returns a fresh array; overwrite the store
+            # positions in place instead of a second np.where allocation.
+            costs = np.asarray(
+                self.cost_model.probe_costs(sizes_at, match_counts),
+                dtype=np.float64,
+            )
+            if any_stores:
+                costs[store_mask] = store_cost
+        cum = costs.cumsum()
         # Serve tuple t while credit is still positive when t starts, i.e.
-        # while the exclusive prefix cost is < credit (allows one overdraft
-        # tuple, modelling partial service carried into the next tick).
-        ecum = cum - costs
-        n_take = int(np.searchsorted(ecum, credit, side="left"))
+        # while its exclusive prefix cost cum[t-1] is < credit (allows one
+        # overdraft tuple, modelling partial service carried into the next
+        # tick).  The first inclusive prefix >= credit is that boundary.
+        n_take = int(cum.searchsorted(credit, side="left")) + 1
+        if n_take > n_visible:
+            n_take = n_visible
 
-        taken = Batch(
-            keys=batch.keys[:n_take],
-            times=batch.times[:n_take],
-            ops=batch.ops[:n_take],
-        )
-        self.queue.consume(n_take)
+        taken_keys = batch.keys[:n_take]
+        taken_times = batch.times[:n_take]
         spent = float(cum[n_take - 1])
         leftover = credit - spent
         if n_take == n_visible:
@@ -243,19 +298,33 @@ class JoinInstance:
             leftover = min(leftover, 0.0)
         self._work_credit = leftover
 
-        taken_store = taken.ops == OP_STORE
-        store_keys = taken.keys[taken_store]
-        if store_keys.shape[0]:
-            self.store.add_batch(store_keys)
-        n_stored = int(store_keys.shape[0])
+        if not any_stores:
+            n_stored = 0
+        elif n_take == n_visible:
+            n_stored = n_stores_visible
+        else:
+            n_stored = int(np.count_nonzero(store_mask[:n_take]))
         n_probed = n_take - n_stored
-        probe_results = match_counts[:n_take][~taken_store]
-        n_results = float(probe_results.sum())
+        self.queue.consume(n_take, n_probes=n_probed)
+        if n_stored:
+            self.store.add_batch(taken_keys[store_mask[:n_take]])
+        if n_probed == 0:
+            probe_results = None
+            n_results = 0.0
+        elif n_stored == 0:
+            probe_results = match_counts[:n_take]
+            n_results = float(probe_results.sum())
+        else:
+            probe_results = match_counts[:n_take][~store_mask[:n_take]]
+            n_results = float(probe_results.sum())
         if self._result_counts is not None and n_probed:
             counts = self._result_counts
-            for k, c in zip(
-                taken.keys[~taken_store].tolist(), probe_results.tolist()
-            ):
+            probe_keys = (
+                taken_keys
+                if n_stored == 0
+                else taken_keys[~store_mask[:n_take]]
+            )
+            for k, c in zip(probe_keys.tolist(), probe_results.tolist()):
                 if c:
                     counts[k] += c
 
@@ -263,8 +332,17 @@ class JoinInstance:
         # cumulative work finished at this capacity.  latency = completion -
         # arrival; the overdraft tuple may nominally finish just past the
         # tick boundary, which is the intended carry-over semantics.
-        completion = now + cum[:n_take] / self.capacity
-        latencies = np.maximum(completion - taken.times, 0.0) + self.latency_offset
+        # (latency = max(now + cum/capacity - arrival, 0) + offset, computed
+        # in place on the one fresh division result.)
+        # ``cum`` is not read again after ``spent`` was captured, so the
+        # division happens in place on its buffer.
+        latencies = cum[:n_take]
+        latencies /= self.capacity
+        latencies += now
+        latencies -= taken_times
+        np.maximum(latencies, 0.0, out=latencies)
+        if self.latency_offset:
+            latencies += self.latency_offset
 
         self.total_stored += n_stored
         self.total_probed += n_probed

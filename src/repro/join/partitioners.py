@@ -48,6 +48,10 @@ class Partitioner:
     content_based: bool = False
     #: probe fan-out factor (how many instances one probe visits)
     fanout: int = 1
+    #: True when probes visit *every* instance in key order — the
+    #: dispatcher then skips materialising the replicated (dest, src)
+    #: arrays and hands the original key batch to each instance directly.
+    probe_broadcast: bool = False
 
     def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Instance index that stores each tuple."""
@@ -93,6 +97,7 @@ class RandomBroadcastPartitioner(Partitioner):
             raise ConfigError(f"n_instances must be >= 1, got {n_instances}")
         self.n_instances = int(n_instances)
         self.fanout = self.n_instances
+        self.probe_broadcast = True
 
     def store_targets(self, keys: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(0, self.n_instances, size=keys.shape[0], dtype=np.int64)
@@ -133,6 +138,9 @@ class ContRandPartitioner(Partitioner):
         self.subgroup_size = int(subgroup_size)
         self.n_subgroups = self.n_instances // self.subgroup_size
         self.fanout = self.subgroup_size
+        # g == n degenerates to random/broadcast: the single subgroup spans
+        # the whole group, so every probe visits every instance in order.
+        self.probe_broadcast = self.subgroup_size == self.n_instances
 
     def _subgroups(self, keys: np.ndarray) -> np.ndarray:
         return hash_to_instance(keys, self.n_subgroups)

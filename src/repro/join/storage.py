@@ -7,6 +7,15 @@ Payloads never influence any measured quantity, so carrying them would only
 slow the simulation down (the exact-semantics engine in
 :mod:`repro.join.exact` does carry real tuples).
 
+The count table is a *dense* int64 array indexed by key id: the hot-path
+operations (``match_counts`` for a batch of probes, ``add_batch`` for a
+batch of stores) become one fancy-index read and one ``np.add.at``, with no
+per-key Python.  Key ids in every shipped workload are small non-negative
+integers (location ids, Zipf ranks), so the dense array stays a few KB; a
+key that is negative or astronomically large falls back to a dict overflow
+table, which keeps the public API total (any int64 is a valid key) without
+letting a pathological key allocate gigabytes.
+
 :class:`KeyedStore` is the unbounded full-history store (BiStream's default
 near-full-history join).  :class:`repro.join.window.WindowedStore` layers
 sub-window eviction on top for the window-based join of paper section III-E.
@@ -14,21 +23,48 @@ sub-window eviction on top for the window-based join of paper section III-E.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from ..errors import StorageError
 
-__all__ = ["KeyedStore"]
+__all__ = ["KeyedStore", "DENSE_KEY_CAP"]
+
+#: keys in [0, DENSE_KEY_CAP) live in the dense array; others in the
+#: overflow dict.  At the cap the dense table costs 32 MB — large, but
+#: bounded; real workloads use key universes of a few thousand.
+DENSE_KEY_CAP = 1 << 22
+
+_MIN_DENSE = 1024
+
+
+def _grow_to(size: int) -> int:
+    """Next power-of-two capacity covering ``size`` slots."""
+    cap = _MIN_DENSE
+    while cap < size:
+        cap <<= 1
+    return min(cap, DENSE_KEY_CAP)
 
 
 class KeyedStore:
     """Multiset of stored tuples represented as per-key counts."""
 
     def __init__(self) -> None:
-        self._counts: dict[int, int] = defaultdict(int)
+        self._dense = np.zeros(_MIN_DENSE, dtype=np.int64)
+        self._overflow: dict[int, int] = {}
         self._total = 0
+
+    # -- dense-table plumbing -------------------------------------------- #
+
+    def _in_dense(self, key: int) -> bool:
+        return 0 <= key < DENSE_KEY_CAP
+
+    def _ensure(self, max_key: int) -> None:
+        """Grow the dense table to cover ``max_key`` (must be < cap)."""
+        if max_key < self._dense.shape[0]:
+            return
+        grown = np.zeros(_grow_to(max_key + 1), dtype=np.int64)
+        grown[: self._dense.shape[0]] = self._dense
+        self._dense = grown
 
     # -- introspection --------------------------------------------------- #
 
@@ -40,43 +76,78 @@ class KeyedStore:
     @property
     def n_keys(self) -> int:
         """``K`` — number of distinct keys stored on this instance."""
-        return len(self._counts)
+        return int(np.count_nonzero(self._dense)) + len(self._overflow)
 
     def count(self, key: int) -> int:
         """``|R_ik|`` — stored tuples with the given key."""
-        return self._counts.get(int(key), 0)
+        key = int(key)
+        if self._in_dense(key):
+            if key < self._dense.shape[0]:
+                return int(self._dense[key])
+            return 0
+        return self._overflow.get(key, 0)
 
     def counts_snapshot(self) -> dict[int, int]:
         """Copy of the per-key counts (only keys with positive counts)."""
-        return dict(self._counts)
+        nz = np.nonzero(self._dense)[0]
+        out = dict(zip(nz.tolist(), self._dense[nz].tolist()))
+        out.update(self._overflow)
+        return out
 
     def keys(self) -> list[int]:
-        return list(self._counts.keys())
+        return list(np.nonzero(self._dense)[0].tolist()) + list(self._overflow)
 
     def match_counts(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorised lookup of ``|R_ik]`` for an array of probe keys."""
-        out = np.empty(keys.shape[0], dtype=np.int64)
-        counts = self._counts
-        for i, k in enumerate(keys.tolist()):
-            out[i] = counts.get(k, 0)
+        """Vectorised lookup of ``|R_ik|`` for an array of probe keys."""
+        n = keys.shape[0]
+        dense = self._dense
+        size = dense.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Fast path: every key addresses the dense table directly.
+        if int(keys.min()) >= 0 and int(keys.max()) < size:
+            return dense[keys]
+        out = np.zeros(n, dtype=np.int64)
+        ok = (keys >= 0) & (keys < size)
+        out[ok] = dense[keys[ok]]
+        if self._overflow:
+            table = self._overflow
+            for i in np.nonzero(~ok)[0].tolist():
+                out[i] = table.get(int(keys[i]), 0)
         return out
 
     # -- mutation ---------------------------------------------------------- #
 
     def add_batch(self, keys: np.ndarray) -> None:
         """Insert one tuple per entry of ``keys``."""
-        if keys.shape[0] == 0:
+        n = int(keys.shape[0])
+        if n == 0:
             return
-        uniq, counts = np.unique(keys, return_counts=True)
-        store = self._counts
-        for k, c in zip(uniq.tolist(), counts.tolist()):
-            store[k] += c
-        self._total += int(keys.shape[0])
+        mn = int(keys.min())
+        mx = int(keys.max())
+        if mn >= 0 and mx < DENSE_KEY_CAP:
+            self._ensure(mx)
+            np.add.at(self._dense, keys, 1)
+        else:
+            ok = (keys >= 0) & (keys < DENSE_KEY_CAP)
+            dense_keys = keys[ok]
+            if dense_keys.shape[0]:
+                self._ensure(int(dense_keys.max()))
+                np.add.at(self._dense, dense_keys, 1)
+            table = self._overflow
+            for k in keys[~ok].tolist():
+                table[k] = table.get(k, 0) + 1
+        self._total += n
 
     def add(self, key: int, count: int = 1) -> None:
         if count < 0:
             raise StorageError(f"cannot add a negative count ({count})")
-        self._counts[int(key)] += count
+        key = int(key)
+        if self._in_dense(key):
+            self._ensure(key)
+            self._dense[key] += count
+        elif count:
+            self._overflow[key] = self._overflow.get(key, 0) + count
         self._total += count
 
     def remove_keys(self, keys: set[int] | frozenset[int]) -> dict[int, int]:
@@ -85,12 +156,20 @@ class KeyedStore:
         This is the store side of migration (Algorithm 2 lines 3-8).
         """
         removed: dict[int, int] = {}
+        size = self._dense.shape[0]
         for k in keys:
             k = int(k)
-            c = self._counts.pop(k, 0)
-            if c:
-                removed[k] = c
-                self._total -= c
+            if 0 <= k < size:
+                c = int(self._dense[k])
+                if c:
+                    removed[k] = c
+                    self._dense[k] = 0
+                    self._total -= c
+            else:
+                c = self._overflow.pop(k, 0)
+                if c:
+                    removed[k] = c
+                    self._total -= c
         if self._total < 0:
             raise StorageError("store total went negative after remove_keys")
         return removed
@@ -100,28 +179,57 @@ class KeyedStore:
         for k, c in counts.items():
             if c < 0:
                 raise StorageError(f"negative migrated count for key {k}")
-            self._counts[int(k)] += c
-            self._total += c
+            self.add(int(k), c)
 
     def evict_counts(self, counts: dict[int, int]) -> None:
         """Subtract per-key counts (window expiry, paper section III-E)."""
+        size = self._dense.shape[0]
         for k, c in counts.items():
             k = int(k)
-            have = self._counts.get(k, 0)
+            have = int(self._dense[k]) if 0 <= k < size else self._overflow.get(k, 0)
             if c > have:
                 raise StorageError(
                     f"evicting {c} tuples of key {k} but only {have} stored"
                 )
             left = have - c
-            if left:
-                self._counts[k] = left
+            if 0 <= k < size:
+                self._dense[k] = left
+            elif left:
+                self._overflow[k] = left
             else:
-                del self._counts[k]
+                self._overflow.pop(k, None)
             self._total -= c
 
+    def evict_array(self, counts: np.ndarray, overflow: dict[int, int] | None = None) -> None:
+        """Vectorised window expiry: subtract an aligned dense count row.
+
+        ``counts`` is indexed by key id like the internal table (it may be
+        shorter); ``overflow`` carries the expiring counts of any
+        out-of-dense-range keys.  Raises :class:`StorageError` if the
+        eviction would drive any count negative — an expiring sub-window
+        can never hold more tuples of a key than the store does.
+        """
+        m = counts.shape[0]
+        if m:
+            if m > self._dense.shape[0]:
+                self._ensure(m - 1)
+            region = self._dense[:m]
+            region -= counts
+            if int(region.min()) < 0:
+                region += counts  # restore before failing
+                bad = int(np.nonzero(counts > self._dense[:m])[0][0])
+                raise StorageError(
+                    f"evicting {int(counts[bad])} tuples of key {bad} but "
+                    f"only {int(self._dense[bad])} stored"
+                )
+            self._total -= int(counts.sum())
+        if overflow:
+            self.evict_counts(overflow)
+
     def clear(self) -> None:
-        self._counts.clear()
+        self._dense[:] = 0
+        self._overflow.clear()
         self._total = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"KeyedStore(total={self._total}, keys={len(self._counts)})"
+        return f"KeyedStore(total={self._total}, keys={self.n_keys})"

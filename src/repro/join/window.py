@@ -8,23 +8,29 @@ The paper adapts FastJoin to window semantics by
   instance, whose head is popped when the early sub-window expires.
 
 :class:`WindowedStore` wraps a :class:`~repro.join.storage.KeyedStore` with
-a ring of sub-windows.  Each sub-window remembers the per-key counts that
-were inserted during it, so expiry can subtract exactly those tuples.
-:class:`SubWindowVector` is the monitor-side structure: it tracks only the
-scalar ``|R|`` per sub-window (the monitor never needs per-key detail until
-it requests a migration).
+a ring of sub-windows.  The ring is a 2-D ``(n_subwindows, key)`` count
+matrix — one dense row per sub-window — so recording a batch of inserts is
+one ``np.add.at`` into the current row and expiring a sub-window is one
+vectorised row subtraction (:meth:`KeyedStore.evict_array`), with no
+per-key Python on either path.  Out-of-dense-range keys (negative or
+astronomically large) ride in per-row overflow dicts, mirroring the keyed
+store's fallback.  :class:`SubWindowVector` is the monitor-side structure:
+it tracks only the scalar ``|R|`` per sub-window (the monitor never needs
+per-key detail until it requests a migration).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 
 import numpy as np
 
 from ..errors import ConfigError
-from .storage import KeyedStore
+from .storage import DENSE_KEY_CAP, KeyedStore
 
 __all__ = ["WindowedStore", "SubWindowVector"]
+
+_MIN_RING_WIDTH = 1024
 
 
 class WindowedStore:
@@ -51,10 +57,14 @@ class WindowedStore:
             raise ConfigError(f"n_subwindows must be >= 1, got {n_subwindows}")
         self._store = KeyedStore()
         self._n_subwindows = int(n_subwindows)
-        self._ring: deque[dict[int, int]] = deque(
-            [defaultdict(int) for _ in range(self._n_subwindows)],
-            maxlen=self._n_subwindows,
-        )
+        # Row i of the ring holds the per-key insert counts of one
+        # sub-window; _head indexes the oldest row, the newest (current)
+        # row is (_head - 1) % n.  Rotation just advances _head — no copy.
+        self._ring = np.zeros((self._n_subwindows, _MIN_RING_WIDTH), dtype=np.int64)
+        self._overflow: list[dict[int, int]] = [
+            {} for _ in range(self._n_subwindows)
+        ]
+        self._head = 0
 
     # -- delegation to the underlying store --------------------------------- #
 
@@ -85,36 +95,83 @@ class WindowedStore:
     # -- window-aware mutation ---------------------------------------------- #
 
     @property
-    def _current(self) -> dict[int, int]:
-        return self._ring[-1]
+    def _current_row(self) -> int:
+        return (self._head - 1) % self._n_subwindows
+
+    def _widen(self, max_key: int) -> None:
+        """Grow every ring row to cover ``max_key`` (must be < dense cap)."""
+        width = self._ring.shape[1]
+        if max_key < width:
+            return
+        new_width = _MIN_RING_WIDTH
+        while new_width <= max_key:
+            new_width <<= 1
+        grown = np.zeros((self._n_subwindows, new_width), dtype=np.int64)
+        grown[:, :width] = self._ring
+        self._ring = grown
+
+    def _credit_current(self, keys: np.ndarray) -> None:
+        """Record a batch of inserts in the current sub-window's row."""
+        row = self._ring[self._current_row]
+        mn = int(keys.min())
+        mx = int(keys.max())
+        if mn >= 0 and mx < DENSE_KEY_CAP:
+            if mx >= row.shape[0]:
+                self._widen(mx)
+                row = self._ring[self._current_row]
+            np.add.at(row, keys, 1)
+            return
+        ok = (keys >= 0) & (keys < DENSE_KEY_CAP)
+        dense_keys = keys[ok]
+        if dense_keys.shape[0]:
+            mx = int(dense_keys.max())
+            if mx >= row.shape[0]:
+                self._widen(mx)
+                row = self._ring[self._current_row]
+            np.add.at(row, dense_keys, 1)
+        over = self._overflow[self._current_row]
+        for k in keys[~ok].tolist():
+            over[k] = over.get(k, 0) + 1
 
     def add_batch(self, keys: np.ndarray) -> None:
         if keys.shape[0] == 0:
             return
         self._store.add_batch(keys)
-        cur = self._current
-        uniq, counts = np.unique(keys, return_counts=True)
-        for k, c in zip(uniq.tolist(), counts.tolist()):
-            cur[k] += c
+        self._credit_current(keys)
 
     def add(self, key: int, count: int = 1) -> None:
         self._store.add(key, count)
-        self._current[int(key)] += count
+        key = int(key)
+        if 0 <= key < DENSE_KEY_CAP:
+            self._widen(key)
+            self._ring[self._current_row, key] += count
+        elif count:
+            over = self._overflow[self._current_row]
+            over[key] = over.get(key, 0) + count
 
     def merge_counts(self, counts: dict[int, int]) -> None:
         self._store.merge_counts(counts)
-        cur = self._current
         for k, c in counts.items():
-            cur[int(k)] += c
+            k = int(k)
+            if 0 <= k < DENSE_KEY_CAP:
+                self._widen(k)
+                self._ring[self._current_row, k] += c
+            elif c:
+                over = self._overflow[self._current_row]
+                over[k] = over.get(k, 0) + c
 
     def remove_keys(self, keys: set[int] | frozenset[int]) -> dict[int, int]:
         removed = self._store.remove_keys(keys)
         # Scrub the migrated keys from every sub-window so their later
         # expiry does not double-subtract.
         if removed:
-            for sub in self._ring:
+            width = self._ring.shape[1]
+            dense = [k for k in removed if 0 <= k < width]
+            if dense:
+                self._ring[:, np.asarray(dense, dtype=np.int64)] = 0
+            for over in self._overflow:
                 for k in removed:
-                    sub.pop(int(k), None)
+                    over.pop(int(k), None)
         return removed
 
     def rotate(self) -> int:
@@ -123,16 +180,27 @@ class WindowedStore:
         The head of the vector is "popped out" exactly as section III-E
         describes, and the per-instance ``|R|`` decreases by its size.
         """
-        expired = self._ring[0]
-        n = sum(expired.values())
+        row = self._ring[self._head]
+        over = self._overflow[self._head]
+        n = int(row.sum()) + sum(over.values())
         if n:
-            self._store.evict_counts(expired)
-        self._ring.append(defaultdict(int))  # deque maxlen pops the head
+            self._store.evict_array(row, over if over else None)
+        row[:] = 0
+        if over:
+            self._overflow[self._head] = {}
+        self._head = (self._head + 1) % self._n_subwindows
         return n
 
     def subwindow_sizes(self) -> list[int]:
         """Sizes of the sub-windows, oldest first (monitor's vector view)."""
-        return [sum(sub.values()) for sub in self._ring]
+        order = [
+            (self._head + i) % self._n_subwindows
+            for i in range(self._n_subwindows)
+        ]
+        row_sums = self._ring.sum(axis=1)
+        return [
+            int(row_sums[i]) + sum(self._overflow[i].values()) for i in order
+        ]
 
 
 class SubWindowVector:

@@ -1,0 +1,159 @@
+"""Unit tests for the hot-path benchmark harness (repro.bench.perf)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.perf import (
+    BENCH_CASES,
+    BenchCase,
+    bench_cases,
+    compare_reports,
+    format_report,
+    load_report,
+    machine_metadata,
+    run_case,
+    write_report,
+)
+
+
+def _tiny_case(system: str = "bistream", workload: str = "ridehailing") -> BenchCase:
+    return BenchCase(
+        name=f"tiny/{system}", system=system, workload=workload,
+        # duration must clear the canonical 2 s warmup or every latency
+        # percentile is NaN (and NaN != NaN would poison the assertions)
+        n_instances=2, duration=3.0, rate=2_000.0, seed=3,
+    )
+
+
+class TestMatrix:
+    def test_matrix_names_unique(self):
+        names = [c.name for c in BENCH_CASES]
+        assert len(names) == len(set(names))
+
+    def test_quick_subset_nonempty_and_proper(self):
+        quick = bench_cases(quick=True)
+        assert quick
+        assert set(quick) < set(bench_cases())
+
+    def test_quick_cases_share_full_matrix_configs(self):
+        """Quick cases are the same cells, so their numbers are directly
+        comparable against the committed full baseline."""
+        full_by_name = {c.name: c for c in bench_cases()}
+        for case in bench_cases(quick=True):
+            assert full_by_name[case.name] == case
+
+    def test_fig1_cases_cover_all_three_systems(self):
+        systems = {c.system for c in BENCH_CASES if c.name.startswith("fig1")}
+        assert systems == {"bistream", "contrand", "fastjoin"}
+
+
+class TestRunCase:
+    def test_measures_and_reports(self):
+        res = run_case(_tiny_case(), repeats=1)
+        assert res.wall_seconds > 0
+        assert res.tuples_per_sec > 0
+        assert res.total_processed > 0
+        d = res.to_dict()
+        assert d["name"] == "tiny/bistream"
+        assert d["total_processed"] == res.total_processed
+
+    def test_repeats_keep_deterministic_metrics(self):
+        a = run_case(_tiny_case(), repeats=1)
+        b = run_case(_tiny_case(), repeats=2)
+        assert a.total_processed == b.total_processed
+        assert a.total_results == b.total_results
+        assert a.latency_p99 == b.latency_p99
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_case(_tiny_case(), repeats=0)
+
+
+def _report_with(case_dict: dict) -> dict:
+    return {"schema": 1, "quick": False, "machine": machine_metadata(),
+            "cases": [case_dict]}
+
+
+def _case_dict(**over) -> dict:
+    base = {
+        "name": "fig1-skew/bistream/16",
+        "wall_seconds": 1.0,
+        "tuples_per_sec": 1_000_000.0,
+        "total_processed": 100,
+        "total_results": 200,
+        "migrations": 3,
+        "latency_p50": 0.5,
+        "latency_p99": 1.5,
+        "mean_throughput": 123.0,
+    }
+    base.update(over)
+    return base
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        rep = _report_with(_case_dict())
+        cmp = compare_reports(rep, copy.deepcopy(rep))
+        assert cmp.ok
+        assert not cmp.failures
+
+    def test_small_slowdown_within_tolerance(self):
+        fresh = _report_with(_case_dict(tuples_per_sec=850_000.0))
+        base = _report_with(_case_dict())
+        assert compare_reports(fresh, base, tolerance=0.20).ok
+
+    def test_large_slowdown_fails(self):
+        fresh = _report_with(_case_dict(tuples_per_sec=700_000.0))
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base, tolerance=0.20)
+        assert not cmp.ok
+        assert "REGRESSION" in " ".join(cmp.lines)
+
+    def test_speedup_always_passes(self):
+        fresh = _report_with(_case_dict(tuples_per_sec=9_999_999.0))
+        base = _report_with(_case_dict())
+        assert compare_reports(fresh, base).ok
+
+    def test_deterministic_drift_fails_even_when_faster(self):
+        fresh = _report_with(
+            _case_dict(tuples_per_sec=9_999_999.0, total_results=201)
+        )
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base)
+        assert not cmp.ok
+        assert any("total_results" in f for f in cmp.failures)
+
+    def test_float_metric_drift_fails(self):
+        fresh = _report_with(_case_dict(latency_p99=1.5000001))
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base)
+        assert not cmp.ok
+        assert any("latency_p99" in f for f in cmp.failures)
+
+    def test_unknown_case_warns_not_fails(self):
+        fresh = _report_with(_case_dict(name="brand-new/case"))
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base)
+        assert cmp.ok
+        assert cmp.warnings
+
+
+class TestReportIO:
+    def test_roundtrip(self, tmp_path):
+        rep = _report_with(_case_dict())
+        path = tmp_path / "bench.json"
+        write_report(rep, str(path))
+        assert load_report(str(path)) == rep
+
+    def test_format_report_mentions_every_case(self):
+        rep = _report_with(_case_dict())
+        text = format_report(rep)
+        assert "fig1-skew/bistream/16" in text
+        assert "hot-path bench" in text
+
+    def test_machine_metadata_fields(self):
+        meta = machine_metadata()
+        assert {"python", "numpy", "platform", "machine"} <= set(meta)

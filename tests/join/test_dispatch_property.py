@@ -1,0 +1,175 @@
+"""Property tests: the batched dispatch path is equivalent to tuple-at-a-time.
+
+The dispatcher's hot path (cached route arrays, stable-argsort scatter,
+contiguous per-destination key blocks) is an *optimisation* of the obvious
+semantics: resolve each tuple's targets independently and deliver them in
+emission order.  These properties pin that equivalence over random keys,
+group sizes, routing-table overrides and partitioning strategies — for
+every instance, the queue contents (keys, visible times, ops, in order)
+must be identical whichever way the same batch was dispatched.
+
+Randomised partitioners (random/broadcast stores, ContRand) are exercised
+too: their *store* side draws from the dispatcher RNG, so equivalence there
+is checked distribution-free — both dispatchers consume the same generator
+state, batch-wise; what must agree exactly is the probe side (broadcast
+fan-out is deterministic) and conservation of message counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import RoutingTable
+from repro.join.dispatcher import Dispatcher
+from repro.join.instance import JoinInstance
+from repro.join.partitioners import (
+    ContRandPartitioner,
+    HashPartitioner,
+    RandomBroadcastPartitioner,
+)
+
+keys_arrays = st.lists(
+    st.integers(min_value=0, max_value=5_000), min_size=1, max_size=60
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def _make(partitioner_factory, n_r: int, n_s: int, seed: int = 0):
+    groups = {
+        "R": [JoinInstance(i, "R") for i in range(n_r)],
+        "S": [JoinInstance(i, "S") for i in range(n_s)],
+    }
+    partitioners = {"R": partitioner_factory(n_r), "S": partitioner_factory(n_s)}
+    routing = {"R": RoutingTable(n_r), "S": RoutingTable(n_s)}
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return Dispatcher(groups, partitioners, routing, rng=rng)
+
+
+def _queue_contents(dispatcher):
+    out = {}
+    for side in ("R", "S"):
+        for inst in dispatcher.groups[side]:
+            keys, times, ops = inst.queue._live()
+            out[(side, inst.instance_id)] = (
+                keys.tolist(),
+                times.tolist(),
+                ops.tolist(),
+            )
+    return out
+
+
+@given(
+    keys=keys_arrays,
+    n_r=st.integers(min_value=1, max_value=6),
+    n_s=st.integers(min_value=1, max_value=6),
+    stream=st.sampled_from(["R", "S"]),
+    overrides=st.dictionaries(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5),
+        max_size=8,
+    ),
+)
+@settings(max_examples=120)
+def test_hash_batch_dispatch_equals_tuple_at_a_time(
+    keys, n_r, n_s, stream, overrides
+):
+    """Content-based routing: batch == one-tuple-at-a-time, exactly.
+
+    Covers the cached route arrays (and their override overlay): the
+    routing tables get random per-key overrides before dispatch, so the
+    cache must fold them in identically to per-tuple ``apply``.
+    """
+    batch_d = _make(HashPartitioner, n_r, n_s)
+    single_d = _make(HashPartitioner, n_r, n_s)
+    for d in (batch_d, single_d):
+        for side, n in (("R", n_r), ("S", n_s)):
+            table = d.routing[side]
+            for key, inst in overrides.items():
+                table.install([key], inst % n)
+
+    batch_d.dispatch(stream, keys, emit_time=1.0)
+    for key in keys:
+        single_d.dispatch(stream, np.asarray([key], dtype=np.int64), 1.0)
+
+    assert _queue_contents(batch_d) == _queue_contents(single_d)
+    assert batch_d.stats.stores_sent == single_d.stats.stores_sent
+    assert batch_d.stats.probes_sent == single_d.stats.probes_sent
+
+
+@given(
+    keys=keys_arrays,
+    n=st.integers(min_value=1, max_value=6),
+    stream=st.sampled_from(["R", "S"]),
+)
+@settings(max_examples=80)
+def test_broadcast_probe_fanout_equals_tuple_at_a_time(keys, n, stream):
+    """Random/broadcast: the probe side is deterministic (every opposite
+    instance sees every key, in emission order) and must match exactly;
+    store targets are random draws, so only their counts are compared."""
+    batch_d = _make(RandomBroadcastPartitioner, n, n)
+    single_d = _make(RandomBroadcastPartitioner, n, n)
+
+    batch_d.dispatch(stream, keys, emit_time=2.0)
+    for key in keys:
+        single_d.dispatch(stream, np.asarray([key], dtype=np.int64), 2.0)
+
+    other = "S" if stream == "R" else "R"
+    for inst_b, inst_s in zip(batch_d.groups[other], single_d.groups[other]):
+        kb, tb, ob = inst_b.queue._live()
+        ks, ts, os_ = inst_s.queue._live()
+        assert kb.tolist() == ks.tolist()
+        assert tb.tolist() == ts.tolist()
+        assert ob.tolist() == os_.tolist()
+    assert batch_d.stats.probes_sent == single_d.stats.probes_sent == len(keys) * n
+    assert batch_d.stats.stores_sent == single_d.stats.stores_sent == len(keys)
+
+
+@given(
+    keys=keys_arrays,
+    n=st.sampled_from([2, 4, 6]),
+    g=st.sampled_from([1, 2]),
+    stream=st.sampled_from(["R", "S"]),
+)
+@settings(max_examples=80)
+def test_contrand_probe_subgroups_equal_tuple_at_a_time(keys, n, g, stream):
+    """ContRand probes are content-routed to a deterministic subgroup and
+    replicated across it — batch and tuple-at-a-time must agree exactly."""
+    batch_d = _make(lambda k: ContRandPartitioner(k, g), n, n)
+    single_d = _make(lambda k: ContRandPartitioner(k, g), n, n)
+
+    batch_d.dispatch(stream, keys, emit_time=0.5)
+    for key in keys:
+        single_d.dispatch(stream, np.asarray([key], dtype=np.int64), 0.5)
+
+    other = "S" if stream == "R" else "R"
+    for inst_b, inst_s in zip(batch_d.groups[other], single_d.groups[other]):
+        kb, _, ob = inst_b.queue._live()
+        ks, _, os_ = inst_s.queue._live()
+        assert kb.tolist() == ks.tolist()
+        assert ob.tolist() == os_.tolist()
+    assert batch_d.stats.probes_sent == single_d.stats.probes_sent == len(keys) * g
+
+
+@given(
+    keys=st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=100),
+            # keys beyond the dense route-cache cap force the uncached path
+            st.integers(min_value=(1 << 22), max_value=(1 << 22) + 50),
+        ),
+        min_size=1,
+        max_size=40,
+    ).map(lambda xs: np.asarray(xs, dtype=np.int64)),
+    n=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60)
+def test_route_cache_fallback_matches_uncached(keys, n):
+    """Batches straddling the route-cache key cap take the uncached path;
+    both paths must deliver identical queue contents."""
+    batch_d = _make(HashPartitioner, n, n)
+    single_d = _make(HashPartitioner, n, n)
+    batch_d.dispatch("R", keys, emit_time=3.0)
+    for key in keys:
+        single_d.dispatch("R", np.asarray([key], dtype=np.int64), 3.0)
+    assert _queue_contents(batch_d) == _queue_contents(single_d)

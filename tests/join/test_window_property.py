@@ -1,0 +1,131 @@
+"""Property tests: sub-window eviction never drops (or keeps) a live tuple.
+
+:class:`WindowedStore` stores per-key counts in a ring of sub-windows and
+expires the oldest row on ``rotate()``.  The defining invariant of the
+window (paper section III-E): at any point, the store's contents are
+exactly the tuples inserted during the most recent ``n_subwindows``
+generations — eviction must never drop a tuple that is still inside the
+window (a live sub-window), and never retain one that has rotated out.
+
+The tests drive the store with arbitrary interleavings of batch inserts
+and rotations and compare it against a trivially-correct reference model
+(a deque of per-generation Counters).  Migration removal is exercised too,
+since ``remove_keys`` must scrub all sub-windows coherently or a later
+expiry would double-subtract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.join.window import WindowedStore
+
+
+class ReferenceWindow:
+    """Obviously-correct model: one Counter per sub-window generation."""
+
+    def __init__(self, n_subwindows: int) -> None:
+        self.rows: deque[Counter] = deque(
+            [Counter() for _ in range(n_subwindows)], maxlen=n_subwindows
+        )
+
+    def add_batch(self, keys) -> None:
+        self.rows[-1].update(int(k) for k in keys)
+
+    def rotate(self) -> int:
+        expired = self.rows[0]
+        n = sum(expired.values())
+        self.rows.popleft()  # maxlen would do it, but be explicit
+        self.rows.append(Counter())
+        return n
+
+    def remove_keys(self, keys) -> dict[int, int]:
+        removed: Counter = Counter()
+        for row in self.rows:
+            for k in list(keys):
+                if row[k]:
+                    removed[k] += row.pop(k)
+        return {k: c for k, c in removed.items() if c}
+
+    def counts(self) -> dict[int, int]:
+        total: Counter = Counter()
+        for row in self.rows:
+            total.update(row)
+        return {k: c for k, c in total.items() if c}
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts().values())
+
+
+# An operation script: each element is a batch of keys to insert ('add'),
+# a rotation ('rotate'), or a migration removal of a key set ('remove').
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=25),
+        ),
+        st.tuples(st.just("rotate"), st.just([])),
+        st.tuples(
+            st.just("remove"),
+            st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=5),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@given(n_subwindows=st.integers(min_value=1, max_value=5), ops=ops_strategy)
+@settings(max_examples=150)
+def test_window_matches_reference_model(n_subwindows, ops):
+    store = WindowedStore(n_subwindows)
+    ref = ReferenceWindow(n_subwindows)
+    for op, payload in ops:
+        if op == "add":
+            keys = np.asarray(payload, dtype=np.int64)
+            store.add_batch(keys)
+            ref.add_batch(keys)
+        elif op == "rotate":
+            assert store.rotate() == ref.rotate()
+        else:
+            assert store.remove_keys(set(payload)) == ref.remove_keys(set(payload))
+        # Invariant: live contents == inserts of the last n generations.
+        assert store.total == ref.total
+        assert store.counts_snapshot() == ref.counts()
+        # The monitor's sub-window vector agrees with the rows, oldest
+        # first, and sums to the store total.
+        sizes = store.subwindow_sizes()
+        assert len(sizes) == n_subwindows
+        assert sum(sizes) == store.total
+        assert sizes == [sum(row.values()) for row in ref.rows]
+
+
+@given(
+    n_subwindows=st.integers(min_value=1, max_value=4),
+    batches=st.lists(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=10),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=100)
+def test_full_rotation_cycle_empties_the_window(n_subwindows, batches):
+    """Rotating n_subwindows times with no new inserts must expire
+    everything — no tuple outlives its window."""
+    store = WindowedStore(n_subwindows)
+    inserted = 0
+    for batch in batches:
+        store.add_batch(np.asarray(batch, dtype=np.int64))
+        inserted += len(batch)
+        store.rotate()  # interleave rotations with inserts
+    live = store.total
+    expired = sum(store.rotate() for _ in range(n_subwindows))
+    assert expired == live  # everything that was live expires, exactly once
+    assert store.total == 0
+    assert store.counts_snapshot() == {}
+    assert set(store.subwindow_sizes()) == {0}

@@ -120,3 +120,71 @@ class TestTraceAndInspect:
         assert code == 0
         assert trace.exists() and trace.stat().st_size > 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestBench:
+    """The ``bench`` subcommand (hot-path performance matrix)."""
+
+    @pytest.fixture
+    def tiny_matrix(self, monkeypatch):
+        """Shrink the matrix to one fast case so the CLI runs in ~a second."""
+        from repro.bench import perf
+
+        tiny = perf.BenchCase(
+            name="tiny/bistream", system="bistream", workload="ridehailing",
+            n_instances=2, duration=3.0, rate=2_000.0, seed=3, quick=True,
+        )
+        monkeypatch.setattr(perf, "BENCH_CASES", (tiny,))
+        return tiny
+
+    def test_parser_accepts_bench_flags(self):
+        args = build_parser().parse_args([
+            "bench", "--quick", "--check", "--tolerance", "0.5",
+            "--repeats", "2", "--baseline", "b.json",
+        ])
+        assert args.system == "bench"
+        assert args.quick and args.check
+        assert args.tolerance == 0.5
+        assert args.repeats == 2
+        assert args.baseline == "b.json"
+
+    def test_bench_writes_report(self, tiny_matrix, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--repeats", "1"])
+        assert code == 0
+        assert (tmp_path / "BENCH_hotpath.json").exists()
+        out = capsys.readouterr().out
+        assert "tiny/bistream" in out
+
+    def test_bench_check_against_fresh_baseline(self, tiny_matrix, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--repeats", "1", "--update-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        # Deterministic metrics are identical run-to-run, and a tolerant
+        # wall band absorbs machine noise, so --check passes.
+        code = main(["bench", "--repeats", "1", "--check",
+                     "--tolerance", "0.99", "--baseline", str(baseline)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bench_check_detects_semantic_drift(self, tiny_matrix, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--repeats", "1", "--update-baseline",
+                     "--baseline", str(baseline)]) == 0
+        doctored = json.loads(baseline.read_text())
+        doctored["cases"][0]["total_results"] += 1
+        baseline.write_text(json.dumps(doctored))
+        code = main(["bench", "--repeats", "1", "--check",
+                     "--tolerance", "0.99", "--baseline", str(baseline)])
+        assert code == 1
+        assert "total_results" in capsys.readouterr().err
+
+    def test_bench_check_without_baseline_is_an_error(self, tiny_matrix, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--repeats", "1", "--check",
+                     "--baseline", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "no baseline" in capsys.readouterr().err
