@@ -16,8 +16,7 @@ import pytest
 from repro.bench import (
     INSTANCE_SWEEP,
     PAPER_INSTANCE_LABELS,
-    canonical_config,
-    run_ridehailing,
+    run_instance_sweep,
 )
 from repro.bench.report import figure_header, series_table
 
@@ -30,12 +29,9 @@ SWEEP = tuple(n for n in INSTANCE_SWEEP if n != 12)  # 8, 16, 24, 32
 def run_sweep() -> tuple[str, dict]:
     thr = {s: [] for s in SYSTEMS}
     lat = {s: [] for s in SYSTEMS}
-    for n in SWEEP:
-        for system in SYSTEMS:
-            theta = 2.2 if system == "fastjoin" else None
-            res = run_ridehailing(system, canonical_config(n_instances=n, theta=theta))
-            thr[system].append(res.throughput)
-            lat[system].append(res.latency_ms)
+    for _n, system, res in run_instance_sweep(SYSTEMS, SWEEP):
+        thr[system].append(res.throughput)
+        lat[system].append(res.latency_ms)
 
     xs = [f"{n} (paper {PAPER_INSTANCE_LABELS[n]})" for n in SWEEP]
     out = [figure_header("Fig. 5", "avg throughput vs join instances")]

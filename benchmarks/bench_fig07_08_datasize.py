@@ -15,13 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import (
-    SCALE_GB_LABELS,
-    SCALE_SWEEP,
-    canonical_config,
-    canonical_workload_spec,
-    run_ridehailing,
-)
+from repro.bench import SCALE_GB_LABELS, SCALE_SWEEP, run_scale_sweep
 from repro.bench.report import figure_header, series_table
 
 from _util import emit, pct
@@ -32,20 +26,9 @@ SYSTEMS = ("bistream", "contrand", "fastjoin")
 def run_sweep() -> tuple[str, dict]:
     thr = {s: [] for s in SYSTEMS}
     lat = {s: [] for s in SYSTEMS}
-    for scale in SCALE_SWEEP:
-        spec = canonical_workload_spec(scale=scale)
-        for system in SYSTEMS:
-            theta = 2.2 if system == "fastjoin" else None
-            res = run_ridehailing(
-                system,
-                canonical_config(theta=theta, warmup=0.0),
-                spec=spec,
-                duration=None,
-                unbounded=False,
-                max_duration=400.0,
-            )
-            thr[system].append(res.metrics.total_results / res.metrics.duration)
-            lat[system].append(res.latency_ms)
+    for _scale, system, res in run_scale_sweep(SYSTEMS, SCALE_SWEEP):
+        thr[system].append(res.metrics.total_results / res.metrics.duration)
+        lat[system].append(res.latency_ms)
 
     xs = [f"x{s:g} (paper {SCALE_GB_LABELS[s]})" for s in SCALE_SWEEP]
     out = [figure_header("Fig. 7", "avg throughput vs dataset size")]

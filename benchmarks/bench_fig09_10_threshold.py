@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import THETA_SWEEP, canonical_config, run_ridehailing
+from repro.bench import THETA_SWEEP, run_theta_sweep
 from repro.bench.report import comparison_table, figure_header
 
 from _util import emit
@@ -18,21 +18,13 @@ from _util import emit
 
 def run_sweep() -> tuple[str, list[dict]]:
     rows = []
-    for theta in THETA_SWEEP:
-        res = run_ridehailing("fastjoin", canonical_config(theta=theta))
+    for key, res in run_theta_sweep(THETA_SWEEP):
         rows.append({
-            "theta": theta,
+            "theta": key,
             "throughput": res.throughput,
             "latency (ms)": res.latency_ms,
-            "migrations": res.n_migrations,
-        })
-    for system in ("contrand", "bistream"):
-        res = run_ridehailing(system, canonical_config(theta=None))
-        rows.append({
-            "theta": f"({system})",
-            "throughput": res.throughput,
-            "latency (ms)": res.latency_ms,
-            "migrations": 0,
+            # baseline rows (string keys) never migrate by construction
+            "migrations": 0 if isinstance(key, str) else res.n_migrations,
         })
 
     out = [figure_header(

@@ -29,6 +29,7 @@ from ..data.synthetic import SyntheticGroupSpec, make_group_sources
 from ..engine.cost import IndexedCost
 from ..engine.metrics import RunMetrics
 from ..engine.rng import SeedSequenceFactory
+from ..parallel import run_tasks
 from ..systems import build_system
 
 __all__ = [
@@ -38,12 +39,20 @@ __all__ = [
     "SCALE_SWEEP",
     "SCALE_GB_LABELS",
     "THETA_SWEEP",
+    "SWEEP_SYSTEMS",
     "canonical_config",
     "canonical_workload_spec",
     "ridehailing_sources",
     "run_ridehailing",
     "run_synthetic_group",
     "ExperimentResult",
+    "ExperimentTask",
+    "ExperimentOutcome",
+    "run_experiment_tasks",
+    "run_compare",
+    "run_instance_sweep",
+    "run_scale_sweep",
+    "run_theta_sweep",
 ]
 
 #: our 16 instances stand in for the paper's 48 (default setting)
@@ -189,6 +198,291 @@ def run_ridehailing(
         throttled_ticks=runtime.throttled_ticks,
         params={"spec": spec, "config": config},
     )
+
+
+# --------------------------------------------------------------------- #
+# parallel campaign surfaces
+#
+# A campaign (compare matrix, figure sweep) is a list of ExperimentTasks,
+# each a pure function of its own fields — no live objects cross the
+# process boundary; workers rebuild sources and runtimes from
+# ``(task, task.seed)`` exactly like the serial helpers above do, so the
+# merged results are bit-identical for every ``jobs`` value.
+# --------------------------------------------------------------------- #
+
+#: systems every comparison matrix covers, in canonical report order
+SWEEP_SYSTEMS = ("bistream", "contrand", "fastjoin")
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One picklable cell of an experiment campaign.
+
+    ``rate=None`` uses the workload's canonical offered rate; ``warmup=
+    None`` uses the canonical 25 s carve.  ``theta`` is the cell's own
+    threshold (callers put ``None`` on the baselines).  ``capture=True``
+    makes the worker trace the run into an in-memory
+    :class:`~repro.obs.events.CaptureSink` and return the events, so the
+    parent can forward them to its sinks (``--trace`` under ``--jobs``).
+    """
+
+    system: str
+    workload: str = "ridehailing"   # "ridehailing" or a Gxy group label
+    n_instances: int = CANONICAL_INSTANCES
+    duration: float | None = RUN_DURATION
+    rate: float | None = None
+    theta: float | None = 2.2
+    selector: str = "greedyfit"
+    seed: int = 0
+    warmup: float | None = None
+    scale: float = 1.0
+    unbounded: bool = True
+    max_duration: float = 240.0
+    n_keys: int = 1_000
+    capture: bool = False
+    label: str = ""
+
+    def display(self) -> str:
+        return self.label or f"{self.system}/{self.workload}"
+
+
+@dataclass
+class ExperimentOutcome:
+    """What one worker hands back to the campaign's parent process."""
+
+    task: ExperimentTask
+    result: ExperimentResult
+    events: list[dict] | None = None       # captured trace, if asked for
+    profiler_summary: str | None = None
+
+
+def _config_for(task: ExperimentTask) -> SystemConfig:
+    overrides: dict = {}
+    if task.warmup is not None:
+        overrides["warmup"] = task.warmup
+    return canonical_config(
+        n_instances=task.n_instances,
+        theta=task.theta,
+        seed=task.seed,
+        selector=task.selector,
+        **overrides,
+    )
+
+
+def run_experiment_task(task: ExperimentTask) -> ExperimentOutcome:
+    """Pool worker: rebuild and run one cell from its spec (spawn-safe)."""
+    obs = None
+    if task.capture:
+        from ..obs import Observability
+
+        obs = Observability.create(capture=True)
+    try:
+        config = _config_for(task)
+        if task.workload == "ridehailing":
+            spec = (
+                canonical_workload_spec(rate=task.rate, scale=task.scale)
+                if task.rate
+                else canonical_workload_spec(scale=task.scale)
+            )
+            result = run_ridehailing(
+                task.system,
+                config,
+                spec=spec,
+                duration=task.duration,
+                unbounded=task.unbounded,
+                max_duration=task.max_duration,
+                obs=obs,
+            )
+        else:
+            result = run_synthetic_group(
+                task.system,
+                task.workload,
+                config,
+                n_keys=task.n_keys,
+                rate=task.rate if task.rate else 4_500.0,
+                duration=task.duration if task.duration is not None else 40.0,
+                obs=obs,
+            )
+        events = None
+        profiler_summary = None
+        if obs is not None:
+            if obs.capture_sink is not None:
+                events = obs.capture_sink.to_dicts()
+            if obs.profiler is not None:
+                profiler_summary = obs.profiler.summary()
+        return ExperimentOutcome(
+            task=task, result=result, events=events,
+            profiler_summary=profiler_summary,
+        )
+    finally:
+        if obs is not None:
+            obs.close()
+
+
+def run_experiment_tasks(
+    tasks, *, jobs: int | None = None, progress=None, on_result=None,
+    method: str | None = None,
+) -> list[ExperimentOutcome]:
+    """Fan a campaign's cells across worker processes (serial order out)."""
+    return run_tasks(
+        run_experiment_task, list(tasks),
+        jobs=jobs, progress=progress, on_result=on_result, method=method,
+    )
+
+
+def run_compare(
+    systems=SWEEP_SYSTEMS,
+    *,
+    workload: str = "ridehailing",
+    n_instances: int = CANONICAL_INSTANCES,
+    duration: float = RUN_DURATION,
+    rate: float | None = None,
+    theta: float = 2.2,
+    selector: str = "greedyfit",
+    seed: int = 0,
+    warmup: float | None = None,
+    capture: bool = False,
+    jobs: int | None = None,
+    progress=None,
+) -> list[ExperimentOutcome]:
+    """The ``compare`` matrix: one cell per system, FastJoin active.
+
+    Baselines get ``theta=None`` (passive monitors), mirroring the CLI's
+    long-standing serial loop; outcomes come back in ``systems`` order.
+    """
+    tasks = [
+        ExperimentTask(
+            system=system,
+            workload=workload,
+            n_instances=n_instances,
+            duration=duration,
+            rate=rate,
+            theta=theta if system == "fastjoin" else None,
+            selector=selector,
+            seed=seed,
+            warmup=warmup,
+            capture=capture,
+            label=f"{system}/{workload}",
+        )
+        for system in systems
+    ]
+    return run_experiment_tasks(tasks, jobs=jobs, progress=progress)
+
+
+def run_instance_sweep(
+    systems=SWEEP_SYSTEMS,
+    instances=INSTANCE_SWEEP,
+    *,
+    theta: float = 2.2,
+    duration: float = RUN_DURATION,
+    rate: float | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    progress=None,
+) -> list[tuple[int, str, ExperimentResult]]:
+    """Fig. 5/6 instance-count sweep; rows ordered (instances, system)."""
+    tasks = [
+        ExperimentTask(
+            system=system,
+            n_instances=n,
+            duration=duration,
+            rate=rate,
+            theta=theta if system == "fastjoin" else None,
+            seed=seed,
+            label=f"{system}/{n}inst",
+        )
+        for n in instances
+        for system in systems
+    ]
+    outcomes = run_experiment_tasks(tasks, jobs=jobs, progress=progress)
+    return [
+        (task.n_instances, task.system, outcome.result)
+        for task, outcome in zip(tasks, outcomes)
+    ]
+
+
+def run_scale_sweep(
+    systems=SWEEP_SYSTEMS,
+    scales=SCALE_SWEEP,
+    *,
+    theta: float = 2.2,
+    rate: float | None = None,
+    seed: int = 0,
+    max_duration: float = 400.0,
+    jobs: int | None = None,
+    progress=None,
+) -> list[tuple[float, str, ExperimentResult]]:
+    """Fig. 7/8 dataset-size sweep: finite datasets run to exhaustion.
+
+    Small datasets finish in seconds, so throughput is whole-run
+    results/second (``warmup=0``) — the same protocol the figure bench
+    has always used, now one cell per (scale, system).
+    """
+    tasks = [
+        ExperimentTask(
+            system=system,
+            scale=scale,
+            duration=None,
+            rate=rate,
+            theta=theta if system == "fastjoin" else None,
+            seed=seed,
+            warmup=0.0,
+            unbounded=False,
+            max_duration=max_duration,
+            label=f"{system}/x{scale:g}",
+        )
+        for scale in scales
+        for system in systems
+    ]
+    outcomes = run_experiment_tasks(tasks, jobs=jobs, progress=progress)
+    return [
+        (task.scale, task.system, outcome.result)
+        for task, outcome in zip(tasks, outcomes)
+    ]
+
+
+def run_theta_sweep(
+    thetas=THETA_SWEEP,
+    *,
+    baselines=("contrand", "bistream"),
+    n_instances: int = CANONICAL_INSTANCES,
+    duration: float = RUN_DURATION,
+    rate: float | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    progress=None,
+) -> list[tuple[object, ExperimentResult]]:
+    """Fig. 9/10 Theta sweep: FastJoin per threshold, then the baselines.
+
+    Row keys are the threshold for FastJoin cells and ``"(system)"`` for
+    the baseline rows, matching the figure table.
+    """
+    tasks = [
+        ExperimentTask(
+            system="fastjoin",
+            n_instances=n_instances,
+            duration=duration,
+            rate=rate,
+            theta=theta,
+            seed=seed,
+            label=f"fastjoin/theta{theta:g}",
+        )
+        for theta in thetas
+    ] + [
+        ExperimentTask(
+            system=system,
+            n_instances=n_instances,
+            duration=duration,
+            rate=rate,
+            theta=None,
+            seed=seed,
+            label=f"{system}/passive",
+        )
+        for system in baselines
+    ]
+    outcomes = run_experiment_tasks(tasks, jobs=jobs, progress=progress)
+    keys: list[object] = list(thetas) + [f"({s})" for s in baselines]
+    return [(key, outcome.result) for key, outcome in zip(keys, outcomes)]
 
 
 def run_synthetic_group(

@@ -24,6 +24,13 @@ baseline::
     python -m repro bench
     python -m repro bench --quick --check
 
+Fan any campaign out across worker processes (results are bit-identical
+to a serial run for every ``--jobs`` value; see ``repro.parallel``)::
+
+    python -m repro compare --duration 30 --jobs 3
+    python -m repro bench --quick --check --jobs 2
+    python -m repro validate --fuzz 8 --jobs 2
+
 Record a structured event trace and inspect it afterwards::
 
     python -m repro fastjoin --workload G21 --duration 20 --trace run.jsonl
@@ -40,13 +47,7 @@ import argparse
 import os
 import sys
 
-from .bench.experiments import (
-    ExperimentResult,
-    canonical_config,
-    canonical_workload_spec,
-    run_ridehailing,
-    run_synthetic_group,
-)
+from .bench.experiments import ExperimentResult, run_compare
 from .bench.report import comparison_table
 from .data.synthetic import SKEW_GROUPS
 from .systems import SYSTEMS
@@ -102,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--warmup", type=float, default=None,
                         help="seconds excluded from steady-state averages")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for campaign subcommands "
+                        "(compare/validate/bench); results are bit-identical "
+                        "to --jobs 1 (default: one per CPU, capped)")
 
     validate = parser.add_argument_group(
         "validate", "options for the 'validate' subcommand"
@@ -125,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Zipf exponent of the zipf/windowed scenarios")
     validate.add_argument("--no-guards", action="store_true",
                           help="disable the runtime invariant guards")
+    validate.add_argument("--fuzz", type=int, default=None, metavar="N",
+                          help="run the adversarial fuzz campaign over N "
+                          "seeds (x modes x selectors) instead of the "
+                          "differential cross-check")
 
     inspect_group = parser.add_argument_group(
         "inspect", "options for the 'inspect' subcommand"
@@ -162,37 +171,6 @@ def _trace_path(base: str, system: str, multi: bool) -> str:
     return f"{base}.{system}" if multi else base
 
 
-def _run_one(system: str, args: argparse.Namespace, obs=None) -> ExperimentResult:
-    theta = args.theta if system == "fastjoin" else None
-    warmup = args.warmup if args.warmup is not None else min(
-        25.0, args.duration / 2
-    )
-    config = canonical_config(
-        n_instances=args.instances,
-        theta=theta,
-        seed=args.seed,
-        selector=args.selector,
-        warmup=warmup,
-    )
-    if args.workload == "ridehailing":
-        spec = (
-            canonical_workload_spec(rate=args.rate)
-            if args.rate
-            else canonical_workload_spec()
-        )
-        return run_ridehailing(
-            system, config, spec=spec, duration=args.duration, obs=obs
-        )
-    return run_synthetic_group(
-        system,
-        args.workload,
-        config,
-        rate=args.rate or 1_500.0,
-        duration=args.duration,
-        obs=obs,
-    )
-
-
 def _row(result: ExperimentResult) -> dict:
     return {
         "system": result.system,
@@ -204,49 +182,77 @@ def _row(result: ExperimentResult) -> dict:
 
 
 def _run_validate(args: argparse.Namespace) -> int:
-    """The ``validate`` subcommand: differential oracle cross-checks."""
-    from .errors import ValidationError
-    from .validate import run_differential
+    """The ``validate`` subcommand: differential oracle cross-checks.
 
+    Cells fan out across ``--jobs`` workers; a worker-side
+    :class:`~repro.errors.ValidationError` comes back as a failed outcome
+    (reported, counted, exit 1), and captured trace events are forwarded
+    to the parent's per-system files, so ``--trace`` behaves identically
+    for every ``--jobs`` value.
+    """
+    from .validate import DifferentialTask, run_differential_campaign
+
+    if args.fuzz is not None:
+        return _run_fuzz(args)
     systems = (
         [args.validate_system] if args.validate_system else list(SYSTEMS)
     )
-    failures = 0
-    for system in systems:
+    tasks = [
+        DifferentialTask(
+            system=system,
+            workload=args.scenario,
+            seed=args.seed,
+            ticks=args.ticks,
+            n_instances=args.instances if args.instances is not None else 4,
+            zipf=args.zipf,
+            guards=not args.no_guards,
+            capture=args.trace is not None,
+        )
+        for system in systems
+    ]
+
+    def progress(task):
         print(
-            f"validating {system} on {args.scenario} "
-            f"(seed={args.seed}, ticks={args.ticks})...",
+            f"validating {task.system} on {task.workload} "
+            f"(seed={task.seed}, ticks={task.ticks})...",
             file=sys.stderr,
         )
-        obs = None
-        if args.trace:
-            from .obs import Observability
 
-            obs = Observability.create(
-                jsonl_path=_trace_path(args.trace, system, len(systems) > 1)
+    outcomes = run_differential_campaign(
+        tasks, jobs=args.jobs, progress=progress
+    )
+    failures = 0
+    for outcome in outcomes:
+        if args.trace:
+            from .obs import write_events_jsonl
+
+            write_events_jsonl(
+                outcome.events or [],
+                _trace_path(args.trace, outcome.task.system, len(systems) > 1),
             )
-        try:
-            report = run_differential(
-                system,
-                workload=args.scenario,
-                seed=args.seed,
-                ticks=args.ticks,
-                n_instances=args.instances if args.instances is not None else 4,
-                zipf=args.zipf,
-                guards=not args.no_guards,
-                obs=obs,
-            )
-        except ValidationError as exc:
-            print(f"invariant violated: {exc}")
+        if outcome.error is not None:
+            print(f"invariant violated: {outcome.error}")
             failures += 1
             continue
-        finally:
-            if obs is not None:
-                obs.close()
-        print(report.summary())
-        if not report.ok:
+        print(outcome.report.summary())
+        if not outcome.report.ok:
             failures += 1
     return 1 if failures else 0
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    """The fuzz campaign behind ``validate --fuzz N``: ``N`` seeds x
+    modes x selectors of adversarial migration schedules."""
+    from .validate import fuzz_grid, run_fuzz_campaign, summarize_fuzz_reports
+
+    tasks = fuzz_grid(args.fuzz, base_seed=args.seed)
+
+    def progress(task):
+        print(f"fuzzing {task.label}...", file=sys.stderr)
+
+    reports = run_fuzz_campaign(tasks, jobs=args.jobs, progress=progress)
+    print(summarize_fuzz_reports(reports))
+    return 1 if any(not r.ok for r in reports) else 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -263,7 +269,7 @@ def _run_bench(args: argparse.Namespace) -> int:
               f"{case.duration:g}s x {repeats} repeats)...", file=sys.stderr)
 
     report = perf.run_matrix(quick=args.quick, progress=progress,
-                             repeats=repeats)
+                             repeats=repeats, jobs=args.jobs)
     print(perf.format_report(report))
     if args.output:
         perf.write_report(report, args.output)
@@ -320,9 +326,24 @@ def _run_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_args(args: argparse.Namespace) -> str | None:
+    """Early argument hygiene; returns an error message or ``None``."""
+    if args.jobs is not None and args.jobs < 1:
+        return f"--jobs must be >= 1, got {args.jobs}"
+    if args.repeats is not None and args.repeats < 1:
+        return f"--repeats must be >= 1, got {args.repeats}"
+    if args.fuzz is not None and args.fuzz < 1:
+        return f"--fuzz must be >= 1, got {args.fuzz}"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    error = _check_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.system == "inspect":
         return _run_inspect(args)
     if args.system == "validate":
@@ -332,25 +353,45 @@ def main(argv: list[str] | None = None) -> int:
     if args.instances is None:
         args.instances = 16
     systems = list(SYSTEMS) if args.system == "compare" else [args.system]
-    rows = []
-    for system in systems:
-        print(f"running {system} on {args.workload} "
+    warmup = args.warmup if args.warmup is not None else min(
+        25.0, args.duration / 2
+    )
+    # the synthetic groups' long-standing CLI default offered rate
+    rate = args.rate
+    if rate is None and args.workload != "ridehailing":
+        rate = 1_500.0
+
+    def progress(task):
+        print(f"running {task.system} on {task.workload} "
               f"({args.instances} instances, {args.duration:g}s)...",
               file=sys.stderr)
-        obs = None
-        if args.trace:
-            from .obs import Observability
 
-            obs = Observability.create(
-                jsonl_path=_trace_path(args.trace, system, len(systems) > 1)
+    outcomes = run_compare(
+        systems,
+        workload=args.workload,
+        n_instances=args.instances,
+        duration=args.duration,
+        rate=rate,
+        theta=args.theta,
+        selector=args.selector,
+        seed=args.seed,
+        warmup=warmup,
+        capture=args.trace is not None,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    rows = []
+    for outcome in outcomes:
+        if args.trace:
+            from .obs import write_events_jsonl
+
+            write_events_jsonl(
+                outcome.events or [],
+                _trace_path(args.trace, outcome.task.system, len(systems) > 1),
             )
-        try:
-            rows.append(_row(_run_one(system, args, obs=obs)))
-        finally:
-            if obs is not None:
-                if obs.profiler is not None:
-                    print(obs.profiler.summary(), file=sys.stderr)
-                obs.close()
+        if outcome.profiler_summary:
+            print(outcome.profiler_summary, file=sys.stderr)
+        rows.append(_row(outcome.result))
     print(comparison_table(rows, list(rows[0].keys())))
     return 0
 

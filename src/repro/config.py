@@ -48,6 +48,11 @@ class SystemConfig:
         Heaviest-instance load below which migrations are suppressed.
     monitor_cooldown:
         Minimum spacing between migrations of one group.
+    monitor_li_history_cap:
+        Trailing ``(t, LI)`` samples each monitor keeps locally (``None``
+        = unbounded).  The metrics collector always receives the full
+        series; this bounds only the monitor's own memory on week-long
+        simulated runs.
     dispatch_delay_base / dispatch_delay_per_instance:
         Network-delay model (see :class:`repro.join.dispatcher.DispatchDelay`).
     migration_fixed / migration_per_key / migration_per_tuple:
@@ -85,6 +90,7 @@ class SystemConfig:
     monitor_period: float = 1.0
     monitor_min_load: float = 1e4
     monitor_cooldown: float = 2.0
+    monitor_li_history_cap: int | None = 100_000
     dispatch_delay_base: float = 0.002
     dispatch_delay_per_instance: float = 0.0002
     migration_fixed: float = 0.05
@@ -114,6 +120,8 @@ class SystemConfig:
             raise ConfigError("window_subwindows must be >= 1 when set")
         if self.backpressure_max_queue is not None and self.backpressure_max_queue < 1:
             raise ConfigError("backpressure_max_queue must be >= 1 when set")
+        if self.monitor_li_history_cap is not None and self.monitor_li_history_cap < 1:
+            raise ConfigError("monitor_li_history_cap must be >= 1 when set")
         if self.warmup < 0:
             raise ConfigError("warmup must be >= 0")
 

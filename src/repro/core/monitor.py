@@ -14,6 +14,8 @@ BiStream purely for measurement (section VI-A).
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..engine.metrics import MetricsCollector
 from ..errors import ConfigError
 from ..join.instance import JoinInstance
@@ -21,7 +23,11 @@ from .load_model import LoadInfoTable
 from .migration import MigrationExecutor
 from .selection.base import KeySelector
 
-__all__ = ["Monitor"]
+__all__ = ["Monitor", "DEFAULT_LI_HISTORY_CAP"]
+
+#: default trailing-sample bound on a monitor's local LI history — a full
+#: day at the paper's one-second sampling period, a few MB at most
+DEFAULT_LI_HISTORY_CAP = 100_000
 
 
 class Monitor:
@@ -50,6 +56,13 @@ class Monitor:
         Minimum simulated time between consecutive migrations of this
         group, so a migration's effect is observed before re-triggering
         (migrations "can never take place frequently", section III-B).
+    li_history_cap:
+        Keep only the trailing this-many ``(t, LI)`` samples in
+        ``li_history`` (``None`` = unbounded).  The local history exists
+        for invariant guards and debugging; the *full* series a bench
+        consumes lives in the metrics collector, which receives every
+        sample regardless of this cap — so week-long simulated runs do
+        not grow the monitor's memory without limit.
     """
 
     def __init__(
@@ -63,6 +76,7 @@ class Monitor:
         min_heaviest_load: float = 1e4,
         cooldown: float = 2.0,
         metrics: MetricsCollector | None = None,
+        li_history_cap: int | None = DEFAULT_LI_HISTORY_CAP,
     ) -> None:
         if side not in ("R", "S"):
             raise ConfigError(f"side must be 'R' or 'S', got {side!r}")
@@ -75,6 +89,10 @@ class Monitor:
                 raise ConfigError("active monitor needs a selector and executor")
         if period <= 0:
             raise ConfigError(f"period must be positive, got {period}")
+        if li_history_cap is not None and li_history_cap < 1:
+            raise ConfigError(
+                f"li_history_cap must be >= 1 when set, got {li_history_cap}"
+            )
         self.side = side
         self.instances = instances
         self.theta = theta
@@ -88,7 +106,7 @@ class Monitor:
         self._next_sample = self.period
         self._cooldown_until = 0.0
         self.n_migrations = 0
-        self.li_history: list[tuple[float, float]] = []
+        self.li_history: deque[tuple[float, float]] = deque(maxlen=li_history_cap)
         # Optional observability bundle (repro.obs); one test per sample.
         self.obs = None
 
@@ -116,7 +134,13 @@ class Monitor:
         """
         if now < self._next_sample:
             return False
-        self._next_sample += self.period
+        # Catch the deadline up past ``now``: one large time step can cross
+        # several periods, and advancing by a single period would leave the
+        # deadline in the past — producing a burst of back-to-back samples
+        # on the following ticks until it caught up (the same bug class as
+        # InstanceTracer.maybe_sample).
+        while self._next_sample <= now:
+            self._next_sample += self.period
         li = self.sample(now)
         if not self.active:
             return False

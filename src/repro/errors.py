@@ -36,6 +36,23 @@ class WorkloadError(ReproError):
     """A workload/data generator was configured or used incorrectly."""
 
 
+class ParallelError(ReproError):
+    """One or more cells of a parallel campaign failed in a worker.
+
+    The process-pool runner (:mod:`repro.parallel`) never lets a worker
+    exception escape as a half-pickled traceback: each failure is captured
+    as a structured record (task label, root seed, exception type/message
+    and the worker-side traceback text) and re-raised in the parent as one
+    of these.  ``failures`` holds every failing cell, worst first being the
+    submission order; the message surfaces the first cell's replay seed so
+    the run can be reproduced serially with ``--jobs 1``.
+    """
+
+    def __init__(self, message: str, failures: list | None = None) -> None:
+        self.failures = list(failures) if failures else []
+        super().__init__(message)
+
+
 class ValidationError(ReproError):
     """An invariant guard or differential check failed.
 

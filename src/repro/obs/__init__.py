@@ -26,6 +26,7 @@ from .context import Observability
 from .events import (
     EVENT_KINDS,
     MIGRATION_PHASES,
+    CaptureSink,
     Event,
     EventBus,
     JsonlSink,
@@ -33,7 +34,9 @@ from .events import (
     RingBufferSink,
     active_trace,
     active_trace_tail,
+    event_from_dict,
     set_active_trace,
+    write_events_jsonl,
 )
 from .inspect import InspectReport, build_report, read_events, render_report
 from .profile import PhaseProfiler, PhaseStats
@@ -47,7 +50,10 @@ __all__ = [
     "MIGRATION_PHASES",
     "NullSink",
     "RingBufferSink",
+    "CaptureSink",
     "JsonlSink",
+    "event_from_dict",
+    "write_events_jsonl",
     "active_trace",
     "active_trace_tail",
     "set_active_trace",

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .events import EventBus, JsonlSink, MIGRATION_PHASES, RingBufferSink, set_active_trace
+from .events import (
+    CaptureSink,
+    EventBus,
+    JsonlSink,
+    MIGRATION_PHASES,
+    RingBufferSink,
+    set_active_trace,
+)
 from .profile import PhaseProfiler
 from .registry import MetricsRegistry
 
@@ -48,6 +55,8 @@ class Observability:
         self.bus = bus
         self.registry = registry
         self.profiler = profiler
+        #: set by :meth:`create` when built in worker-capture mode
+        self.capture_sink = None
         self._wire_registry()
 
     @classmethod
@@ -57,17 +66,31 @@ class Observability:
         ring_capacity: int = 512,
         registry: bool = True,
         profile: bool = True,
+        capture: bool = False,
     ) -> "Observability":
         """The standard instrument set: flight recorder + optional JSONL
-        file + registry + profiler."""
+        file + registry + profiler.
+
+        ``capture=True`` adds a :class:`~repro.obs.events.CaptureSink`
+        (exposed as ``capture_sink``) that buffers every event in memory —
+        the worker-process mode: a pool worker captures its trace and
+        returns ``capture_sink.to_dicts()``, and the parent forwards the
+        events to its own sinks (``--trace`` under ``--jobs N``).
+        """
         sinks: list = [RingBufferSink(ring_capacity)]
+        capture_sink = None
+        if capture:
+            capture_sink = CaptureSink()
+            sinks.append(capture_sink)
         if jsonl_path is not None:
             sinks.append(JsonlSink(jsonl_path))
-        return cls(
+        obs = cls(
             bus=EventBus(sinks),
             registry=MetricsRegistry() if registry else None,
             profiler=PhaseProfiler() if profile else None,
         )
+        obs.capture_sink = capture_sink
+        return obs
 
     def _wire_registry(self) -> None:
         reg = self.registry

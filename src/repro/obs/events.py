@@ -35,7 +35,10 @@ __all__ = [
     "EventBus",
     "NullSink",
     "RingBufferSink",
+    "CaptureSink",
     "JsonlSink",
+    "event_from_dict",
+    "write_events_jsonl",
     "set_active_trace",
     "active_trace",
     "active_trace_tail",
@@ -118,6 +121,55 @@ class RingBufferSink:
 
     def __len__(self) -> int:
         return len(self._buf)
+
+
+class CaptureSink:
+    """Buffers every event in memory, in emission order.
+
+    The cross-process forwarding sink: a worker process traces its run
+    into one of these, returns ``to_dicts()`` with its result (plain
+    picklable dicts), and the parent replays them into its own sinks with
+    :func:`write_events_jsonl` / :func:`event_from_dict` — so ``--trace``
+    output under ``--jobs N`` is byte-identical to a serial run.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def to_dicts(self) -> list[dict]:
+        """The buffered events as flat picklable dicts."""
+        return [event.to_dict() for event in self.events]
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def event_from_dict(data: dict) -> Event:
+    """Rebuild an :class:`Event` from its :meth:`Event.to_dict` form."""
+    payload = dict(data)
+    return Event(ts=payload.pop("ts"), kind=payload.pop("kind"), data=payload)
+
+
+def write_events_jsonl(events, path) -> int:
+    """Write forwarded event dicts as a JSONL trace file.
+
+    Produces exactly the bytes a :class:`JsonlSink` attached to the
+    original run would have written; returns the number of events.
+    """
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            data = event.to_dict() if isinstance(event, Event) else event
+            json.dump(data, fh, separators=(",", ":"))
+            fh.write("\n")
+            n += 1
+    return n
 
 
 class JsonlSink:

@@ -1,0 +1,12 @@
+"""Deterministic parallel execution of independent experiment cells.
+
+Campaigns — the bench matrix, ``compare``, the figure sweeps, fuzz runs —
+are lists of cells, each a pure function of ``(config, seed)``.  This
+package fans such lists out across worker processes and merges the results
+bit-exactly in serial order; ``jobs=1`` is the in-process serial reference
+path.  See :mod:`repro.parallel.pool` for the contract.
+"""
+
+from .pool import AUTO_JOBS_CAP, TaskFailure, resolve_jobs, run_tasks
+
+__all__ = ["AUTO_JOBS_CAP", "TaskFailure", "resolve_jobs", "run_tasks"]

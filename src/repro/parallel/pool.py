@@ -1,0 +1,211 @@
+"""Deterministic process-pool fan-out for independent simulation cells.
+
+Every campaign surface of the reproduction — the bench matrix, the
+``compare`` system matrix, the instance/scale/Theta sweeps and the
+validation fuzz campaigns — is a list of cells where each cell is a pure
+function of a small picklable *task spec* (a case/config plus a seed).
+This module runs such lists across worker processes while keeping the
+merged output **bit-exactly identical to the serial order**:
+
+- task specs cross the process boundary, live objects never do: a worker
+  rebuilds its runtime from ``(spec, seed)`` exactly the way the serial
+  path does, so results are independent of worker assignment and
+  completion order (per-task :class:`~repro.engine.rng.SeedSequenceFactory`
+  derivation happens inside the worker, from the spec's own seed);
+- results are collected by submission index and returned in submission
+  order, so downstream report/merge code cannot observe the pool;
+- a worker exception never escapes as a half-pickled traceback: it is
+  captured as a :class:`TaskFailure` (label, seed, type, message, worker
+  traceback text) and re-raised in the parent as a structured
+  :class:`~repro.errors.ParallelError` naming the failing cell and its
+  replay seed.
+
+``jobs=1`` bypasses the pool entirely and runs the plain in-process serial
+loop, which is both the fallback and the reference the parallel path must
+match.  Worker entry points must be *spawn-safe*: module-level functions
+of picklable arguments, importable from a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from ..errors import ConfigError, ParallelError
+
+__all__ = ["TaskFailure", "resolve_jobs", "run_tasks"]
+
+#: upper bound on auto-detected jobs; campaigns rarely have more cells and
+#: a wider pool only adds interpreter start-up cost
+AUTO_JOBS_CAP = 16
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one worker-side exception."""
+
+    index: int
+    label: str
+    seed: int | None
+    error_type: str
+    message: str
+    traceback: str
+
+    def summary(self) -> str:
+        seed = f" (replay seed {self.seed})" if self.seed is not None else ""
+        return f"cell {self.label!r}{seed}: {self.error_type}: {self.message}"
+
+
+def resolve_jobs(jobs: int | None, n_tasks: int | None = None) -> int:
+    """Worker-count policy shared by every campaign surface.
+
+    ``None`` asks for the machine's CPU count (capped at
+    :data:`AUTO_JOBS_CAP`); explicit values must be >= 1.  The result is
+    clamped to ``n_tasks`` when given — a pool wider than the campaign
+    only costs start-up time.
+    """
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, AUTO_JOBS_CAP)
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if n_tasks is not None:
+        jobs = min(jobs, max(1, n_tasks))
+    return int(jobs)
+
+
+def _task_label(spec) -> str:
+    """Best-effort human label for error/progress reporting."""
+    for attr in ("name", "label"):
+        value = getattr(spec, attr, None)
+        if value:
+            return str(value)
+    text = repr(spec)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _task_seed(spec) -> int | None:
+    seed = getattr(spec, "seed", None)
+    return int(seed) if isinstance(seed, int) else None
+
+
+def _invoke(fn, index: int, spec):
+    """Worker entry point: run one cell, trap its exception structurally.
+
+    Must stay module-level (spawn pickles it by qualified name).
+    """
+    try:
+        return index, fn(spec), None
+    except Exception as exc:  # noqa: BLE001 — reported structurally
+        return index, None, TaskFailure(
+            index=index,
+            label=_task_label(spec),
+            seed=_task_seed(spec),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def _default_method() -> str:
+    # fork re-uses the parent's loaded interpreter (cheap on Linux); spawn
+    # everywhere else.  Entry points are spawn-safe either way.
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _raise_failures(failures: list[TaskFailure]) -> None:
+    failures = sorted(failures, key=lambda f: f.index)
+    first = failures[0]
+    lines = [
+        f"{len(failures)} of the campaign's cells failed in workers; "
+        f"first: {first.summary()}",
+        "re-run with --jobs 1 to reproduce serially",
+        "worker traceback:",
+        first.traceback.rstrip(),
+    ]
+    raise ParallelError("\n".join(lines), failures=failures)
+
+
+def run_tasks(
+    fn,
+    specs,
+    *,
+    jobs: int | None = None,
+    progress=None,
+    on_result=None,
+    method: str | None = None,
+) -> list:
+    """Run ``fn`` over ``specs``; return results in submission order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level worker function ``spec -> result``; both ends must be
+        picklable (spawn-safe).
+    specs:
+        The task specs, one per cell.
+    jobs:
+        Worker processes (``None`` = CPU count, see :func:`resolve_jobs`);
+        ``1`` runs the in-process serial loop.
+    progress:
+        ``progress(spec)`` called in the parent when a cell is *started*
+        (serial) or submitted (parallel), always in submission order.
+    on_result:
+        ``on_result(spec, result, n_done, n_total)`` called in the parent
+        as cells *complete* (completion order under a pool) — log-style
+        liveness reporting for long campaigns.
+    method:
+        Multiprocessing start method (default: ``fork`` where available,
+        else ``spawn``).
+
+    Raises
+    ------
+    ParallelError:
+        When any worker cell failed (``jobs > 1``); carries every
+        :class:`TaskFailure`.  Serial runs let the original exception
+        propagate unchanged — the fallback path is the reference behaviour.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    njobs = resolve_jobs(jobs, len(specs))
+
+    if njobs == 1:
+        results = []
+        for spec in specs:
+            if progress is not None:
+                progress(spec)
+            result = fn(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(spec, result, len(results), len(specs))
+        return results
+
+    ctx = mp.get_context(method or _default_method())
+    results: list = [None] * len(specs)
+    failures: list[TaskFailure] = []
+    n_done = 0
+    with ProcessPoolExecutor(max_workers=njobs, mp_context=ctx) as pool:
+        pending = set()
+        for index, spec in enumerate(specs):
+            if progress is not None:
+                progress(spec)
+            future = pool.submit(_invoke, fn, index, spec)
+            future.spec = spec
+            pending.add(future)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, result, failure = future.result()
+                if failure is not None:
+                    failures.append(failure)
+                    continue
+                results[index] = result
+                n_done += 1
+                if on_result is not None:
+                    on_result(future.spec, result, n_done, len(specs))
+    if failures:
+        _raise_failures(failures)
+    return results

@@ -127,6 +127,7 @@ def assemble(
                 min_heaviest_load=config.monitor_min_load,
                 cooldown=config.monitor_cooldown,
                 metrics=metrics,
+                li_history_cap=config.monitor_li_history_cap,
             )
         else:
             monitors[side] = Monitor(
@@ -135,6 +136,7 @@ def assemble(
                 theta=None,
                 period=config.monitor_period,
                 metrics=metrics,
+                li_history_cap=config.monitor_li_history_cap,
             )
 
     return StreamJoinRuntime(

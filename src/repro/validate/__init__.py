@@ -28,6 +28,17 @@ reproduces any captured failure from its seed.
 from __future__ import annotations
 
 from ..errors import ValidationError
+from .campaign import (
+    DifferentialOutcome,
+    DifferentialTask,
+    FuzzTask,
+    fuzz_grid,
+    run_differential_campaign,
+    run_differential_task,
+    run_fuzz_campaign,
+    run_fuzz_task,
+    summarize_fuzz_reports,
+)
 from .differential import (
     DifferentialReport,
     DifferentialHarness,
@@ -49,6 +60,15 @@ from .workloads import VALIDATION_WORKLOADS, make_sources, validation_config
 
 __all__ = [
     "ValidationError",
+    "DifferentialOutcome",
+    "DifferentialTask",
+    "FuzzTask",
+    "fuzz_grid",
+    "run_differential_campaign",
+    "run_differential_task",
+    "run_fuzz_campaign",
+    "run_fuzz_task",
+    "summarize_fuzz_reports",
     "DifferentialHarness",
     "DifferentialReport",
     "FirstDivergence",

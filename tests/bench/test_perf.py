@@ -5,6 +5,8 @@ from __future__ import annotations
 import copy
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.bench.perf import (
     BENCH_CASES,
@@ -15,16 +17,19 @@ from repro.bench.perf import (
     load_report,
     machine_metadata,
     run_case,
+    run_matrix,
     write_report,
 )
+from repro.errors import ParallelError
 
 
-def _tiny_case(system: str = "bistream", workload: str = "ridehailing") -> BenchCase:
+def _tiny_case(system: str = "bistream", workload: str = "ridehailing",
+               seed: int = 3) -> BenchCase:
     return BenchCase(
-        name=f"tiny/{system}", system=system, workload=workload,
+        name=f"tiny/{system}/s{seed}", system=system, workload=workload,
         # duration must clear the canonical 2 s warmup or every latency
         # percentile is NaN (and NaN != NaN would poison the assertions)
-        n_instances=2, duration=3.0, rate=2_000.0, seed=3,
+        n_instances=2, duration=3.0, rate=2_000.0, seed=seed,
     )
 
 
@@ -57,7 +62,7 @@ class TestRunCase:
         assert res.tuples_per_sec > 0
         assert res.total_processed > 0
         d = res.to_dict()
-        assert d["name"] == "tiny/bistream"
+        assert d["name"] == "tiny/bistream/s3"
         assert d["total_processed"] == res.total_processed
 
     def test_repeats_keep_deterministic_metrics(self):
@@ -139,6 +144,101 @@ class TestCompareReports:
         cmp = compare_reports(fresh, base)
         assert cmp.ok
         assert cmp.warnings
+
+    def test_parallel_run_demotes_wall_regression_to_warning(self):
+        """Wall baselines are serial by contract: a jobs>1 report's
+        workers share cores, so its wall slowdown is a warning, not a
+        failure."""
+        fresh = _report_with(_case_dict(tuples_per_sec=400_000.0))
+        fresh["jobs"] = 2
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base, tolerance=0.20)
+        assert cmp.ok
+        assert any("wall baselines are serial" in w for w in cmp.warnings)
+        assert "wall not checked" in " ".join(cmp.lines)
+
+    def test_parallel_run_still_fails_on_deterministic_drift(self):
+        fresh = _report_with(_case_dict(total_results=201))
+        fresh["jobs"] = 4
+        base = _report_with(_case_dict())
+        cmp = compare_reports(fresh, base)
+        assert not cmp.ok
+        assert any("total_results" in f for f in cmp.failures)
+
+
+def _deterministic_cases(report: dict) -> list[dict]:
+    """Strip the wall-clock fields; everything left must be bit-identical
+    across ``jobs`` values."""
+    return [
+        {k: v for k, v in case.items()
+         if k not in ("wall_seconds", "tuples_per_sec")}
+        for case in report["cases"]
+    ]
+
+
+class TestParallelMatrix:
+    """The determinism contract: ``run_matrix(jobs=k)`` == serial."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        picks=st.lists(
+            st.tuples(
+                st.sampled_from(["bistream", "contrand", "fastjoin"]),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1, max_size=3, unique=True,
+        ),
+        jobs=st.integers(min_value=1, max_value=4),
+    )
+    def test_any_jobs_value_matches_serial(self, picks, jobs):
+        cases = tuple(_tiny_case(system=s, seed=seed) for s, seed in picks)
+        serial = run_matrix(cases=cases, repeats=1, jobs=1)
+        fanned = run_matrix(cases=cases, repeats=1, jobs=jobs)
+        assert _deterministic_cases(fanned) == _deterministic_cases(serial)
+
+    def test_parallel_repeats_match_serial_protocol(self):
+        cases = (_tiny_case(), _tiny_case(system="fastjoin"))
+        serial = run_matrix(cases=cases, repeats=2, jobs=1)
+        fanned = run_matrix(cases=cases, repeats=2, jobs=2)
+        assert _deterministic_cases(fanned) == _deterministic_cases(serial)
+
+    def test_report_records_jobs_and_cpu_count(self):
+        # two (case, repeat) units, so the requested width is not clamped
+        report = run_matrix(cases=(_tiny_case(),), repeats=2, jobs=2)
+        assert report["jobs"] == 2
+        assert report["machine"]["cpu_count"] >= 1
+        # a pool wider than the work is clamped down
+        clamped = run_matrix(cases=(_tiny_case(),), repeats=1, jobs=4)
+        assert clamped["jobs"] == 1
+
+    def test_progress_announces_each_case_once(self):
+        cases = (_tiny_case(), _tiny_case(system="fastjoin"))
+        announced: list[str] = []
+        run_matrix(cases=cases, repeats=2, jobs=2,
+                   progress=lambda c: announced.append(c.name))
+        assert announced == [c.name for c in cases]
+
+    def test_worker_failure_names_cell_and_seed(self):
+        bad = BenchCase(
+            name="tiny/broken", system="nosuchsystem", workload="ridehailing",
+            n_instances=2, duration=2.0, rate=1_000.0, seed=11,
+        )
+        with pytest.raises(ParallelError) as excinfo:
+            run_matrix(cases=(_tiny_case(), bad), repeats=1, jobs=2)
+        message = str(excinfo.value)
+        assert "tiny/broken" in message
+        assert "replay seed 11" in message
+        assert "--jobs 1" in message
+
+    def test_bad_jobs_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_matrix(cases=(_tiny_case(),), repeats=1, jobs=0)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_matrix(cases=(_tiny_case(),), repeats=0)
 
 
 class TestReportIO:

@@ -97,6 +97,63 @@ class TestPassiveMonitor:
         assert len(m.li_history) == 2
 
 
+class TestSamplingDrift:
+    def test_gap_does_not_burst_samples(self):
+        """After a gap spanning several periods the deadline must catch up
+        past ``now`` — advancing one period per tick would replay the
+        missed samples back-to-back (the InstanceTracer bug class)."""
+        m = Monitor("R", make_group(), theta=None, period=1.0)
+        m.tick(1.0)
+        assert len(m.li_history) == 1
+        m.tick(7.3)  # gap across six periods: exactly one sample
+        assert len(m.li_history) == 2
+        m.tick(7.5)  # still inside the caught-up period: no burst
+        m.tick(7.9)
+        assert len(m.li_history) == 2
+        m.tick(8.0)  # next period boundary samples again
+        assert len(m.li_history) == 3
+
+    def test_deadline_lands_on_period_grid_after_gap(self):
+        m = Monitor("R", make_group(), theta=None, period=2.0)
+        m.tick(9.1)  # first due at 2.0; catch-up must land at 10.0
+        assert m._next_sample == 10.0
+
+
+class TestLiHistoryCap:
+    def test_history_is_bounded(self):
+        m = Monitor("R", make_group(), theta=None, period=1.0,
+                    li_history_cap=5)
+        for i in range(1, 20):
+            m.tick(float(i))
+        assert len(m.li_history) == 5
+        # the trailing window is kept, not the head
+        assert m.li_history[-1][0] == 19.0
+        assert m.li_history[0][0] == 15.0
+
+    def test_cap_none_keeps_everything(self):
+        m = Monitor("R", make_group(), theta=None, period=1.0,
+                    li_history_cap=None)
+        for i in range(1, 20):
+            m.tick(float(i))
+        assert len(m.li_history) == 19
+
+    def test_metrics_still_receive_full_series(self):
+        """The cap bounds the monitor's local debugging window only; the
+        metrics collector keeps every sample for the bench reports."""
+        metrics = MetricsCollector()
+        m = Monitor("R", make_group(), theta=None, period=1.0,
+                    li_history_cap=3, metrics=metrics)
+        for i in range(1, 11):
+            m.tick(float(i))
+        assert len(m.li_history) == 3
+        run = metrics.finalize()
+        assert run.li["R"].shape[0] == 10
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            Monitor("R", make_group(), theta=None, li_history_cap=0)
+
+
 class TestActiveMonitor:
     def test_triggers_on_threshold(self):
         instances = make_group()

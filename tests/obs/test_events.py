@@ -8,6 +8,7 @@ from repro.errors import ValidationError
 from repro.obs.events import (
     EVENT_KINDS,
     MIGRATION_PHASES,
+    CaptureSink,
     Event,
     EventBus,
     JsonlSink,
@@ -15,7 +16,9 @@ from repro.obs.events import (
     RingBufferSink,
     active_trace,
     active_trace_tail,
+    event_from_dict,
     set_active_trace,
+    write_events_jsonl,
 )
 
 
@@ -82,6 +85,41 @@ class TestJsonlSink:
         sink = JsonlSink(tmp_path / "t.jsonl")
         sink.close()
         sink.close()
+
+
+class TestCaptureSink:
+    def test_buffers_and_exports_events(self):
+        sink = CaptureSink()
+        sink.emit(Event(ts=0.5, kind="tick", data={"tick": 1}))
+        sink.emit(Event(ts=1.0, kind="service", data={"n_results": 4.0}))
+        assert len(sink) == 2
+        dicts = sink.to_dicts()
+        assert dicts[0] == {"ts": 0.5, "kind": "tick", "tick": 1}
+
+    def test_event_from_dict_roundtrip(self):
+        event = Event(ts=0.5, kind="tick", data={"tick": 1})
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_forwarded_file_matches_jsonl_sink_bytes(self, tmp_path):
+        """The capture-and-forward path (worker CaptureSink -> parent
+        write_events_jsonl) must produce the same bytes a streaming
+        JsonlSink would — the --trace-under---jobs contract."""
+        events = [
+            Event(ts=0.5, kind="tick", data={"tick": 1}),
+            Event(ts=1.0, kind="service", data={"n_results": 4.0}),
+        ]
+        streamed = tmp_path / "streamed.jsonl"
+        sink = JsonlSink(streamed)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        forwarded = tmp_path / "forwarded.jsonl"
+        capture = CaptureSink()
+        for event in events:
+            capture.emit(event)
+        n = write_events_jsonl(capture.to_dicts(), forwarded)
+        assert n == 2
+        assert forwarded.read_bytes() == streamed.read_bytes()
 
 
 class TestEventBus:

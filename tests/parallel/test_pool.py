@@ -1,0 +1,128 @@
+"""Tests for the deterministic process-pool runner (repro.parallel).
+
+Generic worker functions defined in this module are only importable by
+``fork`` children (pytest test modules are not on a spawn child's import
+path), so the pool tests pin ``method="fork"``; spawn-safety is covered
+with a worker that lives inside the ``repro`` package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError, ParallelError
+from repro.parallel import AUTO_JOBS_CAP, TaskFailure, resolve_jobs, run_tasks
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+@dataclass(frozen=True)
+class _Spec:
+    name: str
+    seed: int
+    value: int
+
+
+def _run_spec(spec: _Spec) -> int:
+    if spec.value < 0:
+        raise ValueError(f"negative value {spec.value}")
+    return spec.value * 10
+
+
+class TestResolveJobs:
+    def test_auto_is_capped_and_positive(self):
+        jobs = resolve_jobs(None)
+        assert 1 <= jobs <= AUTO_JOBS_CAP
+
+    def test_explicit_value_respected(self):
+        assert resolve_jobs(3) == 3
+
+    def test_clamped_to_task_count(self):
+        assert resolve_jobs(8, n_tasks=2) == 2
+
+    def test_zero_tasks_still_one_worker(self):
+        assert resolve_jobs(4, n_tasks=0) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_sub_one_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+
+class TestRunTasks:
+    def test_empty_specs(self):
+        assert run_tasks(_square, [], jobs=4) == []
+
+    def test_serial_path(self):
+        assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial_order(self):
+        specs = list(range(12))
+        serial = run_tasks(_square, specs, jobs=1)
+        parallel = run_tasks(_square, specs, jobs=3, method="fork")
+        assert parallel == serial
+
+    def test_progress_in_submission_order(self):
+        seen: list[int] = []
+        run_tasks(_square, [5, 6, 7], jobs=2, method="fork",
+                  progress=seen.append)
+        assert seen == [5, 6, 7]
+
+    def test_on_result_reports_every_completion(self):
+        calls: list[tuple] = []
+        run_tasks(
+            _square, [1, 2, 3, 4], jobs=2, method="fork",
+            on_result=lambda spec, result, n_done, n_total:
+                calls.append((spec, result, n_done, n_total)),
+        )
+        assert sorted(c[:2] for c in calls) == [(1, 1), (2, 4), (3, 9), (4, 16)]
+        assert [c[2] for c in sorted(calls, key=lambda c: c[2])] == [1, 2, 3, 4]
+        assert all(c[3] == 4 for c in calls)
+
+    def test_serial_failure_propagates_natively(self):
+        specs = [_Spec("good", 1, 5), _Spec("bad", 2, -1)]
+        with pytest.raises(ValueError, match="negative value -1"):
+            run_tasks(_run_spec, specs, jobs=1)
+
+    def test_parallel_failure_is_structured(self):
+        specs = [_Spec("good", 1, 5), _Spec("bad", 7, -1), _Spec("fine", 3, 2)]
+        with pytest.raises(ParallelError) as excinfo:
+            run_tasks(_run_spec, specs, jobs=2, method="fork")
+        err = excinfo.value
+        assert len(err.failures) == 1
+        failure = err.failures[0]
+        assert failure.label == "bad"
+        assert failure.seed == 7
+        assert failure.error_type == "ValueError"
+        assert "negative value -1" in failure.message
+        # the message names the cell, its replay seed, and the serial fallback
+        assert "bad" in str(err)
+        assert "replay seed 7" in str(err)
+        assert "--jobs 1" in str(err)
+        assert "Traceback" in str(err)
+
+    def test_task_failure_summary(self):
+        failure = TaskFailure(
+            index=0, label="cell-x", seed=42, error_type="RuntimeError",
+            message="boom", traceback="Traceback ...",
+        )
+        assert "cell-x" in failure.summary()
+        assert "replay seed 42" in failure.summary()
+        assert "RuntimeError: boom" in failure.summary()
+
+
+class TestSpawnSafety:
+    def test_repro_worker_runs_under_spawn(self):
+        """Package-level workers must be importable from a fresh
+        interpreter — the contract every campaign surface relies on."""
+        from repro.validate import FuzzTask, run_fuzz_task
+
+        tasks = [FuzzTask(seed=s, mode="instance", n_actions=6) for s in (1, 2)]
+        serial = run_tasks(run_fuzz_task, tasks, jobs=1)
+        spawned = run_tasks(run_fuzz_task, tasks, jobs=2, method="spawn")
+        assert [(r.seed, r.ok, r.n_migrations) for r in serial] == \
+               [(r.seed, r.ok, r.n_migrations) for r in spawned]

@@ -111,3 +111,13 @@ class TestConfig:
             SystemConfig(tick=0.0)
         with pytest.raises(ConfigError):
             SystemConfig(window_subwindows=0)
+        with pytest.raises(ConfigError):
+            SystemConfig(monitor_li_history_cap=0)
+
+    def test_li_history_cap_reaches_monitors(self):
+        config = SystemConfig(n_instances=2, theta=None,
+                              monitor_li_history_cap=7)
+        r, s = sources()
+        runtime = build_system("bistream", config, r, s)
+        for monitor in runtime.monitors.values():
+            assert monitor.li_history.maxlen == 7

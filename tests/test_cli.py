@@ -32,6 +32,30 @@ class TestParser:
         args = build_parser().parse_args(["fastjoin", "--selector", "safit"])
         assert args.selector == "safit"
 
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["compare", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["compare"]).jobs is None
+
+    def test_fuzz_flag(self):
+        args = build_parser().parse_args(["validate", "--fuzz", "8"])
+        assert args.fuzz == 8
+
+
+class TestArgHygiene:
+    def test_jobs_below_one_is_exit_2(self, capsys):
+        assert main(["bench", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+        assert main(["compare", "--jobs", "-3"]) == 2
+
+    def test_repeats_below_one_is_exit_2(self, capsys):
+        assert main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats must be >= 1" in capsys.readouterr().err
+
+    def test_fuzz_below_one_is_exit_2(self, capsys):
+        assert main(["validate", "--fuzz", "0"]) == 2
+        assert "--fuzz must be >= 1" in capsys.readouterr().err
+
 
 class TestMain:
     def test_single_system_run(self, capsys):
@@ -121,6 +145,27 @@ class TestTraceAndInspect:
         assert trace.exists() and trace.stat().st_size > 0
         assert "OK" in capsys.readouterr().out
 
+    def test_trace_is_byte_identical_across_jobs(self, tmp_path, capsys):
+        """--trace under --jobs N forwards worker-captured events to the
+        parent; the resulting files must equal a serial run's bytes."""
+        serial, fanned = tmp_path / "s.jsonl", tmp_path / "p.jsonl"
+        base = ["compare", "--instances", "2", "--duration", "2",
+                "--rate", "200", "--warmup", "1"]
+        assert main([*base, "--jobs", "1", "--trace", str(serial)]) == 0
+        assert main([*base, "--jobs", "2", "--trace", str(fanned)]) == 0
+        capsys.readouterr()
+        for system in ("fastjoin", "bistream", "contrand"):
+            a = (tmp_path / f"s.jsonl.{system}").read_bytes()
+            b = (tmp_path / f"p.jsonl.{system}").read_bytes()
+            assert a == b and a
+
+    def test_validate_fuzz_campaign(self, capsys):
+        code = main(["validate", "--fuzz", "1", "--jobs", "2", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign" in out
+        assert "0 failure(s)" in out
+
 
 class TestBench:
     """The ``bench`` subcommand (hot-path performance matrix)."""
@@ -188,3 +233,15 @@ class TestBench:
                      "--baseline", str(tmp_path / "missing.json")])
         assert code == 2
         assert "no baseline" in capsys.readouterr().err
+
+    def test_bench_check_passes_under_jobs(self, tiny_matrix, tmp_path, capsys):
+        """A serial baseline must check clean under any --jobs value: the
+        simulated metrics are bit-identical by construction and only the
+        wall numbers (tolerance-compared) can move."""
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--repeats", "1", "--jobs", "1",
+                     "--update-baseline", "--baseline", str(baseline)]) == 0
+        code = main(["bench", "--repeats", "2", "--jobs", "2", "--check",
+                     "--tolerance", "0.99", "--baseline", str(baseline)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out

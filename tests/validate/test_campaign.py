@@ -1,0 +1,82 @@
+"""Tests for the parallel validation campaigns (repro.validate.campaign)."""
+
+from __future__ import annotations
+
+from repro.validate import (
+    DifferentialTask,
+    FuzzTask,
+    fuzz_grid,
+    run_differential_campaign,
+    run_differential_task,
+    run_fuzz_campaign,
+    run_fuzz_task,
+    summarize_fuzz_reports,
+)
+
+
+class TestFuzzGrid:
+    def test_grid_shape_and_determinism(self):
+        grid = fuzz_grid(3, base_seed=5)
+        assert len(grid) == 3 * 2 * 2  # seeds x modes x selectors
+        assert grid == fuzz_grid(3, base_seed=5)
+        assert {t.seed for t in grid} == {5, 6, 7}
+        assert {t.mode for t in grid} == {"oracle", "instance"}
+        assert {t.selector for t in grid} == {"greedyfit", "safit"}
+
+    def test_windowed_only_applies_to_instance_mode(self):
+        grid = fuzz_grid(1, windowed=True)
+        for task in grid:
+            assert task.windowed == (task.mode == "instance")
+
+
+class TestFuzzCampaign:
+    def test_jobs_do_not_change_verdicts(self):
+        tasks = fuzz_grid(2, n_actions=10)
+        serial = run_fuzz_campaign(tasks, jobs=1)
+        parallel = run_fuzz_campaign(tasks, jobs=2)
+        key = lambda r: (r.seed, r.mode, r.selector, r.ok, r.n_migrations,
+                         r.n_zero_benefit, r.n_pairs, r.message)
+        assert [key(r) for r in serial] == [key(r) for r in parallel]
+        assert all(r.ok for r in serial)
+
+    def test_fault_injected_run_reports_not_raises(self):
+        """A worker-side failure verdict is a *reported outcome*: it must
+        come back as a failed report, never crash the campaign."""
+        task = FuzzTask(seed=1, mode="oracle", fault="drop_queued",
+                        n_actions=25)
+        reports = run_fuzz_campaign([task], jobs=2)
+        assert len(reports) == 1
+        assert not reports[0].ok
+
+    def test_summary_counts_failures(self):
+        good = run_fuzz_task(FuzzTask(seed=1, n_actions=10))
+        bad = run_fuzz_task(
+            FuzzTask(seed=1, mode="oracle", fault="drop_queued", n_actions=25)
+        )
+        text = summarize_fuzz_reports([good, bad])
+        assert "2 runs" in text
+        assert "1 failure(s)" in text
+        assert "FAIL oracle/greedyfit seed=1" in text
+
+
+class TestDifferentialCampaign:
+    def test_outcomes_match_serial_with_capture(self):
+        tasks = [
+            DifferentialTask(system=s, seed=7, ticks=150, capture=True)
+            for s in ("bistream", "fastjoin")
+        ]
+        serial = run_differential_campaign(tasks, jobs=1)
+        parallel = run_differential_campaign(tasks, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.ok and b.ok
+            assert a.report.pairs_expected == b.report.pairs_expected
+            assert a.report.n_migrations == b.report.n_migrations
+            # the captured traces are identical event-for-event
+            assert a.events == b.events and a.events
+
+    def test_capture_off_returns_no_events(self):
+        outcome = run_differential_task(
+            DifferentialTask(system="bistream", seed=3, ticks=100)
+        )
+        assert outcome.ok
+        assert outcome.events is None
