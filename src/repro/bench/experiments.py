@@ -240,6 +240,7 @@ class ExperimentTask:
     max_duration: float = 240.0
     n_keys: int = 1_000
     capture: bool = False
+    fault_spec: str | None = None   # --faults grammar; None = fault-free
     label: str = ""
 
     def display(self) -> str:
@@ -260,6 +261,12 @@ def _config_for(task: ExperimentTask) -> SystemConfig:
     overrides: dict = {}
     if task.warmup is not None:
         overrides["warmup"] = task.warmup
+    if task.fault_spec is not None:
+        overrides["fault_spec"] = task.fault_spec
+        # Fault injection requires full-history stores: sub-window ages
+        # cannot be rebuilt from count checkpoints, so fault cells run
+        # unwindowed (the canonical config windows by default).
+        overrides["window_subwindows"] = None
     return canonical_config(
         n_instances=task.n_instances,
         theta=task.theta,
@@ -342,6 +349,7 @@ def run_compare(
     seed: int = 0,
     warmup: float | None = None,
     capture: bool = False,
+    fault_spec: str | None = None,
     jobs: int | None = None,
     progress=None,
 ) -> list[ExperimentOutcome]:
@@ -349,6 +357,8 @@ def run_compare(
 
     Baselines get ``theta=None`` (passive monitors), mirroring the CLI's
     long-standing serial loop; outcomes come back in ``systems`` order.
+    ``fault_spec`` runs every cell under the same deterministic fault
+    plan (see :mod:`repro.faults`).
     """
     tasks = [
         ExperimentTask(
@@ -362,6 +372,7 @@ def run_compare(
             seed=seed,
             warmup=warmup,
             capture=capture,
+            fault_spec=fault_spec,
             label=f"{system}/{workload}",
         )
         for system in systems

@@ -18,6 +18,12 @@ Cross-check a system against the exact-semantics oracle::
 
     python -m repro validate --system fastjoin --seed 7 --ticks 2000
 
+Inject deterministic faults (crash/recovery, failover, batch delays,
+mid-migration aborts) into a run or a validation::
+
+    python -m repro run --faults 'crash:R0@10+2;ckpt=0.5' --duration 30
+    python -m repro validate --system fastjoin --faults 'failover:S1@2+1'
+
 Run the hot-path performance benchmark and check it against the committed
 baseline::
 
@@ -63,8 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "system",
-        choices=[*SYSTEMS, "compare", "validate", "inspect", "bench"],
-        help="system to run, 'compare' for all three, 'validate' to "
+        choices=[*SYSTEMS, "run", "compare", "validate", "inspect", "bench"],
+        help="system to run ('run' is an alias for --system, default "
+        "fastjoin), 'compare' for all three, 'validate' to "
         "cross-check a system against the exact-semantics oracle, "
         "'inspect' to replay a recorded JSONL trace into a report, or "
         "'bench' to run the hot-path performance benchmark matrix",
@@ -107,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for campaign subcommands "
                         "(compare/validate/bench); results are bit-identical "
                         "to --jobs 1 (default: one per CPU, capped)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection plan for "
+                        "run/compare/validate, e.g. "
+                        "'crash:R0@4+2;delay:S@2+0.5;ckpt=0.5' "
+                        "(see repro.faults.plan for the grammar)")
 
     validate = parser.add_argument_group(
         "validate", "options for the 'validate' subcommand"
@@ -116,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
         dest="validate_system",
         default=None,
         choices=list(SYSTEMS),
-        help="system to cross-check (default: all three)",
+        help="system to cross-check, or to run under the 'run' alias "
+        "(default: all three / fastjoin)",
     )
     validate.add_argument("--ticks", type=int, default=2_000,
                           help="simulation ticks before drain")
@@ -207,6 +220,7 @@ def _run_validate(args: argparse.Namespace) -> int:
             zipf=args.zipf,
             guards=not args.no_guards,
             capture=args.trace is not None,
+            fault_spec=args.faults,
         )
         for system in systems
     ]
@@ -334,6 +348,25 @@ def _check_args(args: argparse.Namespace) -> str | None:
         return f"--repeats must be >= 1, got {args.repeats}"
     if args.fuzz is not None and args.fuzz < 1:
         return f"--fuzz must be >= 1, got {args.fuzz}"
+    if args.faults is not None:
+        from .errors import ConfigError
+        from .faults import parse_fault_spec
+
+        try:
+            plan = parse_fault_spec(args.faults)
+        except ConfigError as exc:
+            return f"--faults: {exc}"
+        if args.system in ("inspect", "bench"):
+            return f"--faults is not supported by '{args.system}'"
+        # check instance indices against the group size the run will use
+        # (mirrors the mode-specific defaults applied later)
+        n_instances = args.instances
+        if n_instances is None:
+            n_instances = 4 if args.system == "validate" else 16
+        try:
+            plan.validate(n_instances)
+        except ConfigError as exc:
+            return f"--faults: {exc}"
     return None
 
 
@@ -350,6 +383,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_validate(args)
     if args.system == "bench":
         return _run_bench(args)
+    if args.system == "run":
+        # 'run' is the neutral single-system spelling (the natural host
+        # for --faults): `repro run --faults ... [--system bistream]`.
+        args.system = args.validate_system or "fastjoin"
     if args.instances is None:
         args.instances = 16
     systems = list(SYSTEMS) if args.system == "compare" else [args.system]
@@ -377,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         warmup=warmup,
         capture=args.trace is not None,
+        fault_spec=args.faults,
         jobs=args.jobs,
         progress=progress,
     )

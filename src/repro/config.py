@@ -68,6 +68,20 @@ class SystemConfig:
     load_smoothing_tau:
         EWMA time constant (seconds) for the probe-backlog signal the
         monitor reads; <= 0 uses raw instantaneous queue lengths.
+    fault_spec:
+        Optional fault-injection plan in the ``--faults`` grammar of
+        :func:`repro.faults.plan.parse_fault_spec` (e.g.
+        ``"crash:R0@4+2;delay:S@2+0.5"``).  When set, the assembled
+        runtime gets a :class:`repro.faults.injector.FaultInjector`
+        attached — through every entry point, so parallel workers
+        reproduce the same faults bit-identically.  Incompatible with
+        windowed stores.
+    checkpoint_period:
+        Seconds between fault-tolerance checkpoints (ignored unless
+        ``fault_spec`` is set; a ``ckpt=`` term in the spec overrides it).
+    recovery_fixed / recovery_per_tuple:
+        Recovery duration model (see
+        :class:`repro.faults.injector.RecoveryCostModel`).
     warmup:
         Seconds excluded from steady-state averages (the paper discards
         start-up transients, section VI-A).
@@ -100,6 +114,10 @@ class SystemConfig:
     window_rotation_period: float = 10.0
     backpressure_max_queue: int | None = 5_000
     load_smoothing_tau: float = 2.0
+    fault_spec: str | None = None
+    checkpoint_period: float = 1.0
+    recovery_fixed: float = 0.05
+    recovery_per_tuple: float = 5e-6
     warmup: float = 5.0
     seed: int = 0
 
@@ -122,6 +140,18 @@ class SystemConfig:
             raise ConfigError("backpressure_max_queue must be >= 1 when set")
         if self.monitor_li_history_cap is not None and self.monitor_li_history_cap < 1:
             raise ConfigError("monitor_li_history_cap must be >= 1 when set")
+        if self.checkpoint_period <= 0:
+            raise ConfigError("checkpoint_period must be positive")
+        if self.recovery_fixed < 0 or self.recovery_per_tuple < 0:
+            raise ConfigError("recovery cost parameters must be >= 0")
+        if self.fault_spec is not None:
+            if not self.fault_spec.strip():
+                raise ConfigError("fault_spec must be None or non-empty")
+            if self.window_subwindows is not None:
+                raise ConfigError(
+                    "fault injection is incompatible with windowed stores: "
+                    "sub-window ages cannot be rebuilt from count checkpoints"
+                )
         if self.warmup < 0:
             raise ConfigError("warmup must be >= 0")
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.metrics import MigrationEvent
-from ..errors import ConfigError, MigrationError
+from ..errors import ConfigError, MigrationError, ValidationError
 from ..join.instance import JoinInstance
 from .load_model import load_imbalance
 from .routing import RoutingTable
@@ -80,6 +80,9 @@ class MigrationExecutor:
         self.cost_model = cost_model if cost_model is not None else MigrationCostModel()
         # Optional observability bundle (repro.obs); one test per migration.
         self.obs = None
+        # Optional fault injector (repro.faults): consulted at protocol
+        # phase boundaries for armed mid-migration aborts.
+        self.faults = None
 
     def execute(
         self,
@@ -108,11 +111,25 @@ class MigrationExecutor:
         if result.empty:
             return None
 
+        faults = self.faults
+        if faults is not None and faults.migration_abort(side, now, "select") is not None:
+            # Aborted after selection but before any state moved: the
+            # cleanest failure — nothing to roll back, nothing happened.
+            return None
+
         moved = result.moved_stored + result.moved_backlog
         duration = self.cost_model.duration(problem.n_keys, moved)
 
         key_set = set(result.selected_keys)
         stored_counts, queued = source.extract_for_migration(key_set)
+
+        if faults is not None and faults.migration_abort(side, now, "transfer") is not None:
+            # Aborted mid-transfer: put everything back at the source.
+            # The attempt still consumed protocol time, so the pause is
+            # charged as if the migration had run.
+            source.pause_until(now + duration)
+            self._rollback(side, source, key_set, stored_counts, queued, now)
+            return None
 
         # The source stops store/join operations for the whole procedure.
         source.pause_until(now + duration)
@@ -128,6 +145,29 @@ class MigrationExecutor:
         # dispatcher sent before this instant is already queued at the
         # source and was either extracted above or left for keys not in SK.
         self.routing.install(result.selected_keys, target.instance_id)
+
+        if faults is not None and faults.migration_abort(side, now, "reroute") is not None:
+            # Past the commit point: the overrides are live and the target
+            # already owns the state.  There is no sound rollback — fail
+            # loudly with a replayable error instead of a bare assertion.
+            raise ValidationError(
+                "migration abort requested after the reroute commit point; "
+                "the protocol cannot roll back an installed routing update",
+                invariant="migration-abort",
+                seed=faults.seed,
+                context={
+                    "fault_plan": faults.plan.spec,
+                    "side": side,
+                    "phase": "reroute",
+                    "source": source.instance_id,
+                    "target": target.instance_id,
+                },
+            )
+
+        # Both parties' stores changed outside the consume/WAL path: force
+        # checkpoints so crash recovery replays post-migration state.
+        source.sync_checkpoint(now)
+        target.sync_checkpoint(now)
 
         l_i, l_j = (
             (problem.stored_i - result.moved_stored)
@@ -158,3 +198,52 @@ class MigrationExecutor:
                 event, self.cost_model.breakdown(problem.n_keys, moved), wall
             )
         return event
+
+    def _rollback(
+        self,
+        side: str,
+        source: JoinInstance,
+        key_set: set[int],
+        stored_counts: dict[int, int],
+        queued,
+        now: float,
+    ) -> None:
+        """Undo a transfer-phase extraction: everything back to the source.
+
+        Stored counts merge back in place; the extracted queued tuples are
+        re-appended at the queue tail.  Re-appending preserves each key's
+        relative order (the extraction kept FIFO order), and cross-key
+        order is irrelevant to completeness — join pairs are same-key, and
+        every same-key (store, probe) pair still meets in the same FIFO
+        queue in dispatch order.  The store's net change is zero, so the
+        checkpoint+WAL invariant survives without a forced checkpoint.
+
+        Restoration is verified; a discrepancy raises a replayable
+        :class:`~repro.errors.ValidationError` carrying the seed and the
+        fault plan, never a bare assertion.
+        """
+        source.store.merge_counts(stored_counts)
+        if len(queued):
+            source.queue.push(queued)
+        snapshot = source.store.counts_snapshot()
+        wrong = {
+            k: (snapshot.get(k, 0), c)
+            for k, c in stored_counts.items()
+            if snapshot.get(k, 0) != c
+        }
+        if wrong:
+            faults = self.faults
+            raise ValidationError(
+                f"aborted migration rollback left {len(wrong)} key(s) with "
+                f"wrong stored counts (key: (live, expected)) "
+                f"{dict(list(wrong.items())[:5])}",
+                invariant="migration-abort",
+                seed=faults.seed if faults is not None else None,
+                context={
+                    "fault_plan": faults.plan.spec if faults is not None else None,
+                    "side": side,
+                    "phase": "transfer",
+                    "source": source.instance_id,
+                    "n_keys": len(key_set),
+                },
+            )

@@ -156,6 +156,12 @@ class Monitor:
             return False
         source = self.instances[heaviest.instance]
         target = self.instances[lightest.instance]
+        if source.crashed or target.crashed:
+            # A crashed source's state is unreachable, and state migrated
+            # into a crashed target would be lost by its rebuild (it is
+            # outside the target's checkpoint+WAL).  Balancing defers
+            # until the failure is handled; the next period retries.
+            return False
         assert self.selector is not None and self.executor is not None
         event = self.executor.execute(
             now, self.side, source, target, self.selector, li_before=li

@@ -91,6 +91,10 @@ class MigrationEvent:
     li_before: float
     li_after_estimate: float
     keys: tuple[int, ...] = ()
+    #: why the transfer happened: ``"balance"`` for a monitor-triggered
+    #: migration (the default), ``"failover"`` for a fault-injected
+    #: crash hand-off.  Hysteresis invariants only apply to the former.
+    reason: str = "balance"
 
 
 @dataclass

@@ -54,6 +54,11 @@ class TupleQueue:
         # clears the flag; it resets when the queue drains.
         self._monotonic = True
         self._tail_time = -np.inf
+        # Lifetime count of tuples removed through consume() — the queue
+        # watermark a fault-tolerance checkpoint records (repro.faults).
+        # Service consumption only: migration extraction and clear() are
+        # not service, so they leave the watermark untouched.
+        self._consumed = 0
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -66,6 +71,12 @@ class TupleQueue:
     def probe_backlog(self) -> int:
         """Total queued probe tuples — ``phi_si`` in the paper (Eq. 4)."""
         return self._n_probes
+
+    @property
+    def consumed_total(self) -> int:
+        """Lifetime tuples served through :meth:`consume` (the checkpoint
+        watermark: WAL entries after it are replayed on recovery)."""
+        return self._consumed
 
     def _live(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Views/copies of the live region in FIFO order."""
@@ -241,6 +252,7 @@ class TupleQueue:
             raise SimulationError("probe counter underflow")
         self._head = (self._head + n) % self.capacity
         self._size -= n
+        self._consumed += n
         if self._size == 0 and not self._monotonic:
             # A drained queue is trivially ordered again.
             self._monotonic = True

@@ -74,6 +74,9 @@ class StreamJoinRuntime:
         # Optional observability bundle (repro.obs).  Same contract as the
         # guards hook: None by default, one ``is not None`` test per site.
         self.obs = None
+        # Optional fault injector (repro.faults).  Same contract again:
+        # None by default, one test per tick plus one per dispatch.
+        self.faults = None
 
     def attach_observer(self, obs, meta: dict | None = None) -> None:
         """Opt in to structured observability (events/metrics/profiling).
@@ -95,6 +98,18 @@ class StreamJoinRuntime:
         guards.bind(self)
         self.guards = guards
 
+    def attach_faults(self, injector) -> None:
+        """Opt in to deterministic fault injection and recovery.
+
+        ``injector`` is a :class:`repro.faults.injector.FaultInjector`
+        (duck-typed here to keep the engine layer free of a dependency on
+        the faults layer); it validates the plan against this runtime,
+        attaches per-instance checkpointers, and is then applied at the
+        start of every :meth:`step`.
+        """
+        injector.bind(self)
+        self.faults = injector
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -110,6 +125,12 @@ class StreamJoinRuntime:
         dt = self.clock.tick
         obs = self.obs
         prof = obs.profiler if obs is not None else None
+        faults = self.faults
+
+        # Fault application comes first so a recovery completing this tick
+        # can unblock backpressure before the throttle decision below.
+        if faults is not None:
+            faults.before_tick(self, now)
 
         t_mark = prof.now() if prof is not None else 0.0
         throttled = self.backpressure_max_queue is not None and any(
@@ -124,9 +145,17 @@ class StreamJoinRuntime:
             s_keys = self.s_source.emit(dt)
             n_emitted = int(r_keys.shape[0] + s_keys.shape[0])
             if r_keys.shape[0]:
-                self.dispatcher.dispatch("R", r_keys, now)
+                extra = (
+                    faults.dispatch_extra_delay("R", now, self.tick_index)
+                    if faults is not None else 0.0
+                )
+                self.dispatcher.dispatch("R", r_keys, now, extra_delay=extra)
             if s_keys.shape[0]:
-                self.dispatcher.dispatch("S", s_keys, now)
+                extra = (
+                    faults.dispatch_extra_delay("S", now, self.tick_index)
+                    if faults is not None else 0.0
+                )
+                self.dispatcher.dispatch("S", s_keys, now, extra_delay=extra)
         if prof is not None:
             t_now = prof.now()
             prof.add("dispatch", t_now - t_mark, work=n_emitted)

@@ -128,10 +128,14 @@ class ValidationError(ReproError):
         if system is None:
             return None
         ticks = context.get("ticks", 2000)
-        return (
+        cmd = (
             f"PYTHONPATH=src python -m repro validate "
             f"--system {system} --seed {seed} --ticks {ticks}"
         )
+        fault_plan = context.get("fault_plan")
+        if fault_plan:
+            cmd += f" --faults '{fault_plan}'"
+        return cmd
 
     @property
     def repro_command(self) -> str | None:

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and crash recovery (DESIGN §6).
+
+The subsystem has three parts:
+
+- :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` (what
+  goes wrong, when) and the ``--faults`` spec grammar;
+- :mod:`repro.faults.checkpoint` — per-instance checkpoints plus the
+  store-op write-ahead log that makes the volatile key store
+  reconstructible;
+- :mod:`repro.faults.injector` — the :class:`FaultInjector` that applies
+  a plan to a live :class:`~repro.engine.runtime.StreamJoinRuntime`.
+
+Enable it by setting :attr:`repro.config.SystemConfig.fault_spec`; every
+entry point (CLI, compare campaigns, the differential harness, parallel
+workers) then attaches the injector automatically in
+:func:`repro.systems.base.assemble`.
+"""
+
+from .checkpoint import InstanceCheckpointer
+from .injector import FaultInjector, RecoveryCostModel
+from .plan import (
+    ABORT_PHASES,
+    DEFAULT_RETRANSMIT,
+    FAULT_KINDS,
+    FaultAction,
+    FaultPlan,
+    format_fault_spec,
+    parse_fault_spec,
+    random_fault_plan,
+)
+
+__all__ = [
+    "ABORT_PHASES",
+    "DEFAULT_RETRANSMIT",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "FaultInjector",
+    "InstanceCheckpointer",
+    "RecoveryCostModel",
+    "format_fault_spec",
+    "parse_fault_spec",
+    "random_fault_plan",
+]

@@ -1,0 +1,293 @@
+"""Fault plans: the declarative description of *what goes wrong, when*.
+
+A :class:`FaultPlan` is a seeded, fully deterministic schedule of failure
+actions applied to a running :class:`~repro.engine.runtime.StreamJoinRuntime`
+by the :class:`~repro.faults.injector.FaultInjector`.  Five action kinds
+cover the failure modes the paper's migration protocol must survive:
+
+``crash``
+    Kill instance *i* of side ``R``/``S`` at simulated time *t*; the key
+    store is destroyed, the durable input queue keeps accepting tuples.
+    After ``duration`` seconds the instance restarts and rebuilds its
+    store from the last checkpoint plus the store-op write-ahead log.
+``failover``
+    Kill instance *i* at *t*, reconstruct its crash-time state from
+    checkpoint + WAL, and hand *everything* — rebuilt store, drained
+    queue, routing responsibility — to the lightest surviving peer via
+    the migration overlay machinery.  The dead instance rejoins empty
+    after ``duration`` seconds to serve never-seen keys that still hash
+    to it.
+``abort``
+    Arm a mid-phase abort for the next migration on the given side at or
+    after *t*.  ``phase`` picks the protocol point: ``select`` (before
+    any state moved), ``transfer`` (after extraction — rolled back), or
+    ``reroute`` (after the commit point — impossible to roll back, and
+    surfaced as a replayable :class:`~repro.errors.ValidationError`).
+``delay``
+    Add ``duration`` seconds of delivery delay to the next dispatched
+    batch of the given stream at or after *t* (a slow network link).
+``drop``
+    Drop the next dispatched batch of the given stream and redeliver it
+    after ``duration`` seconds (a lost-then-retransmitted packet on an
+    ordered channel).  Operationally identical to ``delay`` but reported
+    separately.
+
+Both ``delay`` and ``drop`` shift the *visible* time of one tick's whole
+emitted batch atomically, modelling an ordered, reliable channel (TCP —
+what Storm/BiStream deployments actually run on).  Because every join
+pair (r, s) meets in exactly two FIFO queues ordered by dispatch order,
+shifting a whole batch's visibility never reorders same-key work, so
+completeness is preserved by construction (DESIGN §6).
+
+The textual spec grammar (CLI ``--faults``) is a ``;``/``,``-separated
+action list::
+
+    crash:R0@4.0+2.0    crash R-instance 0 at t=4.0s, restart 2.0s later
+    failover:S1@3.5+1.0 fail S-instance 1 over to a peer, rejoin at +1.0s
+    abort:R@5.0/transfer    abort the next R-side migration mid-transfer
+    delay:R@2.0+0.5     delay the next R batch at/after t=2.0s by 0.5s
+    drop:S@2.5+0.25     drop the next S batch, retransmit after 0.25s
+    ckpt=0.5            checkpoint every instance every 0.5s
+
+Malformed specs raise :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "FAULT_KINDS",
+    "ABORT_PHASES",
+    "DEFAULT_RETRANSMIT",
+    "FaultAction",
+    "FaultPlan",
+    "parse_fault_spec",
+    "format_fault_spec",
+    "random_fault_plan",
+]
+
+FAULT_KINDS = ("crash", "failover", "abort", "delay", "drop")
+
+#: Migration-protocol points an ``abort`` action can target.  ``reroute``
+#: is past the commit point: the executor cannot roll it back and raises
+#: a replayable ValidationError instead (see DESIGN §6).
+ABORT_PHASES = ("select", "transfer", "reroute")
+
+_SIDES = ("R", "S")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled failure.  ``instance`` is -1 for side-wide kinds."""
+
+    kind: str                   # one of FAULT_KINDS
+    side: str                   # "R" | "S" (stream name for delay/drop)
+    at: float                   # simulated time the action fires (s)
+    duration: float = 0.0       # outage / extra delay / retransmit gap (s)
+    instance: int = -1          # crash/failover only
+    phase: str = "transfer"     # abort only; one of ABORT_PHASES
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.side not in _SIDES:
+            raise ConfigError(f"fault side must be R or S, got {self.side!r}")
+        if not np.isfinite(self.at) or self.at < 0:
+            raise ConfigError(f"fault time must be >= 0, got {self.at!r}")
+        if not np.isfinite(self.duration) or self.duration < 0:
+            raise ConfigError(
+                f"fault duration must be >= 0, got {self.duration!r}"
+            )
+        if self.kind in ("crash", "failover"):
+            if self.instance < 0:
+                raise ConfigError(f"{self.kind} fault needs an instance index")
+            if self.duration <= 0:
+                raise ConfigError(
+                    f"{self.kind} fault needs a positive outage duration"
+                )
+        if self.kind == "abort" and self.phase not in ABORT_PHASES:
+            raise ConfigError(
+                f"abort phase must be one of {ABORT_PHASES}, got {self.phase!r}"
+            )
+
+    @property
+    def spec(self) -> str:
+        """The canonical textual form (round-trips through the parser)."""
+        if self.kind in ("crash", "failover"):
+            return f"{self.kind}:{self.side}{self.instance}@{self.at:g}+{self.duration:g}"
+        if self.kind == "abort":
+            return f"abort:{self.side}@{self.at:g}/{self.phase}"
+        return f"{self.kind}:{self.side}@{self.at:g}+{self.duration:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic failure schedule plus the checkpoint cadence.
+
+    ``checkpoint_period`` of ``None`` defers to the runtime config's
+    :attr:`~repro.config.SystemConfig.checkpoint_period`.
+    """
+
+    actions: tuple[FaultAction, ...] = ()
+    checkpoint_period: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_period is not None and self.checkpoint_period <= 0:
+            raise ConfigError(
+                f"checkpoint period must be > 0, got {self.checkpoint_period!r}"
+            )
+
+    def validate(self, n_instances: int) -> None:
+        """Check instance indices against the group size."""
+        for a in self.actions:
+            if a.kind in ("crash", "failover") and a.instance >= n_instances:
+                raise ConfigError(
+                    f"fault {a.spec!r} targets instance {a.instance} but the "
+                    f"{a.side} group has only {n_instances} instances"
+                )
+            if a.kind == "failover" and n_instances < 2:
+                raise ConfigError(
+                    f"fault {a.spec!r} needs a surviving peer; the {a.side} "
+                    "group has a single instance"
+                )
+
+    @property
+    def spec(self) -> str:
+        return format_fault_spec(self)
+
+    def sorted_actions(self) -> list[FaultAction]:
+        """Actions in deterministic firing order (time, then spec text)."""
+        return sorted(self.actions, key=lambda a: (a.at, a.spec))
+
+
+# A non-negative decimal with optional exponent.  The exponent sign is the
+# only place +/- may appear, so the '+' separating time from duration is
+# never swallowed by a greedy number match.
+_NUM = r"\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+_INSTANCE_RE = re.compile(
+    rf"^(crash|failover):([RS])(\d+)@({_NUM})\+({_NUM})$"
+)
+_ABORT_RE = re.compile(rf"^abort:([RS])@({_NUM})(?:/([a-z]+))?$")
+_BATCH_RE = re.compile(rf"^(delay|drop):([RS])@({_NUM})(?:\+({_NUM}))?$")
+_CKPT_RE = re.compile(rf"^ckpt=({_NUM})$")
+
+#: Default retransmit gap for ``drop`` actions written without ``+d``.
+DEFAULT_RETRANSMIT = 0.25
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(f"bad {what} in fault spec: {text!r}") from None
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the ``--faults`` grammar into a :class:`FaultPlan`.
+
+    Raises :class:`~repro.errors.ConfigError` on any malformed term —
+    the CLI maps that to exit code 2 before anything runs.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigError("empty fault spec")
+    actions: list[FaultAction] = []
+    ckpt: float | None = None
+    for raw in re.split(r"[;,]", spec):
+        term = raw.strip()
+        if not term:
+            continue
+        if m := _CKPT_RE.match(term):
+            ckpt = _number(m.group(1), "checkpoint period")
+            if ckpt <= 0:
+                raise ConfigError(
+                    f"checkpoint period must be > 0, got {term!r}"
+                )
+            continue
+        if m := _INSTANCE_RE.match(term):
+            actions.append(FaultAction(
+                kind=m.group(1), side=m.group(2), instance=int(m.group(3)),
+                at=_number(m.group(4), "time"),
+                duration=_number(m.group(5), "duration"),
+            ))
+            continue
+        if m := _ABORT_RE.match(term):
+            actions.append(FaultAction(
+                kind="abort", side=m.group(1),
+                at=_number(m.group(2), "time"),
+                phase=m.group(3) or "transfer",
+            ))
+            continue
+        if m := _BATCH_RE.match(term):
+            default = DEFAULT_RETRANSMIT if m.group(1) == "drop" else None
+            dur = m.group(4)
+            if dur is None and default is None:
+                raise ConfigError(f"delay fault needs +<seconds>: {term!r}")
+            actions.append(FaultAction(
+                kind=m.group(1), side=m.group(2),
+                at=_number(m.group(3), "time"),
+                duration=_number(dur, "duration") if dur is not None else default,
+            ))
+            continue
+        raise ConfigError(
+            f"malformed fault term {term!r} (expected e.g. 'crash:R0@4+2', "
+            "'failover:S1@3.5+1', 'abort:R@5/transfer', 'delay:R@2+0.5', "
+            "'drop:S@2.5+0.25', or 'ckpt=0.5')"
+        )
+    return FaultPlan(actions=tuple(actions), checkpoint_period=ckpt)
+
+
+def format_fault_spec(plan: FaultPlan) -> str:
+    """Render a plan back to the textual grammar (parse round-trips)."""
+    terms = [a.spec for a in plan.actions]
+    if plan.checkpoint_period is not None:
+        terms.append(f"ckpt={plan.checkpoint_period:g}")
+    return ";".join(terms)
+
+
+def random_fault_plan(
+    seed: int,
+    *,
+    n_instances: int,
+    horizon: float,
+    n_actions: int = 3,
+    failover: bool = True,
+) -> FaultPlan:
+    """A seeded adversarial plan for chaos fuzzing.
+
+    The same ``(seed, n_instances, horizon, n_actions)`` always yields
+    the same plan.  Crashes are confined to the first 60% of the horizon
+    with outages at most 25% of it, so recovery always completes and the
+    run drains within the differential harness's extra-tick budget.
+    """
+    if horizon <= 0:
+        raise ConfigError(f"fault horizon must be > 0, got {horizon!r}")
+    rng = np.random.default_rng(np.random.SeedSequence([0xFA17, seed]))
+    kinds = ["crash", "delay", "drop", "abort"]
+    if failover and n_instances >= 2:
+        kinds.append("failover")
+    actions: list[FaultAction] = []
+    for _ in range(n_actions):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        side = _SIDES[int(rng.integers(2))]
+        at = float(rng.uniform(0.05, 0.6) * horizon)
+        if kind in ("crash", "failover"):
+            actions.append(FaultAction(
+                kind=kind, side=side, at=at,
+                duration=float(rng.uniform(0.05, 0.25) * horizon),
+                instance=int(rng.integers(n_instances)),
+            ))
+        elif kind == "abort":
+            phase = ("select", "transfer")[int(rng.integers(2))]
+            actions.append(FaultAction(kind="abort", side=side, at=at, phase=phase))
+        else:
+            actions.append(FaultAction(
+                kind=kind, side=side, at=at,
+                duration=float(rng.uniform(0.02, 0.1) * horizon),
+            ))
+    return FaultPlan(actions=tuple(actions))

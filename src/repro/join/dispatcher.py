@@ -202,16 +202,29 @@ class Dispatcher:
                 sorted_keys[lo:hi], time, op
             )
 
-    def dispatch(self, stream: str, keys: np.ndarray, emit_time: float) -> None:
+    def dispatch(
+        self,
+        stream: str,
+        keys: np.ndarray,
+        emit_time: float,
+        extra_delay: float = 0.0,
+    ) -> None:
         """Route one tick's batch of tuples belonging to ``stream``.
 
         Stores go to the ``stream`` side, probes to the opposite side.
+        ``extra_delay`` shifts the whole batch's visible time on top of
+        the network model — the fault injector's delay/drop-and-retransmit
+        actions.  Applying it to the entire batch (both the store and all
+        its probes) models an ordered reliable channel, so same-key FIFO
+        service order — the completeness argument — is never perturbed.
         """
         keys = np.asarray(keys, dtype=np.int64)
         n = keys.shape[0]
         if n == 0:
             return
         own, other = stream, opposite(stream)
+        t_own = emit_time + self._delay_of[own] + extra_delay
+        t_other = emit_time + self._delay_of[other] + extra_delay
         # One bounds scan serves both sides' route-cache eligibility.
         min_key = int(keys.min())
         max_key = int(keys.max())
@@ -225,8 +238,7 @@ class Dispatcher:
             store_dest = part_own.store_targets(keys, self.rng)
             if part_own.content_based:
                 store_dest = self.routing[own].apply(keys, store_dest)
-        self._scatter(own, store_dest, keys, emit_time + self._delay_of[own],
-                      OP_STORE)
+        self._scatter(own, store_dest, keys, t_own, OP_STORE)
         self.stats.stores_sent += n
         self.stats.stores_to_side[own] += n
 
@@ -237,24 +249,21 @@ class Dispatcher:
             # stable dest-sort of the replicated (dest, src) arrays reduces
             # to handing each instance the original keys, so neither the
             # fanout-sized arrays nor the argsort are materialised.
-            t = emit_time + self._delay_of[other]
             for inst in self.groups[other]:
-                inst.enqueue_block(keys, t, OP_PROBE)
+                inst.enqueue_block(keys, t_other, OP_PROBE)
             n_probes = n * len(self.groups[other])
         elif part_other.content_based and cacheable:
             # Content-based probes are fanout-1 and use the same key ->
             # instance map as stores of that side: reuse the cache.
             probe_dest = self._routed_targets(other, keys, max_key)
-            self._scatter(other, probe_dest, keys,
-                          emit_time + self._delay_of[other], OP_PROBE)
+            self._scatter(other, probe_dest, keys, t_other, OP_PROBE)
             n_probes = n
         else:
             probe_dest, src = part_other.probe_targets(keys, self.rng)
             probe_keys = keys[src]
             if part_other.content_based:
                 probe_dest = self.routing[other].apply(probe_keys, probe_dest)
-            self._scatter(other, probe_dest, probe_keys,
-                          emit_time + self._delay_of[other], OP_PROBE)
+            self._scatter(other, probe_dest, probe_keys, t_other, OP_PROBE)
             n_probes = int(probe_keys.shape[0])
         self.stats.probes_sent += n_probes
         self.stats.probes_to_side[other] += n_probes

@@ -145,12 +145,20 @@ class ExactBiclique:
             return override
         return int(hash_to_instance(np.array([key]), self.n)[0])
 
-    def ingest(self, stream: str, key: int, now: float) -> int:
-        """Dispatch one tuple of ``stream``; returns its uid."""
+    def ingest(
+        self, stream: str, key: int, now: float, extra_delay: float = 0.0
+    ) -> int:
+        """Dispatch one tuple of ``stream``; returns its uid.
+
+        ``extra_delay`` mirrors a fault-injected batch delay: the tuple is
+        emitted at ``now`` but becomes visible ``extra_delay`` seconds
+        later than the normal dispatch delay allows (the performance
+        engine's ``Dispatcher.dispatch(extra_delay=...)``).
+        """
         uid = self._uid_counters[stream]
         self._uid_counters[stream] += 1
         own, other = stream, opposite(stream)
-        visible = now + self.delay
+        visible = now + self.delay + extra_delay
         self.groups[own][self._route(own, key)].enqueue(
             ExactTuple(stream, key, uid, "store", visible)
         )

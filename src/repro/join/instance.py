@@ -166,6 +166,10 @@ class JoinInstance:
         self._result_counts: dict[int, float] | None = None
         # Optional observability bundle (repro.obs); same one-test contract.
         self.obs = None
+        # Optional fault-tolerance state (repro.faults): checkpoint + WAL +
+        # crash flag.  None by default; the datapath pays one ``is None``
+        # test per tick (and one per stored chunk) when disabled.
+        self._ft = None
 
     # ------------------------------------------------------------------ #
     # data path
@@ -205,6 +209,10 @@ class JoinInstance:
             self._backlog_ewma += alpha * (self.queue.probe_backlog - self._backlog_ewma)
         else:
             self._backlog_ewma = float(self.queue.probe_backlog)
+        # A crashed instance serves nothing; its (durable) queue keeps
+        # absorbing dispatched tuples until the injector recovers it.
+        if self._ft is not None and self._ft.crashed:
+            return _IDLE_REPORT
         if now < self._paused_until:
             return _IDLE_REPORT
         self._paused_until = 0.0
@@ -307,7 +315,14 @@ class JoinInstance:
         n_probed = n_take - n_stored
         self.queue.consume(n_take, n_probes=n_probed)
         if n_stored:
-            self.store.add_batch(taken_keys[store_mask[:n_take]])
+            stored_keys = taken_keys[store_mask[:n_take]]
+            self.store.add_batch(stored_keys)
+            if self._ft is not None:
+                # WAL append: these keys mutate the volatile store, so
+                # crash recovery must be able to replay them on top of
+                # the last checkpoint.  ``stored_keys`` is freshly
+                # mask-indexed, so the WAL owns it without a copy.
+                self._ft.record_stores(stored_keys)
         if n_probed == 0:
             probe_results = None
             n_results = 0.0
@@ -469,6 +484,40 @@ class JoinInstance:
         """Target side of Algorithm 2: absorb tuples and forwarded queue."""
         self.store.merge_counts(stored_counts)
         self.queue.push(queued)
+
+    # ------------------------------------------------------------------ #
+    # fault-tolerance hooks (repro.faults)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def checkpointer(self):
+        """The fault-tolerance state, or None when faults are disabled."""
+        return self._ft
+
+    @property
+    def crashed(self) -> bool:
+        return self._ft is not None and self._ft.crashed
+
+    def attach_checkpointer(self, ckptr) -> None:
+        """Opt in to crash fault tolerance (repro.faults.injector).
+
+        ``ckptr`` is an :class:`repro.faults.checkpoint.InstanceCheckpointer`
+        (duck-typed here to keep the join layer free of a dependency on
+        the faults layer).
+        """
+        self._ft = ckptr
+
+    def sync_checkpoint(self, now: float) -> None:
+        """Force a checkpoint after an out-of-band store mutation.
+
+        Migrations (and failover hand-offs) change the store outside the
+        consume/WAL path; re-checkpointing both parties at commit keeps
+        ``live store == checkpoint + WAL`` a standing invariant — which
+        is exactly what crash recovery replays.  No-op when fault
+        tolerance is disabled.
+        """
+        if self._ft is not None:
+            self._ft.checkpoint(now)
 
     def rotate_window(self) -> int:
         """Expire the oldest sub-window (window-based join, section III-E)."""

@@ -21,6 +21,7 @@ from .events import (
     EventBus,
     JsonlSink,
     MIGRATION_PHASES,
+    RECOVERY_PHASES,
     RingBufferSink,
     set_active_trace,
 )
@@ -341,3 +342,73 @@ class Observability:
                 now, "guard_violation",
                 invariant=invariant, message=message, **extra,
             )
+
+    # ------------------------------------------------------------------ #
+    # fault-tolerance hooks (called by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------ #
+
+    def on_checkpoint(self, now: float, n_live: int, n_tuples: int) -> None:
+        """One checkpoint round: every live instance snapshotted."""
+        if self.bus is not None:
+            self.bus.emit(
+                now, "checkpoint",
+                n_live=int(n_live), n_tuples=int(n_tuples),
+            )
+
+    def on_crash(
+        self, now: float, side: str, instance: int, mode: str, outage: float
+    ) -> None:
+        """The fault injector killed ``(side, instance)``."""
+        if self.bus is not None:
+            self.bus.emit(
+                now, "crash",
+                side=side, instance=int(instance), mode=mode,
+                outage=float(outage),
+            )
+
+    def on_recovery(
+        self,
+        now: float,
+        side: str,
+        instance: int,
+        mode: str,
+        n_restored: int,
+        duration: float,
+        target: int | None = None,
+    ) -> None:
+        """One recovery: ``restart`` (rebuild in place), ``failover``
+        (state handed to ``target``), or ``rejoin`` (dead instance
+        returns empty after a failover).
+
+        Besides the ``recover`` event, a four-phase span
+        (:data:`~repro.obs.events.RECOVERY_PHASES`) tiles ``[now, now +
+        duration]`` — the recovery-latency analogue of the migration
+        timeline ``on_migration`` draws.
+        """
+        if self.bus is None:
+            return
+        extra = {} if target is None else {"target": int(target)}
+        self.bus.emit(
+            now, "recover",
+            side=side, instance=int(instance), mode=mode,
+            n_restored=int(n_restored), duration=float(duration), **extra,
+        )
+        # Apportion the restore-cost pause across the protocol's phases:
+        # loading the checkpoint and replaying the WAL dominate; the
+        # reroute step only exists for a failover hand-off.
+        reroute = 0.1 * duration if target is not None else 0.0
+        durations = {
+            "restore": 0.4 * duration,
+            "replay": 0.5 * duration - reroute,
+            "reroute": reroute,
+            "resume": 0.1 * duration,
+        }
+        span_id = self.bus.next_span_id()
+        t = now
+        for i, phase in enumerate(RECOVERY_PHASES):
+            t1 = t + durations[phase]
+            self.bus.emit_phase(
+                span_id, "recovery", phase, t, t1,
+                side=side, instance=int(instance), mode=mode, seq=i, **extra,
+            )
+            t = t1

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "EVENT_KINDS",
     "MIGRATION_PHASES",
+    "RECOVERY_PHASES",
     "Event",
     "EventBus",
     "NullSink",
@@ -53,6 +54,19 @@ EVENT_KINDS = (
     "guard_violation", # an invariant guard fired (just before it raises)
     "span",            # one phase of a named span (migration timeline)
     "run_meta",        # run header: system, config digest, seed
+    "crash",           # fault injector killed an instance
+    "recover",         # an instance rebuilt (restart) or handed off (failover)
+    "checkpoint",      # one fault-tolerance checkpoint round completed
+)
+
+#: ordered phases of one recovery span (repro.faults): reconstruct the
+#: store from checkpoint + WAL, replay the WAL, re-route (failover only),
+#: then resume service after the restore-cost pause
+RECOVERY_PHASES = (
+    "restore",   # checkpoint counts loaded
+    "replay",    # WAL store-ops applied on top
+    "reroute",   # failover only: overrides installed at the survivor
+    "resume",    # restore-cost pause elapses; service restarts
 )
 
 #: ordered phases of one migration span (Algorithm 2 / Fig. 11)

@@ -139,7 +139,7 @@ def assemble(
                 li_history_cap=config.monitor_li_history_cap,
             )
 
-    return StreamJoinRuntime(
+    runtime = StreamJoinRuntime(
         r_source=r_source,
         s_source=s_source,
         dispatcher=dispatcher,
@@ -151,3 +151,18 @@ def assemble(
         ),
         backpressure_max_queue=config.backpressure_max_queue,
     )
+    if config.fault_spec is not None:
+        # Local import: the faults layer sits above systems wiring, and
+        # fault-free runs must not pay for loading it.
+        from ..faults import FaultInjector, RecoveryCostModel, parse_fault_spec
+
+        runtime.attach_faults(FaultInjector(
+            parse_fault_spec(config.fault_spec),
+            seed=config.seed,
+            checkpoint_period=config.checkpoint_period,
+            recovery_cost=RecoveryCostModel(
+                fixed=config.recovery_fixed,
+                per_tuple=config.recovery_per_tuple,
+            ),
+        ))
+    return runtime

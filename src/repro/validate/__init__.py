@@ -18,7 +18,9 @@ first-class validation layer with three entry points:
 - :mod:`repro.validate.fuzz` — deterministic adversarial schedule fuzzing
   of the migration protocol, driving the real GreedyFit / SAFit selectors
   and (optionally) deliberately-broken protocol variants that must be
-  caught.
+  caught; plus chaos fuzzing, which plays seeded random *fault plans*
+  (:mod:`repro.faults`) through the differential harness and asserts
+  completeness survives crashes, failovers and mid-migration aborts.
 
 ``python -m repro validate --system fastjoin --seed 7 --ticks 2000`` runs
 the differential harness from the shell; :mod:`repro.validate.replay`
@@ -51,6 +53,7 @@ from .fuzz import (
     FuzzAction,
     FuzzReport,
     ScheduleFuzzer,
+    run_chaos_fuzz,
     run_instance_fuzz,
     run_oracle_fuzz,
 )
@@ -82,6 +85,7 @@ __all__ = [
     "ScheduleFuzzer",
     "run_oracle_fuzz",
     "run_instance_fuzz",
+    "run_chaos_fuzz",
     "replay",
     "repro_command",
     "VALIDATION_WORKLOADS",

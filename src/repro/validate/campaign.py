@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from ..errors import ValidationError
 from ..parallel import run_tasks
 from .differential import DifferentialReport, run_differential
-from .fuzz import FuzzReport, run_instance_fuzz, run_oracle_fuzz
+from .fuzz import FuzzReport, run_chaos_fuzz, run_instance_fuzz, run_oracle_fuzz
 
 __all__ = [
     "DifferentialTask",
@@ -53,6 +53,7 @@ class DifferentialTask:
     zipf: float = 1.2
     guards: bool = True
     capture: bool = False
+    fault_spec: str | None = None   # run the cell under fault injection
 
     @property
     def label(self) -> str:
@@ -95,6 +96,7 @@ def run_differential_task(task: DifferentialTask) -> DifferentialOutcome:
                 n_instances=task.n_instances,
                 zipf=task.zipf,
                 guards=task.guards,
+                fault_spec=task.fault_spec,
                 obs=obs,
             )
             outcome = DifferentialOutcome(task=task, report=report)
@@ -129,7 +131,7 @@ class FuzzTask:
     """One adversarial fuzz run, as a picklable spec."""
 
     seed: int
-    mode: str = "oracle"            # "oracle" | "instance"
+    mode: str = "oracle"            # "oracle" | "instance" | "chaos"
     selector: str = "greedyfit"
     n_actions: int = 40
     n_instances: int = 3
@@ -151,6 +153,13 @@ def run_fuzz_task(task: FuzzTask) -> FuzzReport:
                 n_instances=task.n_instances,
                 selector=task.selector,
                 fault=task.fault,
+            )
+        if task.mode == "chaos":
+            return run_chaos_fuzz(
+                task.seed,
+                n_actions=task.n_actions,
+                n_instances=task.n_instances,
+                selector=task.selector,
             )
         return run_instance_fuzz(
             task.seed,
@@ -180,9 +189,17 @@ def fuzz_grid(
     n_actions: int = 40,
     n_instances: int = 3,
     windowed: bool = False,
+    chaos: bool = True,
 ) -> list[FuzzTask]:
-    """The (seed x mode x selector) campaign grid, in deterministic order."""
-    return [
+    """The (seed x mode x selector) campaign grid, in deterministic order.
+
+    With ``chaos=True`` (the default) each seed also gets one chaos cell
+    — a random fault plan played through the full differential harness —
+    so ``validate --fuzz N`` covers crash/recovery completeness too.  The
+    chaos cell uses a fixed selector and its own action count (fault
+    plans are much denser per action than schedule actions).
+    """
+    tasks = [
         FuzzTask(
             seed=base_seed + i,
             mode=mode,
@@ -195,6 +212,18 @@ def fuzz_grid(
         for mode in modes
         for selector in selectors
     ]
+    if chaos:
+        tasks.extend(
+            FuzzTask(
+                seed=base_seed + i,
+                mode="chaos",
+                selector="greedyfit",
+                n_actions=3,
+                n_instances=4,
+            )
+            for i in range(n_seeds)
+        )
+    return tasks
 
 
 def run_fuzz_campaign(

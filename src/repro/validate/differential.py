@@ -142,6 +142,7 @@ class DifferentialReport:
     workload: str
     seed: int
     ticks: int
+    fault_spec: str | None = None
     ok: bool = True
     n_migrations: int = 0
     n_migrations_replayed: int = 0
@@ -155,9 +156,10 @@ class DifferentialReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else "DIVERGED"
+        faulted = f" faults={self.fault_spec!r}" if self.fault_spec else ""
         lines = [
             f"differential[{self.system}/{self.workload} seed={self.seed} "
-            f"ticks={self.ticks}]: {status}",
+            f"ticks={self.ticks}{faulted}]: {status}",
             f"  pairs expected={self.pairs_expected} "
             f"system={self.results_system} oracle={self.pairs_oracle}",
             f"  migrations={self.n_migrations} "
@@ -188,6 +190,7 @@ class DifferentialReport:
                 "system": self.system,
                 "workload": self.workload,
                 "ticks": self.ticks,
+                "fault_plan": self.fault_spec,
                 "key": d.key if d is not None else None,
             },
         )
@@ -211,6 +214,7 @@ class DifferentialHarness:
         rate: float = 2_000.0,
         guards: bool = True,
         guard_period: int = 25,
+        fault_spec: str | None = None,
         config_overrides: dict | None = None,
         obs=None,
     ) -> None:
@@ -219,11 +223,19 @@ class DifferentialHarness:
         self.seed = seed
         self.ticks = ticks
         self.n_instances = n_instances
+        overrides = dict(config_overrides or {})
+        if fault_spec is not None:
+            # Faults flow through the config so the assembled runtime gets
+            # its injector exactly as any other entry point would — the
+            # oracle then mirrors the injected delays and failover
+            # hand-offs below.
+            overrides["fault_spec"] = fault_spec
+        self.fault_spec = overrides.get("fault_spec")
         self.config = validation_config(
             kind=workload,
             n_instances=n_instances,
             seed=seed,
-            **(config_overrides or {}),
+            **overrides,
         )
         r_source, s_source = make_sources(
             workload,
@@ -271,10 +283,19 @@ class DifferentialHarness:
     def _mirror_tick(self, t0: float) -> None:
         """Replay this tick's emissions and migrations into the oracle."""
         tick = self.runtime.tick_index
+        faults = self.runtime.faults
         for stream, tap in (("R", self.r_tap), ("S", self.s_tap)):
+            # The step that just ran dispatched under tick_index - 1 (the
+            # runtime increments after dispatching); a fault-injected batch
+            # delay charged there shifts the same tuples' visibility in
+            # the oracle, keeping both engines' delivery times aligned.
+            extra = (
+                faults.applied_delay(tick - 1, stream)
+                if faults is not None else 0.0
+            )
             for keys in tap.advance_tick(tick):
                 for k in keys.tolist():
-                    self.oracle.ingest(stream, int(k), t0)
+                    self.oracle.ingest(stream, int(k), t0, extra_delay=extra)
         events = self.runtime.metrics.migration_events()
         for event in events[self._replayed:]:
             if event.keys:
@@ -325,6 +346,7 @@ class DifferentialHarness:
             workload=self.workload,
             seed=self.seed,
             ticks=self.ticks,
+            fault_spec=self.fault_spec,
         )
         report.n_migrations = len(rt.metrics.migration_events())
         report.n_migrations_replayed = self._replayed

@@ -21,7 +21,12 @@ generates them deliberately and deterministically:
   production :class:`~repro.join.instance.JoinInstance` workers wired to a
   real :class:`~repro.core.migration.MigrationExecutor`, checking tuple
   conservation, storage/routing colocation and pause accounting after
-  every action.
+  every action;
+- :func:`run_chaos_fuzz` draws a seeded random *fault plan* (crashes,
+  failovers, batch delays/drops, mid-phase migration aborts —
+  :func:`repro.faults.plan.random_fault_plan`) and runs the full
+  differential harness under it, asserting the exact oracle's pair
+  multiset still comes out equal — completeness under failure.
 
 Every failure raises a :class:`~repro.errors.ValidationError` carrying the
 seed and step, so ``repro.validate.replay`` can reproduce it exactly.
@@ -52,6 +57,7 @@ __all__ = [
     "ScheduleFuzzer",
     "run_oracle_fuzz",
     "run_instance_fuzz",
+    "run_chaos_fuzz",
 ]
 
 #: deliberately broken migration variants the oracle must catch
@@ -379,6 +385,77 @@ def run_oracle_fuzz(
         actions=actions,
     )
     return report
+
+
+# --------------------------------------------------------------------- #
+# chaos fuzzing: random fault plans against the differential harness
+# --------------------------------------------------------------------- #
+
+
+def run_chaos_fuzz(
+    seed: int,
+    *,
+    system: str = "fastjoin",
+    n_actions: int = 3,
+    n_instances: int = 4,
+    ticks: int = 300,
+    tuples_per_stream: int = 2_400,
+    selector: str = "greedyfit",
+    raise_on_failure: bool = False,
+) -> FuzzReport:
+    """One seeded chaos campaign cell: random faults + exact oracle.
+
+    :func:`~repro.faults.plan.random_fault_plan` expands ``seed`` into a
+    crash/failover/delay/drop/abort schedule over the run's horizon; the
+    differential harness then runs the system under that plan with all
+    invariant guards on (including the checkpoint+WAL recovery guard) and
+    cross-checks the pair multiset against the exact oracle.  ``ok``
+    means completeness survived the whole failure schedule.
+    """
+    from ..faults import random_fault_plan
+    from .differential import run_differential
+
+    plan = random_fault_plan(
+        seed,
+        n_instances=n_instances,
+        horizon=ticks * 0.01,
+        n_actions=n_actions,
+    )
+    spec = plan.spec
+    try:
+        report = run_differential(
+            system,
+            seed=seed,
+            ticks=ticks,
+            n_instances=n_instances,
+            tuples_per_stream=tuples_per_stream,
+            fault_spec=spec,
+            config_overrides={"selector": selector},
+            raise_on_failure=raise_on_failure,
+        )
+    except ValidationError:
+        if raise_on_failure:
+            raise
+        return FuzzReport(
+            seed=seed,
+            mode="chaos",
+            selector=selector,
+            fault=spec,
+            n_actions=len(plan.actions),
+            ok=False,
+            message="invariant violated",
+        )
+    return FuzzReport(
+        seed=seed,
+        mode="chaos",
+        selector=selector,
+        fault=spec,
+        n_actions=len(plan.actions),
+        n_migrations=report.n_migrations,
+        n_pairs=report.pairs_oracle,
+        ok=report.ok,
+        message=report.oracle_msg if report.ok else report.summary(),
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -22,6 +22,12 @@ violated, no matter how migrations interleave with the datapath:
 - **hysteresis** — migrations of one group are spaced at least the
   monitor's cooldown apart and only ever trigger above ``Theta``
   (section III-B: migrations "can never take place frequently").
+  Failover hand-offs (``MigrationEvent.reason != "balance"``) are exempt:
+  they fire at crash time, not at the monitor's discretion.
+- **recovery** — when fault injection is attached, replaying each
+  instance's write-ahead log on top of its last checkpoint reproduces the
+  live store exactly — i.e. a crash at this very tick would restore the
+  correct state (DESIGN §6).  Skipped for fault-free runs.
 
 Guards are *opt-in* (``runtime.attach_guards(InvariantGuards(...))``) and
 cost nothing when not attached; O(state) checks run every
@@ -61,6 +67,7 @@ class GuardConfig:
     li_bounds: bool = True
     hysteresis: bool = True
     deep_consistency: bool = True
+    recovery: bool = True
     period: int = 1
 
     def __post_init__(self) -> None:
@@ -153,6 +160,8 @@ class InvariantGuards:
                 self.check_colocation(runtime)
             if cfg.deep_consistency:
                 self.check_deep_consistency(runtime)
+            if cfg.recovery and getattr(runtime, "faults", None) is not None:
+                self.check_recovery(runtime)
 
     # ------------------------------------------------------------------ #
     # individual checks (public so tests can violate + fire them directly)
@@ -294,6 +303,12 @@ class InvariantGuards:
         """New migrations respect ``Theta`` and the monitor cooldown."""
         events = runtime.metrics.migration_events()
         for event in events[self._seen_migrations:]:
+            if getattr(event, "reason", "balance") != "balance":
+                # A failover hand-off is not a monitor decision: it fires
+                # at the crash time regardless of Theta or cooldown, and
+                # must not count as the reference point for spacing the
+                # monitor's own migrations either.
+                continue
             monitor = runtime.monitors.get(event.side)
             if monitor is not None and monitor.theta is not None:
                 if event.li_before <= monitor.theta + _EPS:
@@ -330,6 +345,30 @@ class InvariantGuards:
                 )
             self._last_migration_time[event.side] = event.time
         self._seen_migrations = len(events)
+
+    def check_recovery(self, runtime) -> None:
+        """Checkpoint + WAL must reconstruct every live store exactly.
+
+        The recovery path's correctness reduces to this standing identity
+        (DESIGN §6): at any instant, replaying the write-ahead log on top
+        of the last checkpoint yields the live key counts — which is
+        precisely what a crash at this tick would restore.  Migrations
+        preserve it because the executor re-checkpoints both parties at
+        commit; a violation means a crash *here* would lose or invent
+        tuples.
+        """
+        for inst in runtime.instances:
+            ckptr = getattr(inst, "checkpointer", None)
+            if ckptr is None:
+                continue
+            problem = ckptr.verify()
+            if problem is not None:
+                self._fail(
+                    "recovery-consistency",
+                    f"instance {inst.instance_id}/{inst.side}: {problem}",
+                    side=inst.side,
+                    instance=inst.instance_id,
+                )
 
     def check_deep_consistency(self, runtime) -> None:
         """Recount redundant per-instance counters (store totals, probe

@@ -1,0 +1,160 @@
+"""Fault-plan grammar: parsing, validation, canonical round-trips."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    ABORT_PHASES,
+    DEFAULT_RETRANSMIT,
+    FAULT_KINDS,
+    FaultAction,
+    FaultPlan,
+    format_fault_spec,
+    parse_fault_spec,
+    random_fault_plan,
+)
+
+
+class TestParse:
+    def test_crash_term(self):
+        plan = parse_fault_spec("crash:R0@4.0+2.0")
+        (a,) = plan.actions
+        assert a.kind == "crash" and a.side == "R" and a.instance == 0
+        assert a.at == 4.0 and a.duration == 2.0
+
+    def test_failover_term(self):
+        (a,) = parse_fault_spec("failover:S1@3.5+1.0").actions
+        assert a.kind == "failover" and a.side == "S" and a.instance == 1
+
+    def test_abort_term_with_phase(self):
+        (a,) = parse_fault_spec("abort:R@5.0/reroute").actions
+        assert a.kind == "abort" and a.phase == "reroute" and a.at == 5.0
+
+    def test_abort_phase_defaults_to_transfer(self):
+        (a,) = parse_fault_spec("abort:S@2").actions
+        assert a.phase == "transfer"
+
+    def test_delay_term(self):
+        (a,) = parse_fault_spec("delay:R@2+0.5").actions
+        assert a.kind == "delay" and a.duration == 0.5
+
+    def test_drop_defaults_retransmit_gap(self):
+        (a,) = parse_fault_spec("drop:S@2.5").actions
+        assert a.kind == "drop" and a.duration == DEFAULT_RETRANSMIT
+
+    def test_multiple_terms_and_ckpt(self):
+        plan = parse_fault_spec("crash:R0@4+2; delay:S@1+0.1, ckpt=0.5")
+        assert len(plan.actions) == 2
+        assert plan.checkpoint_period == 0.5
+
+    def test_plus_separator_not_swallowed_by_number(self):
+        """Regression: a greedy [0-9.eE+-] number class used to eat the
+        '+' separating time from duration."""
+        (a,) = parse_fault_spec("delay:R@3+0.3").actions
+        assert a.at == 3.0 and a.duration == 0.3
+
+    def test_exponent_numbers(self):
+        (a,) = parse_fault_spec("crash:R0@1e1+2.5e-1").actions
+        assert a.at == 10.0 and a.duration == 0.25
+
+    @pytest.mark.parametrize("bad", [
+        "bogus",
+        "crash:R@4+2",          # missing instance index
+        "crash:R0@4",           # missing outage duration
+        "crash:R0@4+0",         # zero outage
+        "crash:R0@-1+2",        # negative time
+        "abort:R@5/banana",     # unknown phase
+        "delay:R@2",            # delay needs +<seconds>
+        "ckpt=0",               # non-positive cadence
+        "ckpt=x",
+        "",
+        "   ",
+        "crash:Q0@4+2",         # unknown side
+    ])
+    def test_malformed_specs_raise_config_error(self, bad):
+        with pytest.raises(ConfigError):
+            parse_fault_spec(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        "crash:R0@4+2",
+        "failover:S1@3.5+1",
+        "abort:R@5/transfer",
+        "abort:S@2/select",
+        "delay:R@2+0.5",
+        "drop:S@2.5+0.25",
+        "crash:R0@4+2;delay:S@1+0.1;ckpt=0.5",
+    ])
+    def test_spec_round_trips(self, spec):
+        plan = parse_fault_spec(spec)
+        assert parse_fault_spec(format_fault_spec(plan)) == plan
+
+    def test_plan_spec_property_matches_formatter(self):
+        plan = parse_fault_spec("crash:R0@4+2;ckpt=1")
+        assert plan.spec == format_fault_spec(plan)
+
+
+class TestValidation:
+    def test_action_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            FaultAction(kind="meteor", side="R", at=1.0)
+
+    def test_known_kinds_and_phases_are_stable(self):
+        assert FAULT_KINDS == ("crash", "failover", "abort", "delay", "drop")
+        assert ABORT_PHASES == ("select", "transfer", "reroute")
+
+    def test_instance_index_checked_against_group_size(self):
+        plan = parse_fault_spec("crash:R3@1+0.5")
+        plan.validate(n_instances=4)        # index 3 fits
+        with pytest.raises(ConfigError, match="only 3 instances"):
+            plan.validate(n_instances=3)
+
+    def test_failover_needs_a_surviving_peer(self):
+        plan = parse_fault_spec("failover:S0@1+0.5")
+        with pytest.raises(ConfigError, match="surviving peer"):
+            plan.validate(n_instances=1)
+
+    def test_checkpoint_period_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(checkpoint_period=0.0)
+
+    def test_sorted_actions_order_by_time_then_spec(self):
+        plan = parse_fault_spec("drop:S@2;crash:R0@1+1;delay:R@2+0.1")
+        specs = [a.spec for a in plan.sorted_actions()]
+        assert specs == ["crash:R0@1+1", "delay:R@2+0.1", "drop:S@2+0.25"]
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        a = random_fault_plan(7, n_instances=4, horizon=3.0)
+        b = random_fault_plan(7, n_instances=4, horizon=3.0)
+        assert a == b and a.spec == b.spec
+
+    def test_different_seeds_differ(self):
+        specs = {
+            random_fault_plan(s, n_instances=4, horizon=3.0).spec
+            for s in range(8)
+        }
+        assert len(specs) > 1
+
+    def test_generated_plans_parse_and_validate(self):
+        for seed in range(6):
+            plan = random_fault_plan(seed, n_instances=4, horizon=3.0)
+            # The %g canonical form rounds the full-precision floats, so
+            # the textual spec is the fixed point, not the plan object.
+            reparsed = parse_fault_spec(plan.spec)
+            assert reparsed.spec == plan.spec
+            assert [a.kind for a in reparsed.actions] == \
+                   [a.kind for a in plan.actions]
+            plan.validate(n_instances=4)
+
+    def test_no_failover_in_single_instance_groups(self):
+        for seed in range(10):
+            plan = random_fault_plan(seed, n_instances=1, horizon=3.0)
+            assert all(a.kind != "failover" for a in plan.actions)
+            plan.validate(n_instances=1)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            random_fault_plan(0, n_instances=4, horizon=0.0)

@@ -1,0 +1,139 @@
+"""Golden fault campaigns: pinned metrics for seeded crash/recovery runs.
+
+Mirrors ``test_golden.py`` for the fault-injection subsystem: two named
+campaigns on the G12 Zipf group, each a fixed fault plan against the
+fastjoin golden configuration (windowed stores disabled — fault
+injection requires full-history stores, see DESIGN §6):
+
+``crash-during-migration``
+    The t=3.0 monitor decision migrates hot keys R0→R2; instance R2 is
+    crashed at t=3.05 — mid-flight from the protocol's perspective — and
+    restarts from checkpoint + WAL 1.5s later.  An S-side mid-transfer
+    abort at t=4.9 exercises the rollback path in the same run.
+
+``crash-of-heaviest-instance``
+    Instance 0 is the consistent migration *source* in the fault-free
+    golden run (the Zipf head routes there), i.e. the heaviest worker.
+    R0 is failed over at t=4: its checkpoint+WAL state, queue backlog
+    and routing responsibility move to the lightest surviving peer; R0
+    rejoins empty at t=6.
+
+The headline completeness evidence is pinned first: ``total_results`` in
+*both* campaigns equals the fault-free golden value — crashing a worker,
+losing its store, and replaying from checkpoint loses no join result.
+(These are fixed-window runs, so an outage *can* defer tail results past
+the cutoff — see the recovery-latency experiment in EXPERIMENTS.md; in
+these two campaigns the surviving capacity absorbs the outage and the
+totals land exactly on the fault-free value.  Loss-freedom in general is
+the differential suite's claim, under drain semantics.)  The remaining
+constants pin the recovery *trajectory* (latency, LI, migration
+schedule) so a silent change to checkpoint cadence, WAL replay or
+failover routing fails loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import canonical_config, run_synthetic_group
+
+pytestmark = pytest.mark.integration
+
+#: The fault-free golden total for this config (test_golden.py runs the
+#: same seed for 16s; this file uses 12s, so the value is re-derived).
+FAULT_FREE_TOTAL_RESULTS = 5_300_236
+
+CAMPAIGNS = {
+    "crash-during-migration": "crash:R2@3.05+1.5;abort:S@4.9/transfer;ckpt=0.5",
+    "crash-of-heaviest-instance": "failover:R0@4+2;ckpt=0.5",
+}
+
+GOLDEN = {
+    "crash-during-migration": dict(
+        total_results=FAULT_FREE_TOTAL_RESULTS,
+        total_processed=34_037,
+        migrations=11,
+        n_migrated_keys=442,
+        migrated_key_sum=223_756,
+        reasons=["balance"],
+        throttled_ticks=269,
+        median_li=733.2989564069844,
+        latency_overall_mean=1.650034599041471,
+        latency_p99=6.926894444444445,
+        mean_throughput=391781.22222222225,
+    ),
+    "crash-of-heaviest-instance": dict(
+        total_results=FAULT_FREE_TOTAL_RESULTS,
+        total_processed=34_044,
+        migrations=12,
+        n_migrated_keys=691,
+        migrated_key_sum=344_933,
+        reasons=["balance", "failover"],
+        throttled_ticks=269,
+        median_li=873.7645588250004,
+        latency_overall_mean=1.4688276020044762,
+        latency_p99=6.900905555555555,
+        mean_throughput=390723.3333333333,
+    ),
+}
+
+
+def _campaign_config(campaign: str, seed: int = 7):
+    return canonical_config(
+        n_instances=4,
+        theta=2.2,
+        seed=seed,
+        warmup=4.0,
+        capacity=9_000.0,
+        monitor_min_load=2e4,
+        window_subwindows=None,
+        fault_spec=CAMPAIGNS[campaign],
+        checkpoint_period=0.5,
+    )
+
+
+def _run_campaign(campaign: str, duration: float = 12.0):
+    config = _campaign_config(campaign)
+    return run_synthetic_group(
+        "fastjoin", "G12", config, rate=1_800.0, duration=duration
+    )
+
+
+@pytest.mark.parametrize("campaign", sorted(GOLDEN))
+def test_fault_campaign_golden(campaign):
+    result = _run_campaign(campaign)
+    golden = GOLDEN[campaign]
+    m = result.metrics
+    assert m.total_results == golden["total_results"]
+    assert m.total_processed == golden["total_processed"]
+    assert len(m.migrations) == golden["migrations"]
+    migrated = sorted(k for ev in m.migrations for k in ev.keys)
+    assert len(migrated) == golden["n_migrated_keys"]
+    assert sum(migrated) == golden["migrated_key_sum"]
+    assert sorted({ev.reason for ev in m.migrations}) == golden["reasons"]
+    assert result.throttled_ticks == golden["throttled_ticks"]
+    assert result.median_li() == pytest.approx(golden["median_li"], rel=1e-9)
+    assert m.latency_overall_mean == pytest.approx(
+        golden["latency_overall_mean"], rel=1e-9
+    )
+    assert m.latency_p99 == pytest.approx(golden["latency_p99"], rel=1e-9)
+    assert m.mean_throughput == pytest.approx(
+        golden["mean_throughput"], rel=1e-9
+    )
+
+
+def test_faulted_runs_are_reproducible():
+    """Same (config, seed, fault plan) twice — identical metrics and the
+    identical fault firing sequence, the premise of the constants above."""
+    a = _run_campaign("crash-of-heaviest-instance", duration=8.0)
+    b = _run_campaign("crash-of-heaviest-instance", duration=8.0)
+    assert a.metrics.total_results == b.metrics.total_results
+    assert a.metrics.latency_p99 == b.metrics.latency_p99
+    assert a.metrics.mean_throughput == b.metrics.mean_throughput
+    assert [
+        (e.time, e.side, e.source, e.target, e.reason, tuple(e.keys))
+        for e in a.metrics.migrations
+    ] == [
+        (e.time, e.side, e.source, e.target, e.reason, tuple(e.keys))
+        for e in b.metrics.migrations
+    ]

@@ -42,6 +42,21 @@ class TestParser:
         assert args.fuzz == 8
 
 
+class TestHelp:
+    """Every subcommand must answer ``--help`` with exit code 0."""
+
+    @pytest.mark.parametrize("sub", [
+        [],
+        ["run"], ["fastjoin"], ["compare"],
+        ["validate"], ["bench"], ["inspect"],
+    ])
+    def test_help_exits_zero(self, sub, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([*sub, "--help"])
+        assert exc_info.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+
 class TestArgHygiene:
     def test_jobs_below_one_is_exit_2(self, capsys):
         assert main(["bench", "--jobs", "0"]) == 2
@@ -55,6 +70,70 @@ class TestArgHygiene:
     def test_fuzz_below_one_is_exit_2(self, capsys):
         assert main(["validate", "--fuzz", "0"]) == 2
         assert "--fuzz must be >= 1" in capsys.readouterr().err
+
+    def test_malformed_faults_is_exit_2(self, capsys):
+        assert main(["run", "--faults", "bogus"]) == 2
+        assert "--faults:" in capsys.readouterr().err
+        assert main(["run", "--faults", "crash:R0@4"]) == 2
+        assert main(["validate", "--faults", "ckpt=0"]) == 2
+
+    def test_faults_rejected_by_bench_and_inspect(self, capsys):
+        assert main(["bench", "--faults", "crash:R0@2+1"]) == 2
+        assert "not supported" in capsys.readouterr().err
+        assert main(["inspect", "--faults", "crash:R0@2+1"]) == 2
+
+
+class TestFaults:
+    """The ``--faults`` flag end to end (see repro.faults)."""
+
+    def test_run_alias_defaults_to_fastjoin(self, capsys):
+        code = main([
+            "run", "--instances", "2", "--duration", "3",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
+        assert "fastjoin" in capsys.readouterr().out
+
+    def test_faulted_run_exits_zero(self, capsys):
+        code = main([
+            "run", "--faults", "crash:R0@1+0.5;ckpt=0.25",
+            "--instances", "2", "--duration", "4",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
+        assert "fastjoin" in capsys.readouterr().out
+
+    def test_faulted_validate_exits_zero(self, capsys):
+        code = main([
+            "validate", "--system", "fastjoin", "--ticks", "150",
+            "--faults", "crash:R0@0.5+0.3;ckpt=0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "faults=" in out
+
+    def test_out_of_range_instance_is_exit_2(self, capsys):
+        code = main([
+            "run", "--faults", "crash:R7@1+0.5", "--instances", "2",
+            "--duration", "2", "--rate", "200", "--warmup", "1",
+        ])
+        assert code == 2
+        assert "instances" in capsys.readouterr().err
+
+    def test_faulted_compare_is_identical_across_jobs(self, capsys):
+        """Acceptance: same seed + fault plan gives bit-identical metrics
+        at any --jobs — the whole fault schedule lives in the config."""
+        base = [
+            "compare", "--instances", "2", "--duration", "3",
+            "--rate", "300", "--warmup", "1",
+            "--faults", "crash:R0@1+0.5;ckpt=0.25",
+        ]
+        assert main([*base, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*base, "--jobs", "2"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
 
 
 class TestMain:

@@ -17,11 +17,17 @@ from repro.validate import (
 class TestFuzzGrid:
     def test_grid_shape_and_determinism(self):
         grid = fuzz_grid(3, base_seed=5)
-        assert len(grid) == 3 * 2 * 2  # seeds x modes x selectors
+        # seeds x modes x selectors, plus one chaos cell per seed
+        assert len(grid) == 3 * 2 * 2 + 3
         assert grid == fuzz_grid(3, base_seed=5)
         assert {t.seed for t in grid} == {5, 6, 7}
-        assert {t.mode for t in grid} == {"oracle", "instance"}
+        assert {t.mode for t in grid} == {"oracle", "instance", "chaos"}
         assert {t.selector for t in grid} == {"greedyfit", "safit"}
+
+    def test_chaos_cells_can_be_disabled(self):
+        grid = fuzz_grid(3, base_seed=5, chaos=False)
+        assert len(grid) == 3 * 2 * 2
+        assert {t.mode for t in grid} == {"oracle", "instance"}
 
     def test_windowed_only_applies_to_instance_mode(self):
         grid = fuzz_grid(1, windowed=True)
