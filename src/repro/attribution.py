@@ -1,0 +1,174 @@
+"""Latency-attribution primitives shared across layers.
+
+Every tuple's end-to-end latency decomposes into four components
+(DESIGN §5):
+
+- ``queue_wait`` — time between becoming visible at the serving
+  instance's queue and the start of its service, plus the constant
+  dispatch/network offset folded into reported latency.  Defined as the
+  *residual* of the other three, which is what makes the accounting
+  identity exact (see below).
+- ``service`` — the tuple's own processing time at the instance's
+  capacity, clipped to its measured latency (a tuple arriving mid-tick
+  is modelled as partially pre-served; the clip keeps the component
+  inside the measured window).
+- ``migration_pause`` — wait attributable to the serving instance being
+  paused by the migration protocol (Algorithm 2's stop-the-source rule).
+- ``recovery_pause`` — wait attributable to crash outages, restarts and
+  failover hand-offs (DESIGN §6's restore-cost pauses).
+
+The standing identity is::
+
+    fsum(queue_wait, service, migration_pause, recovery_pause)
+        == latency          (bit-exact, under exact summation)
+
+where ``fsum`` is IEEE-754 exact (compensated) summation —
+:func:`math.fsum`, the correctly rounded sum of the four reals.  The
+exact sum is the right-hand side of the identity on purpose: a *chained*
+float sum ``((q + s) + m) + r`` is not surjective in ``q`` (an
+intermediate rounding can step the result by two ulps while ``q`` steps
+one, skipping the target), so a chained identity is not always
+satisfiable.  Under exact summation a closing residual almost always
+exists: the rounding preimage of ``latency`` is an interval of width
+``ulp(latency)``, and the exact sum moves through it with granularity
+``ulp(q) <= ulp(latency)`` (components are non-negative, so ``q`` never
+exceeds the total's binade).
+
+The one exception is a *rounding tie*: simulation timestamps are coarse
+dyadics, so the measured components' exact sum can offset every
+candidate ``q + s + m + r`` onto an exact round-half-even midpoint —
+then only even-last-bit results are reachable and an odd-last-bit total
+cannot be hit by any residual, under any summation order.
+:func:`close_decomposition` handles it by nudging one measured component
+a single ulp (a relative ``2**-52`` bookkeeping adjustment, far below
+measurement meaning), which shifts the alignment off the midpoints and
+restores the existence guarantee.
+
+:func:`close_residual` solves for the residual; the collector maintains
+its per-second sums with :func:`close_decomposition`, ``RunMetrics``
+closes the per-second mean series against ``latency_mean`` with it, and
+the opt-in ``attribution`` invariant guard
+(:mod:`repro.validate.invariants`) re-verifies the identity during runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["COMPONENTS", "close_decomposition", "close_residual", "reconstruct"]
+
+#: component names, in the identity's (and every series dict's) order —
+#: the residual first, then the measured parts.
+COMPONENTS = ("queue_wait", "service", "migration_pause", "recovery_pause")
+
+#: slope-1 Newton iterations; the naive residual starts within a few ulp
+#: of closing, so 2-3 iterations land in practice (a property test hammers
+#: the bound).
+_MAX_NEWTON = 24
+
+#: geometric bracket-expansion budget for the bisection fallback.
+_MAX_EXPAND = 64
+
+
+def reconstruct(queue_wait: float, service: float, migration: float,
+                recovery: float) -> float:
+    """The identity's left-hand side: the exactly rounded sum of the
+    four components (:func:`math.fsum`)."""
+    return math.fsum((queue_wait, service, migration, recovery))
+
+
+def close_residual(total: float, service: float, migration: float,
+                   recovery: float) -> float:
+    """The queue-wait residual that closes the identity bit-exactly.
+
+    Returns ``q`` such that ``fsum(q, service, migration, recovery) ==
+    total`` under IEEE-754 double rounding.  Starts from the naive
+    stepwise residual (within ~1.5 ulp of the total already) and applies
+    slope-1 Newton corrections — the forward map is monotone in ``q``
+    with unit slope — walking single ulps when the error drops below
+    ``ulp(q)``.  A monotone-bisection fallback covers pathological
+    rounding alignments.  Non-finite inputs return the naive residual;
+    the guard — not this helper — reports those.
+    """
+    naive = ((total - service) - migration) - recovery
+    if not math.isfinite(naive):
+        return naive
+
+    q = naive
+    for _ in range(_MAX_NEWTON):
+        err = reconstruct(q, service, migration, recovery) - total
+        if err == 0.0:
+            return q
+        step = q - err
+        if step == q:  # |err| below ulp(q): walk one ulp toward the target
+            step = math.nextafter(q, -math.inf if err > 0 else math.inf)
+        q = step
+
+    # Newton dithered without landing: bracket the monotone forward map
+    # around the target and bisect down to the exact preimage.
+    lo = hi = q
+    span = max(abs(reconstruct(q, service, migration, recovery) - total),
+               math.ulp(total) if total else math.ulp(1.0))
+    for _ in range(_MAX_EXPAND):
+        if reconstruct(lo, service, migration, recovery) <= total:
+            break
+        lo -= span
+        span *= 2.0
+    for _ in range(_MAX_EXPAND):
+        if reconstruct(hi, service, migration, recovery) >= total:
+            break
+        hi += span
+        span *= 2.0
+    while True:
+        mid = lo + (hi - lo) * 0.5
+        if mid <= lo or mid >= hi:
+            break
+        recon = reconstruct(mid, service, migration, recovery)
+        if recon == total:
+            return mid
+        if recon < total:
+            lo = mid
+        else:
+            hi = mid
+    for cand in (lo, hi):
+        if reconstruct(cand, service, migration, recovery) == total:
+            return cand
+    return naive
+
+
+def close_decomposition(
+    total: float, service: float, migration: float, recovery: float
+) -> tuple[float, float, float, float]:
+    """Close the identity, returning the full component 4-tuple.
+
+    Normally only the queue-wait residual is solved for and the measured
+    components pass through untouched.  In the rounding-tie case (module
+    docstring) where *no* residual can reach ``total``, one non-zero
+    measured component is nudged by a single ulp — trying each component,
+    downward first so the adjusted value never exceeds the measurement —
+    and the residual re-solved.  A sub-``ulp(total)`` shift breaks the
+    midpoint alignment, so one of the candidates always closes; the naive
+    fallback (which the guard would flag loudly) is unreachable in
+    practice.
+    """
+    q = close_residual(total, service, migration, recovery)
+    if not math.isfinite(q) or reconstruct(
+        q, service, migration, recovery
+    ) == total:
+        return q, service, migration, recovery
+    comps = [service, migration, recovery]
+    for i in range(3):
+        if comps[i] <= 0.0:
+            continue
+        for toward in (0.0, math.inf):
+            trial = list(comps)
+            trial[i] = math.nextafter(comps[i], toward)
+            if trial[i] < 0.0:
+                continue
+            q = close_residual(total, *trial)
+            if reconstruct(q, *trial) == total:
+                return (q, trial[0], trial[1], trial[2])
+    return (
+        ((total - service) - migration) - recovery,
+        service, migration, recovery,
+    )

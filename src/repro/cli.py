@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect_group.add_argument("--top", type=int, default=10,
                                help="hot keys to list in the report")
+    inspect_group.add_argument("--diff", nargs=2, default=None,
+                               metavar=("A.jsonl", "B.jsonl"),
+                               help="diff two traces instead of rendering "
+                               "one: per-second series deltas, span-phase "
+                               "deltas, migration-schedule divergence and "
+                               "hot-key churn; exits 0 iff identical")
 
     bench = parser.add_argument_group(
         "bench", "options for the 'bench' subcommand"
@@ -176,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None,
                        help="wall-clock repeats per case; the best run is "
                        "reported (default 3)")
+    bench.add_argument("--sentinel", action="store_true",
+                       help="perf-regression sentinel: compare this run "
+                       "against the committed trajectory history "
+                       "(deterministic metrics exactly, wall-clock "
+                       "statistically), append a trajectory entry when "
+                       "clean, exit non-zero on regression")
+    bench.add_argument("--history", default="BENCH_trajectory.json",
+                       metavar="PATH",
+                       help="sentinel trajectory history path (default: "
+                       "BENCH_trajectory.json in the current directory)")
     return parser
 
 
@@ -307,30 +323,91 @@ def _run_bench(args: argparse.Namespace) -> int:
         for failure in cmp.failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if cmp.failures else 0
+    if args.sentinel:
+        from .bench import sentinel
+
+        history = sentinel.load_history(args.history)
+        baseline = None
+        if not history.get("entries"):
+            try:
+                baseline = perf.load_report(args.baseline)
+            except FileNotFoundError:
+                pass  # first run with no baseline: seed the trajectory
+        result = sentinel.check_sentinel(
+            report, history, tolerance=tolerance, jobs=args.jobs,
+            baseline=baseline,
+        )
+        for line in result.lines:
+            print(line)
+        for warning in result.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        for failure in result.failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if result.failures:
+            print(f"sentinel: regression detected; {args.history} left "
+                  "untouched", file=sys.stderr)
+            return 1
+        sentinel.append_entry(history, result.entry)
+        sentinel.write_history(history, args.history)
+        print(f"sentinel: clean; trajectory entry #{result.entry['seq']} "
+              f"appended to {args.history}", file=sys.stderr)
+        return 0
     if not args.output:
         perf.write_report(report, "BENCH_hotpath.json")
         print("report written to BENCH_hotpath.json", file=sys.stderr)
     return 0
 
 
+def _load_trace_report(path: str):
+    """Read + reconstruct one trace, or ``(None, exit_code)`` on failure.
+
+    Truncated or corrupt traces are an *input* problem, not a crash: the
+    CLI reports one line (file and line number, from
+    :class:`~repro.obs.inspect.TraceFormatError`) and exits 2, the usage-
+    error convention the rest of the CLI already follows.
+    """
+    from .obs.inspect import TraceFormatError, build_report, read_events
+
+    try:
+        return build_report(read_events(path)), 0
+    except FileNotFoundError:
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return None, 2
+    except TraceFormatError as exc:
+        print(f"bad trace: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _run_inspect(args: argparse.Namespace) -> int:
-    """The ``inspect`` subcommand: replay a JSONL trace into a report."""
-    from .obs.inspect import TraceFormatError, build_report, read_events, render_report
+    """The ``inspect`` subcommand: replay a JSONL trace into a report,
+    or diff two traces (``--diff A.jsonl B.jsonl``)."""
+    from .obs.inspect import render_report
+
+    if args.diff is not None:
+        path_a, path_b = args.diff
+        report_a, code = _load_trace_report(path_a)
+        if report_a is None:
+            return code
+        report_b, code = _load_trace_report(path_b)
+        if report_b is None:
+            return code
+        from .obs.diff import diff_reports, render_diff
+
+        diff = diff_reports(report_a, report_b)
+        try:
+            print(render_diff(diff, label_a=path_a, label_b=path_b))
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0 if diff.is_empty() else 1
 
     path = args.path or args.trace
     if path is None:
         print("inspect requires a trace file (positional or --trace)",
               file=sys.stderr)
         return 2
-    try:
-        events = read_events(path)
-        report = build_report(events)
-    except FileNotFoundError:
-        print(f"no such trace file: {path}", file=sys.stderr)
-        return 2
-    except TraceFormatError as exc:
-        print(f"bad trace: {exc}", file=sys.stderr)
-        return 1
+    report, code = _load_trace_report(path)
+    if report is None:
+        return code
     try:
         print(render_report(report, top=args.top))
     except BrokenPipeError:

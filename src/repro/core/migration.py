@@ -128,11 +128,13 @@ class MigrationExecutor:
             # The attempt still consumed protocol time, so the pause is
             # charged as if the migration had run.
             source.pause_until(now + duration)
+            source.note_pause(now, now + duration, "migration")
             self._rollback(side, source, key_set, stored_counts, queued, now)
             return None
 
         # The source stops store/join operations for the whole procedure.
         source.pause_until(now + duration)
+        source.note_pause(now, now + duration, "migration")
 
         # Forwarded tuples become visible at the target only once the
         # transfer completes (ordering guarantee of section III-D).

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..attribution import close_decomposition
+
 __all__ = ["MetricsCollector", "RunMetrics", "MigrationEvent", "Reservoir"]
 
 
@@ -119,6 +121,29 @@ class RunMetrics:
     total_processed: int
     duration: float
     warmup: float = 0.0
+    # Latency-attribution component series (DESIGN §5), aligned with
+    # ``latency_mean`` and NaN exactly where it is NaN.  Standing identity,
+    # elementwise wherever finite (exact summation — math.fsum):
+    #   fsum(latency_queue_wait, latency_service,
+    #        latency_migration_pause, latency_recovery_pause)
+    #       == latency_mean                                 (bit-exact)
+    # queue_wait is the residual closed by repro.attribution.close_residual.
+    latency_queue_wait: np.ndarray = field(default_factory=lambda: np.empty(0))
+    latency_service: np.ndarray = field(default_factory=lambda: np.empty(0))
+    latency_migration_pause: np.ndarray = field(default_factory=lambda: np.empty(0))
+    latency_recovery_pause: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: post-warm-up component sums (seconds of wait, summed over tuples)
+    #: under the same identity against the overall latency sum.
+    component_totals: dict[str, float] = field(default_factory=dict)
+
+    def components(self) -> dict[str, np.ndarray]:
+        """The four attribution series, keyed by component name."""
+        return {
+            "queue_wait": self.latency_queue_wait,
+            "service": self.latency_service,
+            "migration_pause": self.latency_migration_pause,
+            "recovery_pause": self.latency_recovery_pause,
+        }
 
     def steady(self, attr: str) -> np.ndarray:
         """A series restricted to the post-warm-up region.
@@ -155,6 +180,21 @@ class MetricsCollector:
         self._processed: dict[int, int] = {}
         self._lat_sum: dict[int, float] = {}
         self._lat_cnt: dict[int, int] = {}
+        # Latency-attribution component sums per second (DESIGN §5).  The
+        # three measured components accumulate in the same per-report order
+        # as ``_lat_sum``; the queue-wait residual is re-closed against the
+        # second's running totals after every recording, so the identity
+        #   fsum(qw, service, migration, recovery) == lat_sum
+        # holds bit-exactly at all times (what the attribution invariant
+        # guard re-verifies mid-run).
+        self._comp_service: dict[int, float] = {}
+        self._comp_migration: dict[int, float] = {}
+        self._comp_recovery: dict[int, float] = {}
+        self._comp_queue_wait: dict[int, float] = {}
+        # Post-warm-up lifetime component sums (queue wait closed lazily).
+        self._comp_total_service = 0.0
+        self._comp_total_migration = 0.0
+        self._comp_total_recovery = 0.0
         self._li: dict[str, list[tuple[float, float]]] = {}
         self._migrations: list[MigrationEvent] = []
         # The reservoir's replacement draws come from the run seed so that
@@ -178,8 +218,18 @@ class MetricsCollector:
         n_processed: int,
         n_results: float,
         latencies: np.ndarray | None,
+        *,
+        comp_service: np.ndarray | None = None,
+        comp_migration: np.ndarray | None = None,
+        comp_recovery: np.ndarray | None = None,
     ) -> None:
-        """Record one instance-tick of work finishing at time ``now``."""
+        """Record one instance-tick of work finishing at time ``now``.
+
+        The ``comp_*`` arrays are the tuple-aligned attribution components
+        from the :class:`~repro.join.instance.ServiceReport`; omitted
+        components count as zero (the queue-wait residual then absorbs the
+        whole latency, keeping the identity trivially exact).
+        """
         sec = int(now)
         self._max_time = max(self._max_time, now)
         if n_processed:
@@ -192,14 +242,32 @@ class MetricsCollector:
             s = float(latencies.sum())
             self._lat_sum[sec] = self._lat_sum.get(sec, 0.0) + s
             self._lat_cnt[sec] = self._lat_cnt.get(sec, 0) + int(latencies.size)
+            sv = float(comp_service.sum()) if comp_service is not None else 0.0
+            mg = float(comp_migration.sum()) if comp_migration is not None else 0.0
+            rc = float(comp_recovery.sum()) if comp_recovery is not None else 0.0
+            if sv:
+                self._comp_service[sec] = self._comp_service.get(sec, 0.0) + sv
+            if mg:
+                self._comp_migration[sec] = self._comp_migration.get(sec, 0.0) + mg
+            if rc:
+                self._comp_recovery[sec] = self._comp_recovery.get(sec, 0.0) + rc
+            self._close_second(sec)
             if now >= self._warmup:
                 self._lat_total += s
                 self._lat_total_n += int(latencies.size)
+                self._comp_total_service += sv
+                self._comp_total_migration += mg
+                self._comp_total_recovery += rc
                 self._reservoir.add_many(latencies)
         if self.obs is not None:
-            self.obs.on_record_service(now, n_processed, n_results, latencies)
+            self.obs.on_record_service(
+                now, n_processed, n_results, latencies,
+                comp_service=comp_service,
+                comp_migration=comp_migration,
+                comp_recovery=comp_recovery,
+            )
 
-    def record_service_many(self, now: float, reports) -> None:
+    def record_service_many(self, now: float, reports) -> tuple[float, float, float]:
         """Record every instance's work for one tick ending at ``now``.
 
         Equivalent to calling :meth:`record_service` once per report in
@@ -209,6 +277,10 @@ class MetricsCollector:
         bit-identical either way: its replacement draws come from a stream
         generator, so chunking the input differently does not change which
         random numbers each sample sees.
+
+        Returns the tick's attribution sums ``(service, migration_pause,
+        recovery_pause)`` so the runtime can stamp them onto the service
+        trace event without re-summing the reports.
         """
         sec = int(now)
         self._max_time = max(self._max_time, now)
@@ -217,6 +289,9 @@ class MetricsCollector:
         obs = self.obs
         results_by_sec = self._results
         lat_sum_by_sec = self._lat_sum
+        comp_sv_by_sec = self._comp_service
+        comp_mg_by_sec = self._comp_migration
+        comp_rc_by_sec = self._comp_recovery
         # Integer counters are associative, so they accumulate in tick-local
         # variables and land in the dicts once.  The float per-second sums
         # must keep the per-report addition order (float addition is not),
@@ -225,6 +300,9 @@ class MetricsCollector:
         tick_results_int = 0
         tick_lat_n = 0
         tick_lat_n_window = 0
+        tick_sv = 0.0
+        tick_mg = 0.0
+        tick_rc = 0.0
         for rep in reports:
             n_processed = rep.n_processed
             n_results = rep.n_results
@@ -238,23 +316,90 @@ class MetricsCollector:
                 s = float(latencies.sum())
                 lat_sum_by_sec[sec] = lat_sum_by_sec.get(sec, 0.0) + s
                 tick_lat_n += int(latencies.size)
+                ca = rep.comp_service
+                if ca is not None:
+                    sv = float(ca.sum())
+                    if sv:
+                        comp_sv_by_sec[sec] = comp_sv_by_sec.get(sec, 0.0) + sv
+                        tick_sv += sv
+                ca = rep.comp_migration
+                if ca is not None:
+                    mg = float(ca.sum())
+                    if mg:
+                        comp_mg_by_sec[sec] = comp_mg_by_sec.get(sec, 0.0) + mg
+                        tick_mg += mg
+                ca = rep.comp_recovery
+                if ca is not None:
+                    rc = float(ca.sum())
+                    if rc:
+                        comp_rc_by_sec[sec] = comp_rc_by_sec.get(sec, 0.0) + rc
+                        tick_rc += rc
                 if in_window:
                     self._lat_total += s
                     tick_lat_n_window += int(latencies.size)
                     lat_arrays.append(latencies)
             if obs is not None:
-                obs.on_record_service(now, n_processed, n_results, latencies)
+                obs.on_record_service(
+                    now, n_processed, n_results, latencies,
+                    comp_service=rep.comp_service,
+                    comp_migration=rep.comp_migration,
+                    comp_recovery=rep.comp_recovery,
+                )
         if tick_processed:
             self._processed[sec] = self._processed.get(sec, 0) + tick_processed
             self._total_processed += tick_processed
         self._total_results += tick_results_int
         if tick_lat_n:
             self._lat_cnt[sec] = self._lat_cnt.get(sec, 0) + tick_lat_n
+            # Re-close the second's queue-wait residual against its updated
+            # running sums: the identity holds bit-exactly after every tick.
+            self._close_second(sec)
+            if in_window:
+                self._comp_total_service += tick_sv
+                self._comp_total_migration += tick_mg
+                self._comp_total_recovery += tick_rc
         self._lat_total_n += tick_lat_n_window
         if lat_arrays:
             self._reservoir.add_many(
                 lat_arrays[0] if len(lat_arrays) == 1 else np.concatenate(lat_arrays)
             )
+        return tick_sv, tick_mg, tick_rc
+
+    def _close_second(self, sec: int) -> None:
+        """Re-close one second's attribution identity against its sums.
+
+        Solves the queue-wait residual; in the rare rounding-tie case a
+        measured component comes back nudged by one ulp (see
+        :func:`repro.attribution.close_decomposition`) and the stored sum
+        is updated so the guard's independent re-check sees exactly the
+        closing decomposition.
+        """
+        sv = self._comp_service.get(sec, 0.0)
+        mg = self._comp_migration.get(sec, 0.0)
+        rc = self._comp_recovery.get(sec, 0.0)
+        q, sv2, mg2, rc2 = close_decomposition(self._lat_sum[sec], sv, mg, rc)
+        self._comp_queue_wait[sec] = q
+        if sv2 != sv:
+            self._comp_service[sec] = sv2
+        if mg2 != mg:
+            self._comp_migration[sec] = mg2
+        if rc2 != rc:
+            self._comp_recovery[sec] = rc2
+
+    def component_sums(self) -> dict[str, dict[int, float]]:
+        """Live per-second attribution sums (the invariant guard's view).
+
+        ``latency`` maps each second to its running latency sum; the four
+        component dicts satisfy the forward-sum identity against it after
+        every recorded tick.
+        """
+        return {
+            "latency": self._lat_sum,
+            "queue_wait": self._comp_queue_wait,
+            "service": self._comp_service,
+            "migration_pause": self._comp_migration,
+            "recovery_pause": self._comp_recovery,
+        }
 
     def record_li(self, side: str, now: float, li: float) -> None:
         self._li.setdefault(side, []).append((now, li))
@@ -292,6 +437,34 @@ class MetricsCollector:
             lat_cnt[min(sec, n_sec - 1)] += self._lat_cnt.get(sec, 0)
         nz = lat_cnt > 0
         lat[nz] = lat_sum[nz] / lat_cnt[nz]
+        # Attribution component series: bin the measured sums like lat_sum,
+        # convert to per-tuple means, then close the queue-wait residual
+        # *at the mean level* so the published identity — components sum
+        # bit-exactly to latency_mean — survives the non-distributive
+        # division by the bin count.
+        comp_sv_sum = np.zeros(n_sec)
+        comp_mg_sum = np.zeros(n_sec)
+        comp_rc_sum = np.zeros(n_sec)
+        for sec, v in self._comp_service.items():
+            comp_sv_sum[min(sec, n_sec - 1)] += v
+        for sec, v in self._comp_migration.items():
+            comp_mg_sum[min(sec, n_sec - 1)] += v
+        for sec, v in self._comp_recovery.items():
+            comp_rc_sum[min(sec, n_sec - 1)] += v
+        comp_qw = np.full(n_sec, np.nan)
+        comp_sv = np.full(n_sec, np.nan)
+        comp_mg = np.full(n_sec, np.nan)
+        comp_rc = np.full(n_sec, np.nan)
+        comp_sv[nz] = comp_sv_sum[nz] / lat_cnt[nz]
+        comp_mg[nz] = comp_mg_sum[nz] / lat_cnt[nz]
+        comp_rc[nz] = comp_rc_sum[nz] / lat_cnt[nz]
+        for i in np.nonzero(nz)[0].tolist():
+            comp_qw[i], comp_sv[i], comp_mg[i], comp_rc[i] = (
+                close_decomposition(
+                    float(lat[i]), float(comp_sv[i]), float(comp_mg[i]),
+                    float(comp_rc[i]),
+                )
+            )
         li_series: dict[str, np.ndarray] = {}
         for side, samples in self._li.items():
             arr = np.full(n_sec, np.nan)
@@ -302,6 +475,26 @@ class MetricsCollector:
         overall_lat = (
             self._lat_total / self._lat_total_n if self._lat_total_n else float("nan")
         )
+        if self._lat_total_n:
+            total_qw, total_sv, total_mg, total_rc = close_decomposition(
+                self._lat_total,
+                self._comp_total_service,
+                self._comp_total_migration,
+                self._comp_total_recovery,
+            )
+        else:
+            total_qw = 0.0
+            total_sv = self._comp_total_service
+            total_mg = self._comp_total_migration
+            total_rc = self._comp_total_recovery
+        component_totals = {
+            "queue_wait": total_qw,
+            "service": total_sv,
+            "migration_pause": total_mg,
+            "recovery_pause": total_rc,
+            "latency_sum": self._lat_total,
+            "count": float(self._lat_total_n),
+        }
         return RunMetrics(
             seconds=seconds,
             throughput=thr,
@@ -317,4 +510,9 @@ class MetricsCollector:
             total_processed=self._total_processed,
             duration=self._max_time,
             warmup=self._warmup,
+            latency_queue_wait=comp_qw,
+            latency_service=comp_sv,
+            latency_migration_pause=comp_mg,
+            latency_recovery_pause=comp_rc,
+            component_totals=component_totals,
         )

@@ -103,6 +103,24 @@ class TupleQueue:
         uniq, counts = np.unique(probe_keys, return_counts=True)
         return dict(zip(uniq.tolist(), counts.tolist()))
 
+    def earliest_time(self) -> float | None:
+        """Smallest visible-time among queued tuples (None when empty).
+
+        Latency attribution uses this as a pruning floor: a pause interval
+        that ended at or before every queued tuple's visible-time can never
+        overlap a future service window, so the instance drops it from its
+        pause log.  O(1) for the ordered datapath (head element), one
+        vectorised min otherwise.
+        """
+        if self._size == 0:
+            return None
+        head = self._head
+        if self._monotonic:
+            return float(self._times[head])
+        if head + self._size <= self.capacity:
+            return float(self._times[head : head + self._size].min())
+        return float(self._times[self._live_indices(self._size)].min())
+
     @property
     def capacity(self) -> int:
         return self._keys.shape[0]

@@ -178,14 +178,18 @@ class StreamJoinRuntime:
                     lat_sum += float(report.latencies.sum())
                     lat_count += int(report.latencies.size)
                     work_done += report.work_units
+        comps = None
         if reports:
-            self.metrics.record_service_many(end, reports)
+            comps = self.metrics.record_service_many(end, reports)
         if prof is not None:
             t_now = prof.now()
             prof.add("service", t_now - t_mark, work=work_done)
             t_mark = t_now
         if obs is not None and tot_processed:
-            obs.on_service_tick(end, tot_processed, tot_results, lat_sum, lat_count)
+            obs.on_service_tick(
+                end, tot_processed, tot_results, lat_sum, lat_count,
+                components=comps,
+            )
 
         for monitor in self.monitors.values():
             monitor.tick(end)

@@ -90,8 +90,11 @@ class FaultInjector:
             side: [a for a in acts if a.kind in ("delay", "drop") and a.side == side]
             for side in ("R", "S")
         }
-        #: scheduled recoveries, sorted: (time, side, instance_id, mode)
-        self._recoveries: list[tuple[float, str, int, str]] = []
+        #: scheduled recoveries, sorted:
+        #: (time, side, instance_id, mode, crash_time) — the crash time
+        #: rides along so the recovery can attribute the whole outage
+        #: window [crash, recovery end] as recovery-pause latency.
+        self._recoveries: list[tuple[float, str, int, str, float]] = []
         self._next_ckpt = self.checkpoint_period
         #: (tick_index, stream) -> extra delivery delay applied that tick,
         #: read back by the differential harness to mirror into the oracle
@@ -175,8 +178,8 @@ class FaultInjector:
                 obs.on_checkpoint(now, n_live, n_tuples)
 
         while self._recoveries and self._recoveries[0][0] <= now:
-            _, side, idx, mode = self._recoveries.pop(0)
-            self._recover(runtime, side, idx, mode, now)
+            _, side, idx, mode, crashed_at = self._recoveries.pop(0)
+            self._recover(runtime, side, idx, mode, now, crashed_at)
 
         while self._pending_kills and self._pending_kills[0].at <= now:
             action = self._pending_kills.pop(0)
@@ -196,7 +199,7 @@ class FaultInjector:
         inst.checkpointer.crash()
         self.n_crashes += 1
         insort(self._recoveries, (now + action.duration, inst.side,
-                                  inst.instance_id, "restart"))
+                                  inst.instance_id, "restart", now))
         self.log.append((now, f"crash {inst.side}{inst.instance_id} "
                               f"(restart at t={now + action.duration:.3f}s)"))
         obs = runtime.obs
@@ -243,6 +246,7 @@ class FaultInjector:
             queued.times = np.maximum(queued.times, now + duration)
         survivor.accept_migration(rebuilt, queued)
         survivor.pause_until(now + duration)
+        survivor.note_pause(now, now + duration, "recovery")
         routing = runtime.dispatcher.routing[side]
         keys = set(rebuilt) | set(np.unique(queued.keys).tolist())
         keys.update(
@@ -269,7 +273,7 @@ class FaultInjector:
         self.n_crashes += 1
         self.n_failovers += 1
         insort(self._recoveries, (now + action.duration, side,
-                                  inst.instance_id, "rejoin"))
+                                  inst.instance_id, "rejoin", now))
         self.log.append((now, f"failover {side}{inst.instance_id} -> "
                               f"{side}{survivor.instance_id} "
                               f"({n_moved} tuples, {len(key_tuple)} keys)"))
@@ -282,7 +286,8 @@ class FaultInjector:
 
     # -- recovery paths -------------------------------------------------- #
 
-    def _recover(self, runtime, side: str, idx: int, mode: str, now: float) -> None:
+    def _recover(self, runtime, side: str, idx: int, mode: str, now: float,
+                 crashed_at: float) -> None:
         inst = runtime.dispatcher.groups[side][idx]
         if mode == "restart":
             n_restored = inst.checkpointer.recover_restart(now)
@@ -294,6 +299,10 @@ class FaultInjector:
             n_restored = 0
             duration = self.recovery_cost.duration(0)
         inst.pause_until(now + duration)
+        # Tuples that sat in the durable queue through the outage waited
+        # from the crash instant to the end of the restore: the whole
+        # window is recovery-pause latency, not queueing.
+        inst.note_pause(crashed_at, now + duration, "recovery")
         self.n_recoveries += 1
         self.log.append((now, f"recover {side}{idx} ({mode}, "
                               f"{n_restored} tuples, {duration:.3f}s)"))

@@ -91,6 +91,10 @@ class DispatchStats:
     probes_sent: int = 0
     stores_to_side: dict = field(default_factory=lambda: {"R": 0, "S": 0})
     probes_to_side: dict = field(default_factory=lambda: {"R": 0, "S": 0})
+    #: total delivery delay (seconds, summed over delivered operations)
+    #: charged per emitting stream — the dispatch/network share of the
+    #: queue-wait latency component (DESIGN §5).
+    delay_charged: dict = field(default_factory=lambda: {"R": 0.0, "S": 0.0})
 
     @property
     def messages(self) -> int:
@@ -267,6 +271,12 @@ class Dispatcher:
             n_probes = int(probe_keys.shape[0])
         self.stats.probes_sent += n_probes
         self.stats.probes_to_side[other] += n_probes
+        # Delay charged to this batch: every delivered operation becomes
+        # visible delay seconds after emission, and that wait lands in the
+        # tuples' queue_wait attribution component.
+        delay = n * (t_own - emit_time) + n_probes * (t_other - emit_time)
+        self.stats.delay_charged[stream] += delay
 
         if self.obs is not None:
-            self.obs.on_dispatch(stream, keys, n_probes, other, emit_time)
+            self.obs.on_dispatch(stream, keys, n_probes, other, emit_time,
+                                 delay=delay)

@@ -65,7 +65,17 @@ def _prior_same_key_stores(
 
 @dataclass
 class ServiceReport:
-    """What one instance accomplished during one tick."""
+    """What one instance accomplished during one tick.
+
+    The three ``comp_*`` arrays are the measured pieces of the latency
+    attribution identity (DESIGN §5): per-tuple service time and per-tuple
+    overlap with migration/recovery pauses, aligned with ``latencies``.
+    ``comp_migration``/``comp_recovery`` stay None when no pause interval
+    overlapped the chunk (the common case); all three are None when the
+    instance's attribution accounting is switched off.  Queue wait is not
+    reported — it is the residual that closes the identity, derived by the
+    metrics collector (:func:`repro.attribution.close_residual`).
+    """
 
     n_processed: int = 0
     n_stored: int = 0
@@ -73,6 +83,9 @@ class ServiceReport:
     n_results: float = 0.0
     latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
     work_units: float = 0.0
+    comp_service: np.ndarray | None = None
+    comp_migration: np.ndarray | None = None
+    comp_recovery: np.ndarray | None = None
 
     @property
     def idle(self) -> bool:
@@ -166,6 +179,16 @@ class JoinInstance:
         self._result_counts: dict[int, float] | None = None
         # Optional observability bundle (repro.obs); same one-test contract.
         self.obs = None
+        # Latency attribution (DESIGN §5): per-tuple service/pause
+        # components reported alongside latencies.  On by default — the
+        # accounting is two in-place vector ops on buffers the tick already
+        # produced — but switchable for overhead measurement.
+        self.attribution = True
+        # Tagged pause intervals (start, end, cause) with cause in
+        # {"migration", "recovery"}: sorted, non-overlapping, merged when
+        # contiguous.  Served tuples attribute the part of their wait that
+        # overlaps these intervals to the corresponding component.
+        self._pause_log: list[tuple[float, float, str]] = []
         # Optional fault-tolerance state (repro.faults): checkpoint + WAL +
         # crash flag.  None by default; the datapath pays one ``is None``
         # test per tick (and one per stored chunk) when disabled.
@@ -201,6 +224,67 @@ class JoinInstance:
         stop executing the store and join operations").
         """
         self._paused_until = max(self._paused_until, float(t))
+
+    def note_pause(self, start: float, end: float, cause: str) -> None:
+        """Tag a pause interval for latency attribution.
+
+        Callers that pause the instance (migration executor, fault
+        injector) also record *why*, so served tuples can attribute the
+        overlapping part of their wait to ``migration_pause`` or
+        ``recovery_pause``.  Intervals are kept sorted, non-overlapping
+        (a new interval is clipped to start after the previous one ends —
+        overlapping causes never double-count) and merged when contiguous
+        with the same cause.  The log is pruned against the queue's
+        earliest visible-time: a dropped interval can no longer overlap
+        any future service window, except for tuples migrated in later
+        with rewound times — those conservatively fall back to queue
+        wait, which never breaks the accounting identity (queue wait is
+        the residual by construction).
+        """
+        log = self._pause_log
+        start = float(start)
+        end = float(end)
+        if log and start < log[-1][1]:
+            start = log[-1][1]
+        if end <= start:
+            return
+        if log and log[-1][2] == cause and log[-1][1] == start:
+            log[-1] = (log[-1][0], end, cause)
+        else:
+            log.append((start, end, cause))
+        if len(log) > 8:
+            floor = self.queue.earliest_time()
+            if floor is None:
+                floor = start
+            self._pause_log = [iv for iv in log if iv[1] > floor]
+
+    def _pause_overlaps(
+        self, taken_times: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Per-tuple overlap of [arrival, service] with tagged pauses.
+
+        Every logged interval ends no later than the current tick start
+        (the instance only serves once ``_paused_until`` expired), so a
+        tuple taken at time ``a`` overlaps interval ``(s, e)`` for exactly
+        ``max(e - max(a, s), 0)`` seconds — no completion times needed.
+        """
+        mig: np.ndarray | None = None
+        rec: np.ndarray | None = None
+        for start, end, cause in self._pause_log:
+            ov = np.maximum(taken_times, start)
+            np.subtract(end, ov, out=ov)
+            np.maximum(ov, 0.0, out=ov)
+            if cause == "migration":
+                if mig is None:
+                    mig = ov
+                else:
+                    mig += ov
+            else:
+                if rec is None:
+                    rec = ov
+                else:
+                    rec += ov
+        return mig, rec
 
     def step(self, now: float, dt: float) -> ServiceReport:
         """Serve the queue for one tick ending at ``now + dt``."""
@@ -356,6 +440,21 @@ class JoinInstance:
         latencies += now
         latencies -= taken_times
         np.maximum(latencies, 0.0, out=latencies)
+        # Latency attribution (DESIGN §5), taken before the offset lands so
+        # components are clipped against the measured queue+service window.
+        # service = min(own cost / capacity, clamped pre-offset latency):
+        # equal to the tuple's full service time except for mid-tick
+        # arrivals, whose latency window starts after their service began.
+        # ``costs`` is dead after ``cum``/``spent`` were taken, so the
+        # division reuses its buffer — the accounting costs two in-place
+        # vector ops and no allocation.
+        comp_service = comp_migration = comp_recovery = None
+        if self.attribution:
+            comp_service = costs[:n_take]
+            comp_service /= self.capacity
+            np.minimum(comp_service, latencies, out=comp_service)
+            if self._pause_log:
+                comp_migration, comp_recovery = self._pause_overlaps(taken_times)
         if self.latency_offset:
             latencies += self.latency_offset
 
@@ -369,6 +468,9 @@ class JoinInstance:
             n_results=n_results,
             latencies=latencies,
             work_units=spent,
+            comp_service=comp_service,
+            comp_migration=comp_migration,
+            comp_recovery=comp_recovery,
         )
         if self.obs is not None:
             self.obs.on_instance_step(self, report)

@@ -107,6 +107,23 @@ class Observability:
         self._hist_latency = reg.histogram(
             "repro_latency_seconds", "arrival-to-completion tuple latency"
         ).labels()
+        # Attribution components (DESIGN §5): one histogram family keyed by
+        # component, children cached since hooks observe them every tick.
+        comp_family = reg.histogram(
+            "repro_latency_component_seconds",
+            "per-tuple latency attribution component",
+            ("component",),
+        )
+        self._hist_components = {
+            name: comp_family.labels(component=name)
+            for name in ("queue_wait", "service", "migration_pause",
+                         "recovery_pause")
+        }
+        self._ctr_dispatch_delay = reg.counter(
+            "repro_dispatch_delay_seconds_total",
+            "dispatch/network delay charged to delivered tuples",
+            ("side",),
+        )
         self._ctr_ticks = reg.counter(
             "repro_ticks_total", "simulation steps executed"
         ).labels()
@@ -209,18 +226,27 @@ class Observability:
             self.bus.emit(end, "tick", tick=tick_index, throttled=throttled)
 
     def on_dispatch(
-        self, stream: str, keys, n_probes: int, probe_side: str, emit_time: float
+        self, stream: str, keys, n_probes: int, probe_side: str,
+        emit_time: float, delay: float = 0.0,
     ) -> None:
+        """One dispatched batch.  ``delay`` is the total delivery delay
+        charged across the batch's tuples (store + probe legs), the
+        dispatch share of the tuples' eventual queue-wait latency."""
         n = int(keys.shape[0])
         if self._ctr_results is not None:
             self._side_child(self._ctr_stores, "stores", stream).inc(n)
             self._side_child(self._ctr_probes, "probes", probe_side).inc(n_probes)
+            if delay:
+                self._side_child(
+                    self._ctr_dispatch_delay, "dispatch_delay", stream
+                ).inc(delay)
         if self.bus is not None:
             uniq, counts = np.unique(keys, return_counts=True)
             top = np.argsort(counts)[::-1][:DISPATCH_TOP_KEYS]
             self.bus.emit(
                 emit_time, "dispatch",
                 stream=stream, n=n, n_probes=int(n_probes),
+                delay=float(delay),
                 top_keys=[
                     [int(uniq[i]), int(counts[i])] for i in top
                 ],
@@ -233,22 +259,34 @@ class Observability:
         n_results: float,
         latency_sum: float,
         latency_count: int,
+        components: tuple[float, float, float] | None = None,
     ) -> None:
         """One tick's aggregated join-instance work (emitted by the
         runtime so the trace carries one event per tick, not per
         instance — the per-second rebinning in ``inspect`` matches
-        :meth:`MetricsCollector.finalize` exactly)."""
+        :meth:`MetricsCollector.finalize` exactly).
+
+        ``components`` is the tick's ``(service, migration_pause,
+        recovery_pause)`` attribution sums from the collector; the
+        queue-wait residual is re-derived by consumers (inspect) so the
+        trace replays the same identity the live collector maintains.
+        """
         if self.bus is not None:
+            sv, mg, rc = components if components is not None else (0.0, 0.0, 0.0)
             self.bus.emit(
                 end, "service",
                 n_processed=int(n_processed),
                 n_results=float(n_results),
                 latency_sum=float(latency_sum),
                 latency_count=int(latency_count),
+                comp_service=float(sv),
+                comp_migration=float(mg),
+                comp_recovery=float(rc),
             )
 
     def on_record_service(self, now: float, n_processed: int, n_results: float,
-                          latencies) -> None:
+                          latencies, comp_service=None, comp_migration=None,
+                          comp_recovery=None) -> None:
         """Aggregate-metric publication from ``MetricsCollector``."""
         if self._ctr_results is None:
             return
@@ -258,6 +296,22 @@ class Observability:
             self._ctr_results.inc(n_results)
         if latencies is not None and latencies.size:
             self._hist_latency.observe_many(latencies)
+            if comp_service is not None:
+                # Per-tuple queue wait for the histogram only: the plain
+                # elementwise residual (the bit-exact closure is a property
+                # of the per-second sums, not of bucketed counts).
+                queue_wait = latencies - comp_service
+                if comp_migration is not None:
+                    queue_wait -= comp_migration
+                if comp_recovery is not None:
+                    queue_wait -= comp_recovery
+                hists = self._hist_components
+                hists["queue_wait"].observe_many(queue_wait)
+                hists["service"].observe_many(comp_service)
+                if comp_migration is not None:
+                    hists["migration_pause"].observe_many(comp_migration)
+                if comp_recovery is not None:
+                    hists["recovery_pause"].observe_many(comp_recovery)
 
     def on_instance_step(self, inst, report) -> None:
         """Per-instance publication from ``JoinInstance.step``."""

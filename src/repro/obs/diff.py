@@ -1,0 +1,274 @@
+"""Trace diffing: align two recorded traces and report their divergence.
+
+``python -m repro inspect --diff A.jsonl B.jsonl`` answers "what changed
+between these two runs?" from the traces alone:
+
+- **per-second series deltas** — throughput / processed / latency and the
+  four attribution components, plus each side's LI series: differing-bin
+  counts, the first divergent second, and the largest absolute delta;
+- **span-waterfall phase deltas** — per (span name, phase) aggregate
+  count and duration differences across all reconstructed spans;
+- **migration-schedule divergence** — the first migration (by start time)
+  whose (time, side, source, target, keys, tuples) signature differs;
+- **hot-key set churn** — keys entering/leaving each stream's dispatch
+  top-key summary, with the Jaccard similarity of the two sets.
+
+Two identical traces diff *empty* (:meth:`TraceDiff.is_empty`); the CLI
+maps empty to exit 0 and any divergence to exit 1, so the diff doubles as
+a determinism check between supposedly equivalent runs.
+
+Comparisons are exact (bit-level, with NaN treated as equal to NaN): the
+tool's job is to surface divergence, not to judge significance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .inspect import InspectReport
+
+__all__ = ["SeriesDelta", "TraceDiff", "diff_reports", "render_diff"]
+
+
+@dataclass
+class SeriesDelta:
+    """One per-second series' divergence between trace A and trace B."""
+
+    name: str
+    len_a: int
+    len_b: int
+    n_diff: int                  # differing bins over the common prefix
+    first_diff: int | None       # 0-based second of the first divergence
+    max_abs_delta: float
+
+    @property
+    def empty(self) -> bool:
+        return self.n_diff == 0 and self.len_a == self.len_b
+
+
+@dataclass
+class TraceDiff:
+    """Everything ``render_diff`` needs; empty iff the traces agree."""
+
+    meta_changes: list[tuple[str, object, object]] = field(default_factory=list)
+    kind_count_changes: list[tuple[str, int, int]] = field(default_factory=list)
+    series: list[SeriesDelta] = field(default_factory=list)
+    phase_changes: list[tuple[str, str, int, int, float, float]] = field(
+        default_factory=list
+    )  # (span name, phase, count_a, count_b, dur_a, dur_b)
+    migration_count: tuple[int, int] = (0, 0)
+    migration_first_divergence: int | None = None  # index into the schedule
+    migration_divergence_detail: tuple | None = None  # (sig_a|None, sig_b|None)
+    hot_key_churn: list[tuple[str, list[int], list[int], float]] = field(
+        default_factory=list
+    )  # (stream, added, removed, jaccard)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.meta_changes
+            or self.kind_count_changes
+            or any(not s.empty for s in self.series)
+            or self.phase_changes
+            or self.migration_first_divergence is not None
+            or self.migration_count[0] != self.migration_count[1]
+            or self.hot_key_churn
+        )
+
+
+def _series_delta(name: str, a: np.ndarray, b: np.ndarray) -> SeriesDelta:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = min(a.shape[0], b.shape[0])
+    pa, pb = a[:n], b[:n]
+    both_nan = np.isnan(pa) & np.isnan(pb)
+    neq = ~((pa == pb) | both_nan)
+    idx = np.nonzero(neq)[0]
+    max_abs = 0.0
+    if idx.size:
+        deltas = np.abs(np.nan_to_num(pb[idx]) - np.nan_to_num(pa[idx]))
+        max_abs = float(deltas.max())
+    return SeriesDelta(
+        name=name,
+        len_a=int(a.shape[0]),
+        len_b=int(b.shape[0]),
+        n_diff=int(idx.size),
+        first_diff=int(idx[0]) if idx.size else None,
+        max_abs_delta=max_abs,
+    )
+
+
+def _phase_aggregates(report: InspectReport) -> dict[tuple[str, str], tuple[int, float]]:
+    out: dict[tuple[str, str], tuple[int, float]] = {}
+    for span in report.spans:
+        for phase, t0, t1 in span.phases:
+            key = (span.name, phase)
+            count, dur = out.get(key, (0, 0.0))
+            out[key] = (count + 1, dur + (t1 - t0))
+    return out
+
+
+def _migration_schedule(report: InspectReport) -> list[tuple]:
+    """(start, side, source, target, n_keys, n_tuples) per migration span,
+    in start order — the trace-level view of the migration schedule."""
+    sched = [
+        (span.start, span.side, span.source, span.target,
+         span.n_keys, span.n_tuples)
+        for span in report.spans
+        if span.name == "migration"
+    ]
+    sched.sort(key=lambda sig: (sig[0], sig[1], sig[2]))
+    return sched
+
+
+def diff_reports(a: InspectReport, b: InspectReport) -> TraceDiff:
+    """Exact structural diff of two reconstructed trace reports."""
+    diff = TraceDiff()
+
+    for key in sorted(set(a.meta) | set(b.meta)):
+        va, vb = a.meta.get(key), b.meta.get(key)
+        if va != vb:
+            diff.meta_changes.append((key, va, vb))
+
+    for kind in sorted(set(a.kind_counts) | set(b.kind_counts)):
+        ca, cb = a.kind_counts.get(kind, 0), b.kind_counts.get(kind, 0)
+        if ca != cb:
+            diff.kind_count_changes.append((kind, ca, cb))
+
+    pairs: list[tuple[str, np.ndarray, np.ndarray]] = [
+        ("throughput", a.throughput, b.throughput),
+        ("processed", a.processed, b.processed),
+        ("latency_mean", a.latency_mean, b.latency_mean),
+    ]
+    for name in ("queue_wait", "service", "migration_pause", "recovery_pause"):
+        pairs.append((
+            f"latency.{name}",
+            a.components.get(name, np.zeros(0)),
+            b.components.get(name, np.zeros(0)),
+        ))
+    for side in sorted(set(a.li) | set(b.li)):
+        pairs.append((
+            f"li[{side}]",
+            a.li.get(side, np.zeros(0)),
+            b.li.get(side, np.zeros(0)),
+        ))
+    for name, sa, sb in pairs:
+        delta = _series_delta(name, sa, sb)
+        if not delta.empty:
+            diff.series.append(delta)
+
+    agg_a = _phase_aggregates(a)
+    agg_b = _phase_aggregates(b)
+    for key in sorted(set(agg_a) | set(agg_b)):
+        count_a, dur_a = agg_a.get(key, (0, 0.0))
+        count_b, dur_b = agg_b.get(key, (0, 0.0))
+        if count_a != count_b or dur_a != dur_b:
+            diff.phase_changes.append(
+                (key[0], key[1], count_a, count_b, dur_a, dur_b)
+            )
+
+    sched_a = _migration_schedule(a)
+    sched_b = _migration_schedule(b)
+    diff.migration_count = (len(sched_a), len(sched_b))
+    for i in range(max(len(sched_a), len(sched_b))):
+        sig_a = sched_a[i] if i < len(sched_a) else None
+        sig_b = sched_b[i] if i < len(sched_b) else None
+        if sig_a != sig_b:
+            diff.migration_first_divergence = i
+            diff.migration_divergence_detail = (sig_a, sig_b)
+            break
+
+    for stream in sorted(set(a.hot_keys) | set(b.hot_keys)):
+        keys_a = {k for k, _ in a.hot_keys.get(stream, [])}
+        keys_b = {k for k, _ in b.hot_keys.get(stream, [])}
+        if keys_a == keys_b:
+            continue
+        union = keys_a | keys_b
+        jaccard = len(keys_a & keys_b) / len(union) if union else 1.0
+        diff.hot_key_churn.append((
+            stream,
+            sorted(keys_b - keys_a),
+            sorted(keys_a - keys_b),
+            jaccard,
+        ))
+
+    return diff
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+
+
+def _fmt_sig(sig: tuple | None) -> str:
+    if sig is None:
+        return "(absent)"
+    start, side, source, target, n_keys, n_tuples = sig
+    return (
+        f"t={start:.3f}s {side}:{source}->{target} "
+        f"keys={n_keys} tuples={n_tuples}"
+    )
+
+
+def render_diff(diff: TraceDiff, label_a: str = "A", label_b: str = "B") -> str:
+    """Compact terminal report of a :class:`TraceDiff`."""
+    if diff.is_empty():
+        return "traces identical: no deltas"
+    lines: list[str] = [f"trace diff ({label_a} -> {label_b})"]
+
+    if diff.meta_changes:
+        lines.append("  run_meta:")
+        for key, va, vb in diff.meta_changes:
+            lines.append(f"    {key}: {va!r} -> {vb!r}")
+
+    if diff.kind_count_changes:
+        lines.append("  event counts:")
+        for kind, ca, cb in diff.kind_count_changes:
+            lines.append(f"    {kind}: {ca} -> {cb} ({cb - ca:+d})")
+
+    if any(not s.empty for s in diff.series):
+        lines.append("  per-second series:")
+        for s in diff.series:
+            if s.empty:
+                continue
+            parts = []
+            if s.len_a != s.len_b:
+                parts.append(f"length {s.len_a} -> {s.len_b}")
+            if s.n_diff:
+                parts.append(
+                    f"{s.n_diff} differing second(s), first at t={s.first_diff}s, "
+                    f"max |delta|={s.max_abs_delta:.6g}"
+                )
+            lines.append(f"    {s.name}: " + "; ".join(parts))
+
+    if diff.phase_changes:
+        lines.append("  span phases (count, total duration):")
+        for name, phase, ca, cb, da, db in diff.phase_changes:
+            lines.append(
+                f"    {name}/{phase}: {ca} -> {cb}, "
+                f"{da * 1e3:.2f}ms -> {db * 1e3:.2f}ms"
+            )
+
+    count_a, count_b = diff.migration_count
+    if diff.migration_first_divergence is not None or count_a != count_b:
+        lines.append(f"  migration schedule: {count_a} -> {count_b} migrations")
+        if diff.migration_first_divergence is not None:
+            sig_a, sig_b = diff.migration_divergence_detail or (None, None)
+            lines.append(
+                f"    first divergence at migration "
+                f"#{diff.migration_first_divergence}:"
+            )
+            lines.append(f"      {label_a}: {_fmt_sig(sig_a)}")
+            lines.append(f"      {label_b}: {_fmt_sig(sig_b)}")
+
+    if diff.hot_key_churn:
+        lines.append("  hot-key churn:")
+        for stream, added, removed, jaccard in diff.hot_key_churn:
+            lines.append(
+                f"    {stream}: +{added or '[]'} -{removed or '[]'} "
+                f"(jaccard {jaccard:.2f})"
+            )
+
+    return "\n".join(lines)

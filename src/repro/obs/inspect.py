@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..attribution import close_decomposition
 from .events import MIGRATION_PHASES
 
 __all__ = [
@@ -130,6 +131,10 @@ class InspectReport:
     guard_violations: list
     n_ticks: int
     n_throttled: int
+    #: latency-attribution mean series (DESIGN §5), component name ->
+    #: per-second array aligned with ``latency_mean``; queue_wait is the
+    #: residual closed bit-exactly against it, matching ``RunMetrics``.
+    components: dict = field(default_factory=dict)
 
     @property
     def complete_spans(self) -> list:
@@ -149,22 +154,53 @@ def _per_second(events: list[dict]) -> tuple[np.ndarray, ...]:
     proc = np.zeros(n_sec)
     lat_sum = np.zeros(n_sec)
     lat_cnt = np.zeros(n_sec, dtype=np.int64)
+    sv_sum = np.zeros(n_sec)
+    mg_sum = np.zeros(n_sec)
+    rc_sum = np.zeros(n_sec)
     for e in service:
         sec = min(int(float(e["ts"])), n_sec - 1)
         thr[sec] += float(e.get("n_results", 0.0))
         proc[sec] += float(e.get("n_processed", 0))
         lat_sum[sec] += float(e.get("latency_sum", 0.0))
         lat_cnt[sec] += int(e.get("latency_count", 0))
+        sv_sum[sec] += float(e.get("comp_service", 0.0))
+        mg_sum[sec] += float(e.get("comp_migration", 0.0))
+        rc_sum[sec] += float(e.get("comp_recovery", 0.0))
     lat = np.full(n_sec, np.nan)
     nz = lat_cnt > 0
     lat[nz] = lat_sum[nz] / lat_cnt[nz]
+    # Attribution mean series: mirror RunMetrics — per-tuple means, with
+    # the queue-wait residual closed bit-exactly against the latency mean.
+    # Traces without component fields (pre-attribution recordings) degrade
+    # to queue_wait == latency_mean, keeping the identity trivially true.
+    comps = {
+        "queue_wait": np.full(n_sec, np.nan),
+        "service": np.full(n_sec, np.nan),
+        "migration_pause": np.full(n_sec, np.nan),
+        "recovery_pause": np.full(n_sec, np.nan),
+    }
+    comps["service"][nz] = sv_sum[nz] / lat_cnt[nz]
+    comps["migration_pause"][nz] = mg_sum[nz] / lat_cnt[nz]
+    comps["recovery_pause"][nz] = rc_sum[nz] / lat_cnt[nz]
+    for i in np.nonzero(nz)[0].tolist():
+        (
+            comps["queue_wait"][i],
+            comps["service"][i],
+            comps["migration_pause"][i],
+            comps["recovery_pause"][i],
+        ) = close_decomposition(
+            float(lat[i]),
+            float(comps["service"][i]),
+            float(comps["migration_pause"][i]),
+            float(comps["recovery_pause"][i]),
+        )
     li: dict[str, np.ndarray] = {}
     for e in li_events:
         side = e.get("side", "?")
         arr = li.setdefault(side, np.full(n_sec, np.nan))
         sec = min(int(float(e["ts"])), n_sec - 1)
         arr[sec] = float(e["li"])  # last sample in the second wins
-    return seconds, thr, proc, lat, li
+    return seconds, thr, proc, lat, li, comps
 
 
 def _envelope(events: list[dict]) -> dict:
@@ -242,7 +278,7 @@ def build_report(events: list[dict]) -> InspectReport:
         raise TraceFormatError("trace contains no events")
     kind_counts = dict(TallyCounter(e["kind"] for e in events))
     meta = next((e for e in events if e["kind"] == "run_meta"), {})
-    seconds, thr, proc, lat, li = _per_second(events)
+    seconds, thr, proc, lat, li, comps = _per_second(events)
     ticks = [e for e in events if e["kind"] == "tick"]
     return InspectReport(
         meta={k: v for k, v in meta.items() if k not in ("ts", "kind")},
@@ -259,6 +295,7 @@ def build_report(events: list[dict]) -> InspectReport:
         guard_violations=[e for e in events if e["kind"] == "guard_violation"],
         n_ticks=len(ticks),
         n_throttled=sum(1 for e in ticks if e.get("throttled")),
+        components=comps,
     )
 
 
@@ -338,6 +375,23 @@ def render_report(report: InspectReport, top: int = 10) -> str:
             f"mean={finite_lat.mean() * 1e3:.2f}ms "
             f"worst-second={finite_lat.max() * 1e3:.2f}ms"
         )
+        # Latency attribution: where each second's mean latency went.
+        # Components sum bit-exactly to latency_mean (DESIGN §5).
+        lat_total = float(finite_lat.sum())
+        for name in ("queue_wait", "service", "migration_pause",
+                     "recovery_pause"):
+            series = report.components.get(name)
+            if series is None:
+                continue
+            finite = series[np.isfinite(series)]
+            if finite.size == 0:
+                continue
+            comp_total = float(finite.sum())
+            share = 100.0 * comp_total / lat_total if lat_total else 0.0
+            lines.append(
+                f"   · {name:<15} {_spark(np.nan_to_num(series))}  "
+                f"mean={finite.mean() * 1e3:.2f}ms share={share:.1f}%"
+            )
     for side in sorted(report.li):
         li = report.li[side]
         finite = li[np.isfinite(li)]

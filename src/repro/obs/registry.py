@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 
+import numpy as np
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 #: default histogram buckets, tuned for simulated latencies in seconds
@@ -145,10 +147,11 @@ class Gauge(_Family):
 
 
 class _HistogramChild:
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("bounds", "_bounds_arr", "bucket_counts", "count", "sum")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
+        self._bounds_arr = np.asarray(bounds, dtype=np.float64)
         self.bucket_counts = [0] * (len(bounds) + 1)  # +Inf bucket last
         self.count = 0
         self.sum = 0.0
@@ -159,8 +162,27 @@ class _HistogramChild:
         self.sum += value
 
     def observe_many(self, values) -> None:
-        for v in values:
-            self.observe(float(v))
+        """Bulk observation: one searchsorted + bincount for the whole
+        array (``searchsorted(side="left")`` matches ``bisect_left``
+        bucket-for-bucket), instead of a Python loop per value — the
+        hot-path hooks feed whole per-tick latency arrays through here.
+        """
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        n = arr.shape[0]
+        if n == 0:
+            return
+        if n < 8:
+            for v in arr.tolist():
+                self.observe(v)
+            return
+        idx = self._bounds_arr.searchsorted(arr, side="left")
+        per_bucket = np.bincount(idx, minlength=len(self.bucket_counts))
+        counts = self.bucket_counts
+        for i, c in enumerate(per_bucket.tolist()):
+            if c:
+                counts[i] += c
+        self.count += n
+        self.sum += float(arr.sum())
 
     def cumulative(self) -> list[int]:
         out, running = [], 0
@@ -295,8 +317,20 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: backslash first, then the
+    double quote and newline (exposition format 0.0.4, "label_value can be
+    any sequence of UTF-8 characters, but the backslash, double-quote and
+    line-feed characters have to be escaped")."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"

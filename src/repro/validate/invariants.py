@@ -28,6 +28,13 @@ violated, no matter how migrations interleave with the datapath:
   instance's write-ahead log on top of its last checkpoint reproduces the
   live store exactly — i.e. a crash at this very tick would restore the
   correct state (DESIGN §6).  Skipped for fault-free runs.
+- **attribution** — the latency accounting identity (DESIGN §5): for
+  every second with recorded latencies, the collector's component sums
+  satisfy ``fsum(queue_wait, service, migration_pause, recovery_pause)
+  == latency_sum`` *bit-exactly* (exact summation — see
+  :mod:`repro.attribution`), the measured components are finite and
+  non-negative, and the queue-wait residual is non-negative up to float
+  rounding.
 
 Guards are *opt-in* (``runtime.attach_guards(InvariantGuards(...))``) and
 cost nothing when not attached; O(state) checks run every
@@ -43,6 +50,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..attribution import reconstruct
 from ..errors import StorageError, ValidationError
 
 __all__ = ["GuardConfig", "InvariantGuards"]
@@ -68,6 +76,7 @@ class GuardConfig:
     hysteresis: bool = True
     deep_consistency: bool = True
     recovery: bool = True
+    attribution: bool = True
     period: int = 1
 
     def __post_init__(self) -> None:
@@ -162,6 +171,8 @@ class InvariantGuards:
                 self.check_deep_consistency(runtime)
             if cfg.recovery and getattr(runtime, "faults", None) is not None:
                 self.check_recovery(runtime)
+            if cfg.attribution:
+                self.check_attribution(runtime)
 
     # ------------------------------------------------------------------ #
     # individual checks (public so tests can violate + fire them directly)
@@ -368,6 +379,65 @@ class InvariantGuards:
                     f"instance {inst.instance_id}/{inst.side}: {problem}",
                     side=inst.side,
                     instance=inst.instance_id,
+                )
+
+    def check_attribution(self, runtime) -> None:
+        """The latency-attribution identity, re-verified from the live sums.
+
+        For every second the collector has touched, the exact sum
+        ``fsum(queue_wait, service, migration_pause, recovery_pause)``
+        must reproduce the recorded latency sum *bit-exactly* (the
+        collector closes the queue-wait residual after every tick; this
+        check recomputes the sum independently).  The measured components
+        must be finite and non-negative — service time and pause overlaps
+        are clipped ``>= 0`` at the source — and the residual may dip
+        below zero only by float rounding (the per-tuple decomposition
+        never exceeds the measured latency in real arithmetic).
+        """
+        sums = runtime.metrics.component_sums()
+        lat = sums["latency"]
+        qw = sums["queue_wait"]
+        sv = sums["service"]
+        mg = sums["migration_pause"]
+        rc = sums["recovery_pause"]
+        for sec, total in lat.items():
+            q = qw.get(sec, 0.0)
+            s = sv.get(sec, 0.0)
+            m = mg.get(sec, 0.0)
+            r = rc.get(sec, 0.0)
+            recon = reconstruct(q, s, m, r)
+            if recon != total:
+                self._fail(
+                    "attribution",
+                    f"second {sec}: components sum to {recon!r} but the "
+                    f"latency sum is {total!r} "
+                    f"(qw={q!r}, sv={s!r}, mig={m!r}, rec={r!r})",
+                    second=sec,
+                    reconstructed=recon,
+                    latency_sum=total,
+                )
+            for name, value in (("service", s), ("migration_pause", m),
+                                ("recovery_pause", r)):
+                if value < 0.0 or not math.isfinite(value):
+                    self._fail(
+                        "attribution",
+                        f"second {sec}: component {name} = {value!r} "
+                        "(must be finite and >= 0)",
+                        second=sec,
+                        component=name,
+                        value=value,
+                    )
+            # The residual absorbs the (tiny) rounding slack; scale the
+            # tolerance with the magnitudes being cancelled.
+            slack = _EPS * max(abs(total), s + m + r, 1.0)
+            if not math.isfinite(q) or q < -slack:
+                self._fail(
+                    "attribution",
+                    f"second {sec}: queue_wait residual {q!r} is negative "
+                    f"beyond rounding slack {slack!r}",
+                    second=sec,
+                    queue_wait=q,
+                    slack=slack,
                 )
 
     def check_deep_consistency(self, runtime) -> None:

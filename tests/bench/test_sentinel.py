@@ -1,0 +1,239 @@
+"""Perf-regression sentinel (``repro bench --sentinel``).
+
+Unit tests drive :mod:`repro.bench.sentinel` with fabricated reports and
+histories — a 2x-slower run must be flagged against the trajectory
+median, deterministic drift must fail regardless of ``--jobs``, and the
+demotion rules (parallel run, machine change) must downgrade wall
+regressions to warnings.  CLI tests run the real ``bench`` subcommand on
+a one-case matrix: the first run seeds the trajectory, clean runs append
+entries, and a doctored history exits non-zero leaving the file alone.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.bench import perf, sentinel
+from repro.cli import build_parser, main
+
+
+def _case(name="fig1/fastjoin", rate=100_000.0, **over):
+    case = {
+        "name": name,
+        "total_processed": 34_000,
+        "total_results": 5_300_000,
+        "migrations": 11,
+        "latency_p50": 1.25,
+        "latency_p99": 6.9,
+        "mean_throughput": 390_000.0,
+        "tuples_per_sec": rate,
+        "wall_seconds": 0.5,
+    }
+    case.update(over)
+    return case
+
+
+def _report(cases=None, jobs=1, platform="test-box"):
+    return {
+        "cases": cases if cases is not None else [_case()],
+        "jobs": jobs,
+        "quick": True,
+        "repeats": 1,
+        "machine": {"platform": platform},
+    }
+
+
+def _entry(seq, cases=None, jobs=1, platform="test-box"):
+    return {
+        "seq": seq,
+        "recorded": f"2026-08-0{seq}T00:00:00Z",
+        "quick": True,
+        "jobs": jobs,
+        "repeats": 1,
+        "machine": {"platform": platform},
+        "cases": cases if cases is not None else [_case()],
+    }
+
+
+def _history(*entries):
+    return {"schema": 1, "entries": list(entries)}
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        history = sentinel.load_history(str(tmp_path / "nope.json"))
+        assert history == {"schema": 1, "entries": []}
+
+    def test_rejects_non_history_payload(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a trajectory history"):
+            sentinel.load_history(str(path))
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            sentinel.load_history(str(path))
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "h.json"
+        history = _history(_entry(1))
+        sentinel.write_history(history, str(path))
+        assert sentinel.load_history(str(path)) == history
+
+
+class TestCheckSentinel:
+    def test_empty_history_seeds(self):
+        result = sentinel.check_sentinel(_report(), _history())
+        assert result.ok
+        assert any("seeding trajectory" in line for line in result.lines)
+        assert result.entry["seq"] == 1
+
+    def test_clean_run_against_matching_history(self):
+        result = sentinel.check_sentinel(_report(), _history(_entry(1)))
+        assert result.ok and not result.warnings
+        assert result.entry["seq"] == 2
+
+    def test_halved_wall_rate_is_a_regression(self):
+        """The acceptance scenario: an (emulated) 2x service-cost
+        regression halves tuples_per_sec; the serial sentinel flags it."""
+        history = _history(_entry(1), _entry(2), _entry(3))
+        result = sentinel.check_sentinel(
+            _report([_case(rate=50_000.0)]), history
+        )
+        assert not result.ok
+        assert any("below the trajectory median" in f for f in result.failures)
+
+    def test_wall_median_ignores_parallel_entries(self):
+        """jobs>1 history entries are excluded from the wall median —
+        only the serial sample (100k) anchors the band, so a 90k run
+        passes even though the parallel entries recorded 200k."""
+        history = _history(
+            _entry(1, [_case(rate=100_000.0)]),
+            _entry(2, [_case(rate=200_000.0)], jobs=4),
+            _entry(3, [_case(rate=200_000.0)], jobs=4),
+        )
+        result = sentinel.check_sentinel(
+            _report([_case(rate=90_000.0)]), history
+        )
+        assert result.ok
+        assert any("n=1" in line for line in result.lines)
+
+    def test_parallel_fresh_run_demotes_wall_to_warning(self):
+        history = _history(_entry(1), _entry(2))
+        result = sentinel.check_sentinel(
+            _report([_case(rate=50_000.0)], jobs=2), history
+        )
+        assert result.ok
+        assert any("jobs" in w for w in result.warnings)
+
+    def test_machine_change_demotes_wall_to_warning(self):
+        history = _history(_entry(1), _entry(2))
+        result = sentinel.check_sentinel(
+            _report([_case(rate=50_000.0)], platform="other-box"), history
+        )
+        assert result.ok
+        assert any("different machine" in w for w in result.warnings)
+        assert any("machine changed" in w for w in result.warnings)
+
+    def test_deterministic_drift_fails_even_under_jobs(self):
+        """Simulated metrics are a pure function of (config, seed); drift
+        is a semantics change and no demotion rule applies."""
+        history = _history(_entry(1))
+        result = sentinel.check_sentinel(
+            _report([_case(total_results=5_300_001)], jobs=4), history
+        )
+        assert not result.ok
+        assert any("total_results" in f for f in result.failures)
+
+    def test_float_drift_fails_beyond_tolerance(self):
+        history = _history(_entry(1))
+        result = sentinel.check_sentinel(
+            _report([_case(latency_p99=6.9 * 1.001)]), history
+        )
+        assert not result.ok
+        assert any("latency_p99" in f for f in result.failures)
+
+    def test_baseline_anchors_empty_history(self):
+        baseline = {"cases": [_case(total_results=1)]}
+        result = sentinel.check_sentinel(
+            _report(), _history(), baseline=baseline
+        )
+        assert not result.ok
+        assert any("baseline" in f for f in result.failures)
+
+    def test_entry_is_well_formed(self):
+        history = _history(_entry(3), _entry(7))
+        result = sentinel.check_sentinel(_report(jobs=2), history)
+        entry = result.entry
+        assert entry["seq"] == 8  # max + 1, not len + 1
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", entry["recorded"]
+        )
+        assert entry["jobs"] == 2
+        assert entry["quick"] is True
+        assert entry["cases"] == _report()["cases"]
+
+    def test_append_entry(self):
+        history = _history(_entry(1))
+        sentinel.append_entry(history, _entry(2))
+        assert [e["seq"] for e in history["entries"]] == [1, 2]
+
+
+class TestSentinelCLI:
+    @pytest.fixture
+    def tiny_matrix(self, monkeypatch):
+        tiny = perf.BenchCase(
+            name="tiny/bistream", system="bistream", workload="ridehailing",
+            n_instances=2, duration=3.0, rate=2_000.0, seed=3, quick=True,
+        )
+        monkeypatch.setattr(perf, "BENCH_CASES", (tiny,))
+        return tiny
+
+    def test_parser_accepts_sentinel_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--sentinel", "--history", "h.json"]
+        )
+        assert args.sentinel and args.history == "h.json"
+        assert build_parser().parse_args(["bench"]).history == (
+            "BENCH_trajectory.json"
+        )
+
+    def test_seed_then_clean_run_appends(self, tiny_matrix, tmp_path, capsys):
+        history_path = tmp_path / "traj.json"
+        assert main(["bench", "--repeats", "1", "--sentinel",
+                     "--history", str(history_path)]) == 0
+        assert "seeding trajectory" in capsys.readouterr().out
+        first = json.loads(history_path.read_text())
+        assert [e["seq"] for e in first["entries"]] == [1]
+        # Second run: deterministic metrics match bit-exactly, the wall
+        # band is generous, so the run is clean and entry #2 lands.
+        assert main(["bench", "--repeats", "1", "--sentinel",
+                     "--tolerance", "0.99",
+                     "--history", str(history_path)]) == 0
+        assert "entry #2 appended" in capsys.readouterr().err
+        second = json.loads(history_path.read_text())
+        assert [e["seq"] for e in second["entries"]] == [1, 2]
+
+    def test_regression_exits_nonzero_and_preserves_history(
+        self, tiny_matrix, tmp_path, capsys
+    ):
+        history_path = tmp_path / "traj.json"
+        assert main(["bench", "--repeats", "1", "--sentinel",
+                     "--history", str(history_path)]) == 0
+        doctored = json.loads(history_path.read_text())
+        doctored["entries"][-1]["cases"][0]["total_results"] += 1
+        history_path.write_text(json.dumps(doctored))
+        before = history_path.read_text()
+        capsys.readouterr()
+        assert main(["bench", "--repeats", "1", "--sentinel",
+                     "--tolerance", "0.99",
+                     "--history", str(history_path)]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "left untouched" in err
+        assert history_path.read_text() == before

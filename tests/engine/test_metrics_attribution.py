@@ -1,0 +1,165 @@
+"""MetricsCollector latency-attribution accounting (DESIGN §5).
+
+The collector maintains, per second, the standing identity::
+
+    fsum(queue_wait, service, migration_pause, recovery_pause) == lat_sum
+
+re-closed after every recorded tick, and ``finalize`` closes the same
+identity again at the per-tuple-mean level (division by the bin count
+does not distribute over float addition, so the mean series gets its own
+residual).  These tests drive the collector directly with synthetic
+reports and check both levels, plus the batched/scalar equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attribution import reconstruct
+from repro.engine.metrics import MetricsCollector
+from repro.join.instance import ServiceReport
+
+
+def _report(rng, n, with_comps=True):
+    latencies = rng.uniform(0.01, 2.0, size=n)
+    comp_service = comp_migration = comp_recovery = None
+    if with_comps:
+        comp_service = latencies * rng.uniform(0.1, 0.6, size=n)
+        comp_migration = latencies * rng.uniform(0.0, 0.2, size=n)
+        comp_recovery = latencies * rng.uniform(0.0, 0.1, size=n)
+    return ServiceReport(
+        n_processed=n,
+        n_probed=n,
+        n_results=float(n),
+        latencies=latencies,
+        comp_service=comp_service,
+        comp_migration=comp_migration,
+        comp_recovery=comp_recovery,
+    )
+
+
+def _assert_sums_closed(collector):
+    sums = collector.component_sums()
+    for sec, total in sums["latency"].items():
+        recon = reconstruct(
+            sums["queue_wait"].get(sec, 0.0),
+            sums["service"].get(sec, 0.0),
+            sums["migration_pause"].get(sec, 0.0),
+            sums["recovery_pause"].get(sec, 0.0),
+        )
+        assert recon == total, f"second {sec}: {recon!r} != {total!r}"
+
+
+class TestPerSecondSums:
+    def test_identity_closed_after_every_record(self):
+        rng = np.random.default_rng(1)
+        collector = MetricsCollector()
+        for i in range(40):
+            rep = _report(rng, int(rng.integers(1, 50)))
+            collector.record_service(
+                0.1 * i, rep.n_processed, rep.n_results, rep.latencies,
+                comp_service=rep.comp_service,
+                comp_migration=rep.comp_migration,
+                comp_recovery=rep.comp_recovery,
+            )
+            _assert_sums_closed(collector)
+
+    def test_missing_components_fall_into_queue_wait(self):
+        """Reports without comp_* arrays keep the identity trivially
+        exact: the residual absorbs the whole latency sum."""
+        rng = np.random.default_rng(2)
+        collector = MetricsCollector()
+        rep = _report(rng, 10, with_comps=False)
+        collector.record_service(0.5, 10, 10.0, rep.latencies)
+        sums = collector.component_sums()
+        assert sums["queue_wait"][0] == sums["latency"][0]
+        assert sums["service"].get(0, 0.0) == 0.0
+        _assert_sums_closed(collector)
+
+    def test_record_service_many_matches_scalar_sequence(self):
+        """One batched call per tick must leave the same per-second sums
+        and counters as one record_service call per report, in order."""
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        batched = MetricsCollector(warmup=0.5)
+        scalar = MetricsCollector(warmup=0.5)
+        for tick in range(12):
+            now = 0.1 * (tick + 1)
+            reports = [
+                _report(rng_a, int(rng_a.integers(1, 30))) for _ in range(4)
+            ]
+            reports_b = [
+                _report(rng_b, int(rng_b.integers(1, 30))) for _ in range(4)
+            ]
+            sv, mg, rc = batched.record_service_many(now, reports)
+            for rep in reports_b:
+                scalar.record_service(
+                    now, rep.n_processed, rep.n_results, rep.latencies,
+                    comp_service=rep.comp_service,
+                    comp_migration=rep.comp_migration,
+                    comp_recovery=rep.comp_recovery,
+                )
+            assert sv == sum(float(r.comp_service.sum()) for r in reports)
+            assert mg == sum(float(r.comp_migration.sum()) for r in reports)
+            assert rc == sum(float(r.comp_recovery.sum()) for r in reports)
+        a, b = batched.component_sums(), scalar.component_sums()
+        for name in ("latency", "service", "migration_pause",
+                     "recovery_pause", "queue_wait"):
+            assert a[name] == b[name], name
+        ma, mb = batched.finalize(), scalar.finalize()
+        assert ma.total_processed == mb.total_processed
+        assert ma.total_results == mb.total_results
+        assert ma.latency_p99 == mb.latency_p99
+        np.testing.assert_array_equal(ma.latency_mean, mb.latency_mean)
+
+
+class TestFinalize:
+    @pytest.fixture
+    def metrics(self):
+        rng = np.random.default_rng(4)
+        collector = MetricsCollector(warmup=1.0)
+        for tick in range(80):
+            now = 0.1 * (tick + 1)
+            collector.record_service_many(
+                now, [_report(rng, int(rng.integers(1, 40)))]
+            )
+        return collector.finalize()
+
+    def test_mean_level_identity_is_bit_exact(self, metrics):
+        comps = metrics.components()
+        finite = np.isfinite(metrics.latency_mean)
+        assert finite.any()
+        for i in np.nonzero(finite)[0].tolist():
+            recon = reconstruct(
+                float(comps["queue_wait"][i]),
+                float(comps["service"][i]),
+                float(comps["migration_pause"][i]),
+                float(comps["recovery_pause"][i]),
+            )
+            assert recon == float(metrics.latency_mean[i])
+
+    def test_component_series_nan_aligned_with_latency(self, metrics):
+        nan_mask = np.isnan(metrics.latency_mean)
+        for series in metrics.components().values():
+            assert series.shape == metrics.latency_mean.shape
+            np.testing.assert_array_equal(np.isnan(series), nan_mask)
+
+    def test_measured_components_nonnegative(self, metrics):
+        for name in ("service", "migration_pause", "recovery_pause"):
+            series = metrics.components()[name]
+            assert np.all(series[np.isfinite(series)] >= 0.0)
+
+    def test_component_totals_close_against_latency_sum(self, metrics):
+        totals = metrics.component_totals
+        assert totals["count"] > 0
+        assert reconstruct(
+            totals["queue_wait"], totals["service"],
+            totals["migration_pause"], totals["recovery_pause"],
+        ) == totals["latency_sum"]
+
+    def test_empty_run_has_zero_totals(self):
+        metrics = MetricsCollector().finalize()
+        totals = metrics.component_totals
+        assert totals["count"] == 0.0
+        assert totals["queue_wait"] == 0.0

@@ -1,0 +1,120 @@
+"""End-to-end latency-attribution identity under the invariant guard.
+
+The acceptance cells for the attribution tentpole: the standing identity
+(components fsum bit-exactly to the latency series, DESIGN §5) must hold
+
+- on the Fig. 1 ride-hailing configuration at 16 instances, for all
+  three systems, with the ``attribution`` guard re-verifying the
+  per-second sums live after every tick, and
+- under both pinned golden fault campaigns — crash/restart mid-migration
+  and failover of the heaviest instance — where migration *and* recovery
+  pauses are in play at once; the pinned golden totals must come out
+  unchanged with the guard attached (attribution is pure accounting; it
+  must not perturb a single float on the datapath).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attribution import reconstruct
+from repro.bench.experiments import (
+    canonical_config,
+    canonical_workload_spec,
+    make_group_sources,
+    ridehailing_sources,
+)
+from repro.data.synthetic import SyntheticGroupSpec
+from repro.engine.rng import SeedSequenceFactory
+from repro.systems import build_system
+from repro.validate import GuardConfig, InvariantGuards
+
+from .test_golden_faults import CAMPAIGNS, GOLDEN, _campaign_config
+
+pytestmark = pytest.mark.integration
+
+
+def _attribution_guards(seed: int) -> InvariantGuards:
+    """Guards with only the cheap clock check and the attribution check —
+    the O(state) checks have their own suites and would dominate runtime
+    at 16 instances."""
+    return InvariantGuards(seed=seed, config=GuardConfig(
+        conservation=False, colocation=False, deep_consistency=False,
+        recovery=False, li_bounds=False, nonnegative_load=False,
+        hysteresis=False, monotone_clock=True, attribution=True,
+    ))
+
+
+def _assert_mean_identity(metrics):
+    """RunMetrics-level identity: per-bin bit-exact closure, non-negative
+    measured components, and closed post-warm-up totals."""
+    comps = metrics.components()
+    finite = np.isfinite(metrics.latency_mean)
+    assert finite.any()
+    for i in np.nonzero(finite)[0].tolist():
+        recon = reconstruct(
+            float(comps["queue_wait"][i]),
+            float(comps["service"][i]),
+            float(comps["migration_pause"][i]),
+            float(comps["recovery_pause"][i]),
+        )
+        assert recon == float(metrics.latency_mean[i]), f"bin {i}"
+    for name in ("service", "migration_pause", "recovery_pause"):
+        series = comps[name][finite]
+        assert np.all(series >= 0.0), name
+    totals = metrics.component_totals
+    assert reconstruct(
+        totals["queue_wait"], totals["service"],
+        totals["migration_pause"], totals["recovery_pause"],
+    ) == totals["latency_sum"]
+
+
+@pytest.mark.parametrize("system", ["bistream", "contrand", "fastjoin"])
+def test_fig1_16_instance_identity_under_guard(system):
+    config = canonical_config(n_instances=16, seed=0, warmup=2.0)
+    spec = canonical_workload_spec()
+    orders, tracks = ridehailing_sources(spec, config.seed, unbounded=True)
+    runtime = build_system(system, config, orders, tracks)
+    guards = _attribution_guards(config.seed)
+    runtime.attach_guards(guards)
+    metrics = runtime.run(duration=6.0, drain=False, max_duration=240.0)
+    assert guards.checks_run > 0 and guards.violations == 0
+    assert metrics.total_processed > 0
+    _assert_mean_identity(metrics)
+    # The identity is not vacuous: work happened, so service is nonzero.
+    assert metrics.component_totals["service"] > 0.0
+
+
+@pytest.mark.parametrize("campaign", sorted(GOLDEN))
+def test_golden_fault_campaigns_hold_identity_and_goldens(campaign):
+    config = _campaign_config(campaign)
+    spec = SyntheticGroupSpec(
+        "G12", n_keys=1_000, tuples_per_stream=10**9, rate=1_800.0
+    )
+    seeds = SeedSequenceFactory(config.seed)
+    r_source, s_source = make_group_sources(spec, seeds)
+    r_source.total = None
+    s_source.total = None
+    runtime = build_system("fastjoin", config, r_source, s_source)
+    guards = _attribution_guards(config.seed)
+    runtime.attach_guards(guards)
+    metrics = runtime.run(duration=12.0, drain=False, max_duration=240.0)
+    assert guards.checks_run > 0 and guards.violations == 0
+    _assert_mean_identity(metrics)
+    # Attribution + guard must not move the pinned goldens by one bit.
+    golden = GOLDEN[campaign]
+    assert metrics.total_results == golden["total_results"]
+    assert metrics.total_processed == golden["total_processed"]
+    assert len(metrics.migrations) == golden["migrations"]
+    assert metrics.latency_overall_mean == pytest.approx(
+        golden["latency_overall_mean"], rel=1e-9
+    )
+    assert metrics.mean_throughput == pytest.approx(
+        golden["mean_throughput"], rel=1e-9
+    )
+    # Both campaigns pause instances: migration waits show up, and the
+    # crash/failover campaigns put time into recovery_pause too.
+    totals = metrics.component_totals
+    assert totals["migration_pause"] > 0.0
+    assert totals["recovery_pause"] > 0.0

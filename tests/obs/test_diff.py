@@ -1,0 +1,159 @@
+"""Trace diffing (``repro inspect --diff``).
+
+The contract: two identical traces diff *empty* (exit 0, "traces
+identical"), and any divergence — per-second series, span phases, the
+migration schedule, hot-key sets, run metadata — surfaces as a non-empty
+:class:`TraceDiff` (exit 1).  Comparisons are exact; NaN equals NaN.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import diff_reports, render_diff
+from repro.obs.inspect import build_report
+
+
+def _events():
+    """A small synthetic trace touching every diffed dimension."""
+    return [
+        {"ts": 0.0, "kind": "run_meta", "system": "fastjoin", "seed": 7},
+        {"ts": 0.5, "kind": "tick", "tick": 1},
+        {"ts": 0.5, "kind": "service", "n_processed": 10, "n_results": 6.0,
+         "latency_sum": 1.5, "latency_count": 10,
+         "comp_service": 0.4, "comp_migration": 0.1, "comp_recovery": 0.0},
+        {"ts": 0.6, "kind": "dispatch", "stream": "R",
+         "top_keys": [[3, 40], [9, 12]]},
+        {"ts": 1.2, "kind": "li_sample", "side": "R", "li": 1.8},
+        {"ts": 1.5, "kind": "service", "n_processed": 8, "n_results": 4.0,
+         "latency_sum": 0.9, "latency_count": 8,
+         "comp_service": 0.3, "comp_migration": 0.0, "comp_recovery": 0.0},
+        {"ts": 2.0, "kind": "span", "span_id": 0, "name": "migration",
+         "phase": "pause", "t0": 2.0, "t1": 2.1, "side": "R",
+         "source": 0, "target": 1, "n_keys": 5, "n_tuples": 120},
+        {"ts": 2.3, "kind": "span", "span_id": 0, "name": "migration",
+         "phase": "transfer", "t0": 2.1, "t1": 2.3},
+    ]
+
+
+def _report(events):
+    return build_report(events)
+
+
+class TestDiffEmpty:
+    def test_self_diff_is_empty(self):
+        a, b = _report(_events()), _report(_events())
+        diff = diff_reports(a, b)
+        assert diff.is_empty()
+        assert render_diff(diff) == "traces identical: no deltas"
+
+    def test_nan_bins_compare_equal(self):
+        """Seconds with no completed tuples are NaN in both latency
+        series; NaN == NaN for diffing purposes."""
+        events = _events() + [{"ts": 4.0, "kind": "tick", "tick": 2}]
+        assert diff_reports(_report(events), _report(events)).is_empty()
+
+
+class TestDiffDivergence:
+    def test_series_divergence_located(self):
+        mutated = _events()
+        mutated[5] = dict(mutated[5], latency_sum=1.1)
+        diff = diff_reports(_report(_events()), _report(mutated))
+        assert not diff.is_empty()
+        names = {s.name for s in diff.series}
+        assert "latency_mean" in names
+        # the residual re-closes against the changed mean, so it moves too
+        assert "latency.queue_wait" in names
+        delta = next(s for s in diff.series if s.name == "latency_mean")
+        assert delta.first_diff == 1
+        assert delta.n_diff == 1
+        assert delta.max_abs_delta > 0
+
+    def test_length_mismatch_is_divergence(self):
+        longer = _events() + [
+            {"ts": 3.5, "kind": "service", "n_processed": 1,
+             "n_results": 1.0, "latency_sum": 0.1, "latency_count": 1},
+        ]
+        diff = diff_reports(_report(_events()), _report(longer))
+        assert not diff.is_empty()
+        assert any(s.len_a != s.len_b for s in diff.series)
+
+    def test_meta_and_kind_count_changes(self):
+        mutated = _events()
+        mutated[0] = dict(mutated[0], seed=8)
+        del mutated[4]  # drop the li_sample
+        diff = diff_reports(_report(_events()), _report(mutated))
+        assert ("seed", 7, 8) in diff.meta_changes
+        assert any(kind == "li_sample" for kind, _, _ in diff.kind_count_changes)
+
+    def test_migration_schedule_divergence(self):
+        mutated = _events()
+        mutated[6] = dict(mutated[6], target=2)
+        diff = diff_reports(_report(_events()), _report(mutated))
+        assert diff.migration_first_divergence == 0
+        sig_a, sig_b = diff.migration_divergence_detail
+        assert sig_a[3] == 1 and sig_b[3] == 2
+        assert "first divergence" in render_diff(diff)
+
+    def test_missing_migration_renders_absent(self):
+        fewer = [e for e in _events() if e["kind"] != "span"]
+        diff = diff_reports(_report(_events()), _report(fewer))
+        assert diff.migration_count == (1, 0)
+        assert "(absent)" in render_diff(diff)
+
+    def test_span_phase_deltas(self):
+        mutated = _events()
+        mutated[7] = dict(mutated[7], t1=2.5)  # longer transfer phase
+        diff = diff_reports(_report(_events()), _report(mutated))
+        assert any(
+            name == "migration" and phase == "transfer"
+            for name, phase, *_ in diff.phase_changes
+        )
+
+    def test_hot_key_churn_with_jaccard(self):
+        mutated = _events()
+        mutated[3] = dict(mutated[3], top_keys=[[3, 40], [11, 9]])
+        diff = diff_reports(_report(_events()), _report(mutated))
+        assert diff.hot_key_churn == [("R", [11], [9], pytest.approx(1 / 3))]
+        assert "jaccard" in render_diff(diff)
+
+
+class TestDiffCLI:
+    def _write(self, path, events):
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self._write(a, _events())
+        assert main(["inspect", "--diff", str(a), str(a)]) == 0
+        assert "traces identical" in capsys.readouterr().out
+
+    def test_divergent_traces_exit_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, _events())
+        mutated = copy.deepcopy(_events())
+        mutated[2]["latency_sum"] = 9.9
+        self._write(b, mutated)
+        assert main(["inspect", "--diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert str(a) in out and str(b) in out
+
+    def test_corrupt_operand_exits_two(self, tmp_path, capsys):
+        a, bad = tmp_path / "a.jsonl", tmp_path / "bad.jsonl"
+        self._write(a, _events())
+        bad.write_text("not json\n")
+        assert main(["inspect", "--diff", str(a), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad trace" in err and f"{bad}:1" in err
+
+    def test_missing_operand_exits_two(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self._write(a, _events())
+        assert main([
+            "inspect", "--diff", str(a), str(tmp_path / "nope.jsonl"),
+        ]) == 2

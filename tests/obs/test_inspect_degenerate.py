@@ -1,0 +1,111 @@
+"""Inspect renderers under degenerate inputs.
+
+The report renderers must not crash (or divide by zero) on the traces
+real debugging sessions produce: zero-duration or incomplete migration
+spans, empty or constant per-second series, and runs that never
+migrated at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.inspect import (
+    SpanTimeline,
+    _spark,
+    _waterfall,
+    build_report,
+    render_report,
+)
+
+
+class TestSpark:
+    def test_empty_series_is_empty_string(self):
+        assert _spark(np.empty(0)) == ""
+
+    def test_all_zero_series_renders_blanks(self):
+        assert _spark(np.zeros(5)) == " " * 5
+
+    def test_all_nan_series_renders_blanks(self):
+        assert _spark(np.full(4, np.nan)) == " " * 4
+
+    def test_constant_positive_series_renders_full_blocks(self):
+        assert _spark(np.full(6, 3.7)) == "█" * 6
+
+    def test_negative_values_clamp_to_baseline(self):
+        out = _spark(np.array([-1.0, 0.0, 1.0]))
+        assert len(out) == 3 and out[-1] == "█"
+
+
+class TestWaterfall:
+    def test_zero_duration_span_renders(self):
+        span = SpanTimeline(
+            span_id=1, name="migration", side="R", source=0, target=1,
+            phases=[("pause", 2.0, 2.0)],
+        )
+        lines = _waterfall(span)
+        assert lines[0].startswith("  span #1")
+        assert "[INCOMPLETE]" in lines[0]
+        assert len(lines) == 2  # header + the one phase bar
+        assert "█" in lines[1]  # bar never collapses to zero width
+
+    def test_span_with_no_phases_renders_header(self):
+        span = SpanTimeline(span_id=2, name="migration")
+        lines = _waterfall(span)
+        assert len(lines) == 1
+        assert "nan" in lines[0]  # start/duration/LI degrade to nan, not a crash
+
+    def test_incomplete_span_is_flagged(self):
+        span = SpanTimeline(
+            span_id=3, name="migration", side="S", source=1, target=0,
+            phases=[("pause", 1.0, 1.1), ("transfer", 1.1, 1.4)],
+        )
+        assert "[INCOMPLETE]" in _waterfall(span)[0]
+
+    def test_out_of_order_phase_times_render(self):
+        span = SpanTimeline(
+            span_id=4, name="migration",
+            phases=[("pause", 2.0, 1.0)],  # t1 < t0: corrupt trace
+        )
+        lines = _waterfall(span)
+        assert len(lines) == 2
+
+
+class TestRenderReportDegenerate:
+    def test_minimal_trace_without_migrations(self):
+        events = [
+            {"ts": 0.0, "kind": "run_meta", "system": "fastjoin"},
+            {"ts": 0.5, "kind": "tick", "tick": 1},
+            {"ts": 0.5, "kind": "service", "n_processed": 3,
+             "n_results": 2.0, "latency_sum": 0.3, "latency_count": 3,
+             "comp_service": 0.1},
+        ]
+        report = build_report(events)
+        assert report.spans == []
+        text = render_report(report)
+        assert "migration spans" in text
+        assert "queue_wait" in text
+
+    def test_trace_with_only_ticks(self):
+        """No service events at all: every series is empty/NaN."""
+        events = [{"ts": float(i), "kind": "tick", "tick": i}
+                  for i in range(1, 4)]
+        report = build_report(events)
+        assert np.all(np.isnan(report.latency_mean))
+        text = render_report(report)
+        assert "per-second series" in text
+
+    def test_single_event_trace(self):
+        report = build_report([{"ts": 0.0, "kind": "tick", "tick": 0}])
+        assert render_report(report)
+
+    def test_zero_duration_migration_span_in_full_report(self):
+        events = [
+            {"ts": 1.0, "kind": "tick", "tick": 1},
+            {"ts": 1.0, "kind": "span", "span_id": 0, "name": "migration",
+             "phase": "pause", "t0": 1.0, "t1": 1.0, "side": "R",
+             "source": 0, "target": 1},
+        ]
+        text = render_report(build_report(events))
+        assert "span #0" in text

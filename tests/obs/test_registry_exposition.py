@@ -1,0 +1,121 @@
+"""Prometheus exposition escaping + vectorised histogram equivalence.
+
+Two satellites of the attribution PR land here: label values containing
+backslashes, quotes or newlines must round-trip through the text
+exposition format (0.0.4 escaping rules), and the ``observe_many`` bulk
+path (searchsorted + bincount) must be bucket-for-bucket equivalent to
+the scalar ``observe`` loop it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry, _escape_label_value
+
+
+def _unescape(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it)
+        out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+    return "".join(out)
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw", [
+        'plain',
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        '\\"both\\"\n',
+        'trailing\\',
+    ])
+    def test_escape_round_trips(self, raw):
+        assert _unescape(_escape_label_value(raw)) == raw
+
+    def test_escaped_value_is_single_line(self):
+        assert "\n" not in _escape_label_value("a\nb")
+
+    def test_exposition_output_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("evil_total", labels=("name",))
+        raw = 'a\\b"c\nd'
+        counter.labels(name=raw).inc(3)
+        text = registry.to_prometheus()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("evil_total{")
+        )
+        # the exposition stays one line per sample...
+        assert line == 'evil_total{name="a\\\\b\\"c\\nd"} 3.0'
+        # ...and the quoted value parses back to the original
+        quoted = line[line.index('="') + 2:line.rindex('"')]
+        assert _unescape(quoted) == raw
+
+    def test_histogram_le_labels_unaffected(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.5, 1.0))
+        hist.observe(0.2)
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="0.5"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+
+
+class TestObserveManyEquivalence:
+    BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+    def _pair(self):
+        registry = MetricsRegistry()
+        return (
+            registry.histogram("scalar", buckets=self.BUCKETS),
+            registry.histogram("bulk", buckets=self.BUCKETS),
+        )
+
+    def _assert_equivalent(self, values):
+        scalar, bulk = self._pair()
+        for v in values:
+            scalar.observe(float(v))
+        bulk.observe_many(np.asarray(values, dtype=np.float64))
+        a = scalar._default_child()
+        b = bulk._default_child()
+        assert a.bucket_counts == b.bucket_counts
+        assert a.count == b.count
+        assert b.sum == pytest.approx(a.sum, rel=1e-12)
+        assert a.cumulative() == b.cumulative()
+
+    def test_small_batches_take_the_scalar_path_bit_exactly(self):
+        values = [0.0005, 0.05, 0.5, 5.0, 50.0]
+        scalar, bulk = self._pair()
+        for v in values:
+            scalar.observe(v)
+        bulk.observe_many(np.asarray(values))
+        assert scalar._default_child().sum == bulk._default_child().sum
+
+    def test_bulk_path_matches_scalar_loop(self):
+        rng = np.random.default_rng(7)
+        self._assert_equivalent(10.0 ** rng.uniform(-4, 2, size=500))
+
+    def test_values_exactly_on_bucket_bounds(self):
+        """searchsorted(side='left') must agree with bisect_left: a value
+        equal to a bound counts in that bound's bucket on both paths."""
+        values = list(self.BUCKETS) * 3  # 15 values -> bulk path
+        self._assert_equivalent(values)
+
+    def test_empty_and_singleton(self):
+        scalar, bulk = self._pair()
+        bulk.observe_many(np.empty(0))
+        assert bulk._default_child().count == 0
+        bulk.observe_many(np.array([0.05]))
+        scalar.observe(0.05)
+        assert (
+            bulk._default_child().bucket_counts
+            == scalar._default_child().bucket_counts
+        )
+
+    def test_out_of_range_values_hit_inf_bucket(self):
+        self._assert_equivalent([100.0, 1e6] * 6)

@@ -205,8 +205,12 @@ class TestTraceAndInspect:
     def test_inspect_malformed_trace(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("this is not json\n")
-        assert main(["inspect", str(bad)]) == 1
-        assert "bad trace" in capsys.readouterr().err
+        assert main(["inspect", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad trace" in err
+        # one line, naming the file and the offending line number
+        assert err.count("\n") == 1
+        assert f"{bad}:1" in err
 
     def test_inspect_accepts_trace_flag(self, tmp_path, capsys):
         trace = tmp_path / "t.jsonl"
