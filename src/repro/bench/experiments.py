@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import SystemConfig
+from ..data.distributions import DriftingSampler, KeySampler, zipf_probabilities
 from ..data.ridehailing import RideHailingSpec, RideHailingWorkload
 from ..data.streams import StreamSource
 from ..data.synthetic import SyntheticGroupSpec, make_group_sources
@@ -40,11 +41,14 @@ __all__ = [
     "SCALE_GB_LABELS",
     "THETA_SWEEP",
     "SWEEP_SYSTEMS",
+    "ELASTIC_SCHEDULE",
     "canonical_config",
     "canonical_workload_spec",
     "ridehailing_sources",
     "run_ridehailing",
     "run_synthetic_group",
+    "skew_drift_sources",
+    "run_elasticity",
     "ExperimentResult",
     "ExperimentTask",
     "ExperimentOutcome",
@@ -71,6 +75,11 @@ THETA_SWEEP = (1.2, 2.2, 3.5, 6.0, 12.0, 40.0, 200.0)
 #: canonical run length / warm-up in simulated seconds
 RUN_DURATION = 60.0
 WARMUP = 25.0
+
+#: canonical elasticity schedule for the skew-drift experiment: grow by
+#: two instances per side at the drift point, shrink back once the new
+#: hot set has been absorbed (see :func:`run_elasticity`)
+ELASTIC_SCHEDULE = "at:t=20+2;at:t=38-2"
 
 
 def canonical_workload_spec(rate: float = 2_400.0, scale: float = 1.0) -> RideHailingSpec:
@@ -241,6 +250,7 @@ class ExperimentTask:
     n_keys: int = 1_000
     capture: bool = False
     fault_spec: str | None = None   # --faults grammar; None = fault-free
+    elastic_spec: str | None = None  # --elastic grammar; None = fixed fleet
     label: str = ""
 
     def display(self) -> str:
@@ -266,6 +276,11 @@ def _config_for(task: ExperimentTask) -> SystemConfig:
         # Fault injection requires full-history stores: sub-window ages
         # cannot be rebuilt from count checkpoints, so fault cells run
         # unwindowed (the canonical config windows by default).
+        overrides["window_subwindows"] = None
+    if task.elastic_spec is not None:
+        overrides["elastic_spec"] = task.elastic_spec
+        # Elastic drains move count-level state, which windowed stores
+        # cannot absorb — same restriction as fault cells.
         overrides["window_subwindows"] = None
     return canonical_config(
         n_instances=task.n_instances,
@@ -350,6 +365,7 @@ def run_compare(
     warmup: float | None = None,
     capture: bool = False,
     fault_spec: str | None = None,
+    elastic_spec: str | None = None,
     jobs: int | None = None,
     progress=None,
 ) -> list[ExperimentOutcome]:
@@ -358,7 +374,9 @@ def run_compare(
     Baselines get ``theta=None`` (passive monitors), mirroring the CLI's
     long-standing serial loop; outcomes come back in ``systems`` order.
     ``fault_spec`` runs every cell under the same deterministic fault
-    plan (see :mod:`repro.faults`).
+    plan (see :mod:`repro.faults`); ``elastic_spec`` runs every cell
+    under the same scaling policy (see :mod:`repro.elastic` — FastJoin
+    only, the CLI rejects it for the baselines).
     """
     tasks = [
         ExperimentTask(
@@ -373,6 +391,7 @@ def run_compare(
             warmup=warmup,
             capture=capture,
             fault_spec=fault_spec,
+            elastic_spec=elastic_spec,
             label=f"{system}/{workload}",
         )
         for system in systems
@@ -531,4 +550,107 @@ def run_synthetic_group(
         metrics=metrics,
         throttled_ticks=runtime.throttled_ticks,
         params={"group": label, "config": config},
+    )
+
+
+def skew_drift_sources(
+    seed: int,
+    *,
+    n_keys: int = 1_000,
+    rate: float = 4_500.0,
+    zipf: float = 1.2,
+    drift_after: int = 90_000,
+    tuples_per_stream: int | None = None,
+) -> tuple[StreamSource, StreamSource]:
+    """R/S sources whose hot-key set rotates mid-stream (skew drift).
+
+    Both streams share one permuted Zipf universe per phase (the
+    validation-workload structure: hot on both sides, the regime where
+    balancing matters); after ``drift_after`` tuples each stream's
+    permutation is replaced by an independent one, so the popular keys
+    relocate and the load concentrates somewhere new.  This is the
+    workload the elasticity experiment scales against — the drift point
+    is where a fixed fleet would re-balance while an elastic policy can
+    also *grow*.
+
+    ``tuples_per_stream=None`` streams forever (the continuous
+    experiment); a finite total makes the run a pure function of
+    ``(seed, params)`` end to end, which the golden elasticity campaign
+    pins.
+    """
+    seeds = SeedSequenceFactory(seed)
+    p = zipf_probabilities(n_keys, zipf)
+    perm_a = seeds.generator("drift.perm.a").permutation(n_keys).astype(np.int64)
+    perm_b = seeds.generator("drift.perm.b").permutation(n_keys).astype(np.int64)
+
+    def drifting() -> DriftingSampler:
+        return DriftingSampler(
+            [KeySampler(p, key_ids=perm_a), KeySampler(p, key_ids=perm_b)],
+            [drift_after],
+        )
+
+    r_source = StreamSource(
+        "R", drifting(), rate, seeds.generator("drift.source.R"),
+        total=tuples_per_stream,
+    )
+    s_source = StreamSource(
+        "S", drifting(), rate, seeds.generator("drift.source.S"),
+        total=tuples_per_stream,
+    )
+    return r_source, s_source
+
+
+def run_elasticity(
+    *,
+    schedule: str | None = ELASTIC_SCHEDULE,
+    n_instances: int = 6,
+    duration: float = 45.0,
+    rate: float = 4_500.0,
+    n_keys: int = 1_000,
+    zipf: float = 1.2,
+    drift_after: int = 90_000,
+    seed: int = 0,
+    warmup: float = 5.0,
+    obs=None,
+) -> ExperimentResult:
+    """The elasticity experiment: FastJoin on the skew-drift workload.
+
+    A modest base fleet serves phase A; at the drift point the canonical
+    ``ELASTIC_SCHEDULE`` grows the group by two instances per side (the
+    new hot set lands on fresh capacity) and shrinks back once absorbed.
+    ``schedule=None`` runs the fixed-fleet control on the *same* stream,
+    so the pair isolates what elasticity buys: compare throughput,
+    latency and the ``instance_counts`` series across the two results.
+
+    With the canonical rate (4 500 tuples/s) the default ``drift_after``
+    of 90 000 tuples lands at t = 20 s — the schedule's scale-out point.
+    """
+    config = canonical_config(
+        n_instances=n_instances,
+        theta=2.2,
+        seed=seed,
+        warmup=warmup,
+        elastic_spec=schedule,
+        window_subwindows=None,
+    )
+    r_source, s_source = skew_drift_sources(
+        seed, n_keys=n_keys, rate=rate, zipf=zipf, drift_after=drift_after
+    )
+    runtime = build_system("fastjoin", config, r_source, s_source)
+    if obs is not None:
+        runtime.attach_observer(
+            obs,
+            meta={"system": "fastjoin", "workload": "skewdrift", "seed": seed},
+        )
+    metrics = runtime.run(duration=duration, drain=False, max_duration=240.0)
+    return ExperimentResult(
+        system="fastjoin",
+        metrics=metrics,
+        throttled_ticks=runtime.throttled_ticks,
+        params={
+            "workload": "skewdrift",
+            "schedule": schedule,
+            "drift_after": drift_after,
+            "config": config,
+        },
     )

@@ -80,11 +80,20 @@ class BenchCase:
     rate: float
     seed: int = 0
     quick: bool = False
+    elastic_spec: str | None = None  # scale mid-run (see repro.elastic)
 
     def config(self) -> SystemConfig:
         theta = 2.2 if self.system == "fastjoin" else None
+        overrides: dict = {}
+        if self.elastic_spec is not None:
+            # Elastic drains move count-level state, which windowed
+            # stores cannot absorb (same restriction as fault cells).
+            overrides.update(
+                elastic_spec=self.elastic_spec, window_subwindows=None
+            )
         return canonical_config(
-            n_instances=self.n_instances, theta=theta, seed=self.seed, warmup=2.0
+            n_instances=self.n_instances, theta=theta, seed=self.seed,
+            warmup=2.0, **overrides,
         )
 
 
@@ -105,6 +114,12 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("G12-zipf/bistream/8", "bistream", "G12", 8, 10.0, 48_000.0),
     BenchCase("G12-zipf/fastjoin/8", "fastjoin", "G12", 8, 10.0, 48_000.0, quick=True),
     BenchCase("G12-zipf/contrand/8", "contrand", "G12", 8, 10.0, 48_000.0),
+    # Elasticity: a full scale-out/scale-in cycle and a reactive rule,
+    # so controller overhead and drain cost sit on the measured hot path.
+    BenchCase("elastic-cycle/fastjoin/8", "fastjoin", "G12", 8, 10.0, 48_000.0,
+              elastic_spec="at:t=3+2;at:t=7-2"),
+    BenchCase("elastic-rules/fastjoin/8", "fastjoin", "ridehailing", 8, 10.0, 48_000.0,
+              elastic_spec="scaleout:+2@LI>2.5/hold=1.0"),
 )
 
 #: wall-clock repeats per case; the report keeps the best (see run_case)

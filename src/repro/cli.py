@@ -24,6 +24,12 @@ mid-migration aborts) into a run or a validation::
     python -m repro run --faults 'crash:R0@10+2;ckpt=0.5' --duration 30
     python -m repro validate --system fastjoin --faults 'failover:S1@2+1'
 
+Scale the join group elastically mid-run under a deterministic policy
+(scheduled events and/or reactive rules)::
+
+    python -m repro run --elastic 'at:t=10+2;at:t=20-2' --duration 30
+    python -m repro validate --elastic 'scaleout:+2@LI>3.0/hold=2.0'
+
 Run the hot-path performance benchmark and check it against the committed
 baseline::
 
@@ -119,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "run/compare/validate, e.g. "
                         "'crash:R0@4+2;delay:S@2+0.5;ckpt=0.5' "
                         "(see repro.faults.plan for the grammar)")
+    parser.add_argument("--elastic", default=None, metavar="SPEC",
+                        help="deterministic elasticity policy for "
+                        "run/compare/validate, e.g. "
+                        "'scaleout:+2@LI>3.0/hold=2.0;at:t=12-2' "
+                        "(see repro.elastic.policy for the grammar)")
 
     validate = parser.add_argument_group(
         "validate", "options for the 'validate' subcommand"
@@ -223,9 +234,15 @@ def _run_validate(args: argparse.Namespace) -> int:
 
     if args.fuzz is not None:
         return _run_fuzz(args)
-    systems = (
-        [args.validate_system] if args.validate_system else list(SYSTEMS)
-    )
+    if args.validate_system:
+        systems = [args.validate_system]
+    elif args.elastic is not None:
+        # Only fastjoin can scale (checked in _check_args); an elastic
+        # validate without --system therefore runs the one elastic system
+        # instead of crashing the two baselines.
+        systems = ["fastjoin"]
+    else:
+        systems = list(SYSTEMS)
     tasks = [
         DifferentialTask(
             system=system,
@@ -237,6 +254,7 @@ def _run_validate(args: argparse.Namespace) -> int:
             guards=not args.no_guards,
             capture=args.trace is not None,
             fault_spec=args.faults,
+            elastic_spec=args.elastic,
         )
         for system in systems
     ]
@@ -444,6 +462,31 @@ def _check_args(args: argparse.Namespace) -> str | None:
             plan.validate(n_instances)
         except ConfigError as exc:
             return f"--faults: {exc}"
+    if args.elastic is not None:
+        from .elastic import parse_elastic_spec
+        from .errors import ConfigError
+
+        try:
+            policy = parse_elastic_spec(args.elastic)
+        except ConfigError as exc:
+            return f"--elastic: {exc}"
+        if args.system in ("inspect", "bench"):
+            return f"--elastic is not supported by '{args.system}'"
+        # Scaling needs active balancing monitors (their selector/executor
+        # seed the new instances), so only fastjoin can run elastically.
+        chosen = args.validate_system or args.system
+        if chosen in ("bistream", "contrand", "compare"):
+            return (
+                "--elastic requires the fastjoin system (baselines have no "
+                f"balancing monitor to seed new instances), got {chosen!r}"
+            )
+        n_instances = args.instances
+        if n_instances is None:
+            n_instances = 4 if args.system == "validate" else 16
+        try:
+            policy.validate(n_instances)
+        except ConfigError as exc:
+            return f"--elastic: {exc}"
     return None
 
 
@@ -492,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
         warmup=warmup,
         capture=args.trace is not None,
         fault_spec=args.faults,
+        elastic_spec=args.elastic,
         jobs=args.jobs,
         progress=progress,
     )

@@ -82,6 +82,15 @@ class SystemConfig:
     recovery_fixed / recovery_per_tuple:
         Recovery duration model (see
         :class:`repro.faults.injector.RecoveryCostModel`).
+    elastic_spec:
+        Optional elasticity policy in the ``--elastic`` grammar of
+        :func:`repro.elastic.policy.parse_elastic_spec` (e.g.
+        ``"scaleout:+2@LI>3.0/hold=2.0;at:t=12-2"``).  When set, the
+        assembled runtime gets an
+        :class:`repro.elastic.controller.ElasticController` attached
+        through every entry point, so parallel workers reproduce the
+        same scaling schedule bit-identically.  Requires content-based
+        partitioning and is incompatible with windowed stores.
     warmup:
         Seconds excluded from steady-state averages (the paper discards
         start-up transients, section VI-A).
@@ -118,6 +127,7 @@ class SystemConfig:
     checkpoint_period: float = 1.0
     recovery_fixed: float = 0.05
     recovery_per_tuple: float = 5e-6
+    elastic_spec: str | None = None
     warmup: float = 5.0
     seed: int = 0
 
@@ -151,6 +161,14 @@ class SystemConfig:
                 raise ConfigError(
                     "fault injection is incompatible with windowed stores: "
                     "sub-window ages cannot be rebuilt from count checkpoints"
+                )
+        if self.elastic_spec is not None:
+            if not self.elastic_spec.strip():
+                raise ConfigError("elastic_spec must be None or non-empty")
+            if self.window_subwindows is not None:
+                raise ConfigError(
+                    "elastic scaling is incompatible with windowed stores: "
+                    "sub-window ages cannot survive the count-level drain"
                 )
         if self.warmup < 0:
             raise ConfigError("warmup must be >= 0")

@@ -92,11 +92,16 @@ class MigrationExecutor:
         target: JoinInstance,
         selector: KeySelector,
         li_before: float,
+        reason: str = "balance",
     ) -> MigrationEvent | None:
         """Run selection + migration; return the event, or None if no key
         was worth moving (the selector may legitimately come back empty,
         e.g. when a single giant key dominates and moving it would just
         swap the imbalance around).
+
+        ``reason`` tags the resulting event (``"balance"`` for monitor
+        rebalances, ``"scaleout"`` when the elastic controller seeds a
+        freshly provisioned instance through this same protocol).
         """
         if source is target:
             raise MigrationError("source and target must differ")
@@ -189,6 +194,7 @@ class MigrationExecutor:
             li_before=li_before,
             li_after_estimate=li_after,
             keys=tuple(sorted(int(k) for k in result.selected_keys)),
+            reason=reason,
         )
         if obs is not None:
             wall = (

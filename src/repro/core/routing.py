@@ -57,6 +57,26 @@ class RoutingTable:
     def overrides_snapshot(self) -> dict[int, int]:
         return dict(self._overrides)
 
+    def grow(self, n_instances: int) -> None:
+        """Raise the valid target range (elastic scale-out).
+
+        Grow-only: after a scale-in the range is left as-is — a stale
+        high bound is harmless because retirement removes every override
+        pointing at the departed instances, while shrinking eagerly
+        would have to prove no override still targets the retired ids.
+        A later scale-out back into that stale bound is therefore a
+        no-op here (the range already covers the revived ids).  The
+        version bump on a genuine raise makes the dispatcher's cached
+        routes rebuild, so newly installed overrides to the fresh ids
+        take effect.
+        """
+        n = int(n_instances)
+        if n < 1:
+            raise RoutingError(f"n_instances must be >= 1, got {n}")
+        if n > self._n:
+            self._n = n
+            self._version += 1
+
     def target_of(self, key: int) -> int | None:
         """The override target for a key, or None if hash-default applies."""
         return self._overrides.get(int(key))

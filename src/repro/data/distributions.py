@@ -26,6 +26,7 @@ __all__ = [
     "uniform_probabilities",
     "tiered_probabilities",
     "KeySampler",
+    "DriftingSampler",
     "fit_zipf_exponent",
     "top_share",
 ]
@@ -209,3 +210,91 @@ class KeySampler:
         ranks = np.searchsorted(self._cdf, u, side="right")
         ranks = np.minimum(ranks, self.n_keys - 1)
         return self._ids[ranks]
+
+
+class DriftingSampler:
+    """Piecewise sampler whose key distribution shifts at count boundaries.
+
+    Real skew is not stationary: the paper's ride-hailing hot locations
+    move with the time of day, so load balanced for the morning peak is
+    imbalanced by the evening one.  This sampler models that *skew drift*
+    as a sequence of phases, each its own :class:`KeySampler`, switching
+    after fixed cumulative tuple counts.  Boundaries are counted in drawn
+    tuples — not wall time — so the drift point is a pure function of the
+    stream prefix and survives any tick length or rate.
+
+    A draw that spans a boundary is split: the leading tuples come from
+    the outgoing phase, the rest from the incoming one, all consuming the
+    same generator stream, so the emitted key sequence is bit-identical no
+    matter how the draws are batched into ticks.
+
+    Parameters
+    ----------
+    samplers:
+        One :class:`KeySampler` per phase, in order; all must share one
+        key-universe size.
+    boundaries:
+        Strictly increasing cumulative tuple counts at which the next
+        phase takes over; exactly ``len(samplers) - 1`` entries.
+    """
+
+    def __init__(self, samplers, boundaries) -> None:
+        self._samplers = list(samplers)
+        self._boundaries = [int(b) for b in boundaries]
+        if not self._samplers:
+            raise WorkloadError("DriftingSampler needs at least one phase")
+        if len(self._boundaries) != len(self._samplers) - 1:
+            raise WorkloadError(
+                f"{len(self._samplers)} phases need "
+                f"{len(self._samplers) - 1} boundaries, got "
+                f"{len(self._boundaries)}"
+            )
+        if any(b <= 0 for b in self._boundaries) or any(
+            b2 <= b1 for b1, b2 in zip(self._boundaries, self._boundaries[1:])
+        ):
+            raise WorkloadError(
+                f"boundaries must be positive and strictly increasing, "
+                f"got {self._boundaries}"
+            )
+        sizes = {s.n_keys for s in self._samplers}
+        if len(sizes) != 1:
+            raise WorkloadError(
+                f"all phases must share one key universe, got sizes {sorted(sizes)}"
+            )
+        self._drawn = 0
+
+    @property
+    def n_keys(self) -> int:
+        return self._samplers[0].n_keys
+
+    @property
+    def drawn(self) -> int:
+        """Cumulative tuples drawn (decides the active phase)."""
+        return self._drawn
+
+    def _phase(self) -> int:
+        for i, b in enumerate(self._boundaries):
+            if self._drawn < b:
+                return i
+        return len(self._samplers) - 1
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` key ids, splitting the draw across phase boundaries."""
+        if n < 0:
+            raise WorkloadError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            phase = self._phase()
+            if phase < len(self._boundaries):
+                take = min(remaining, self._boundaries[phase] - self._drawn)
+            else:
+                take = remaining
+            chunks.append(self._samplers[phase].sample(take, rng))
+            self._drawn += take
+            remaining -= take
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)

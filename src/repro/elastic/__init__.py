@@ -1,0 +1,42 @@
+"""Elastic scale-out/scale-in: policy-driven instance-count changes.
+
+The subsystem splits the same way the fault layer does:
+
+- :mod:`repro.elastic.policy` — the declarative side: the
+  ``ElasticAction``/``ElasticPolicy`` grammar, the ``--elastic`` spec
+  parser and formatter, and the seeded ``random_elastic_policy``
+  generator used by the chaos fuzz grid.
+- :mod:`repro.elastic.controller` — the imperative side: the
+  ``ElasticController`` that evaluates a policy at monitor cadence,
+  provisions fresh instances through the migration protocol and drains
+  departing ones by reverse migration before retirement.
+
+Everything stays a pure function of (config, seed): the controller has
+no RNG, so an elastic run is bit-identical at any ``--jobs`` fan-out and
+its ``reason="scaleout"/"scalein"`` migration events replay cleanly into
+the exact oracle.
+"""
+
+from .controller import ElasticController
+from .policy import (
+    ELASTIC_KINDS,
+    MAX_EXTRA_INSTANCES,
+    MAX_SCALE_STEP,
+    ElasticAction,
+    ElasticPolicy,
+    format_elastic_spec,
+    parse_elastic_spec,
+    random_elastic_policy,
+)
+
+__all__ = [
+    "ELASTIC_KINDS",
+    "MAX_SCALE_STEP",
+    "MAX_EXTRA_INSTANCES",
+    "ElasticAction",
+    "ElasticPolicy",
+    "ElasticController",
+    "parse_elastic_spec",
+    "format_elastic_spec",
+    "random_elastic_policy",
+]

@@ -1,0 +1,277 @@
+"""Elastic policies: the declarative description of *when the group grows
+or shrinks, and by how much*.
+
+An :class:`ElasticPolicy` is a fully deterministic schedule of scaling
+actions applied to a running
+:class:`~repro.engine.runtime.StreamJoinRuntime` by the
+:class:`~repro.elastic.controller.ElasticController`.  Three action kinds
+cover both reactive and scripted elasticity:
+
+``scaleout``
+    When the worst per-side degree of load imbalance (Eq. 2) has stayed
+    above ``threshold`` for ``hold`` consecutive seconds, provision
+    ``count`` fresh join instances *per biclique side* and seed each one
+    from the heaviest live donor through the migration protocol.
+``scalein``
+    When the normalised backlog signal has stayed below ``threshold``
+    for ``hold`` seconds, drain and retire ``count`` elastic instances
+    per side (never below the configured base group size).  The backlog
+    signal is the mean queue length per instance divided by
+    ``backpressure_max_queue`` when backpressure is configured, the raw
+    mean otherwise.
+``at``
+    A scheduled event: at simulated time ``t`` add (``+N``) or retire
+    (``-N``) instances unconditionally — the reproducible-campaign form.
+
+The textual spec grammar (CLI ``--elastic``) is a ``;``/``,``-separated
+action list::
+
+    scaleout:+2@LI>3.0/hold=2.0   add 2/side once LI > 3.0 held for 2 s
+    scalein:-1@backlog<0.2/hold=4.0  retire 1/side once idle for 4 s
+    at:t=5+2                      add 2/side at t=5.0 s
+    at:t=12-2                     retire 2/side at t=12.0 s
+
+``/hold=h`` may be omitted (defaults to 0: fire on the first sample that
+satisfies the condition).  Malformed specs raise
+:class:`~repro.errors.ConfigError`, which the CLI maps to exit code 2
+before anything runs — the same eager contract as ``--faults``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ELASTIC_KINDS",
+    "MAX_SCALE_STEP",
+    "MAX_EXTRA_INSTANCES",
+    "ElasticAction",
+    "ElasticPolicy",
+    "parse_elastic_spec",
+    "format_elastic_spec",
+    "random_elastic_policy",
+]
+
+ELASTIC_KINDS = ("scaleout", "scalein", "at")
+
+#: largest per-action instance delta the grammar accepts — a typo like
+#: ``at:t=5+200`` should fail eagerly, not provision 200 instances.
+MAX_SCALE_STEP = 16
+
+#: peak number of elastic (above-base) instances a policy's scheduled
+#: events may accumulate, checked by :meth:`ElasticPolicy.validate`.
+MAX_EXTRA_INSTANCES = 64
+
+
+@dataclass(frozen=True)
+class ElasticAction:
+    """One scaling action.  ``count`` is signed only for ``at`` events."""
+
+    kind: str               # one of ELASTIC_KINDS
+    count: int              # instances per side; signed for kind="at"
+    at: float = 0.0         # scheduled time (kind="at" only)
+    threshold: float = 0.0  # rule trigger level (rules only)
+    hold: float = 0.0       # seconds the condition must persist (rules)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ELASTIC_KINDS:
+            raise ConfigError(f"unknown elastic kind {self.kind!r}")
+        if self.kind == "at":
+            if self.count == 0:
+                raise ConfigError("scheduled elastic event must be non-zero")
+            if not np.isfinite(self.at) or self.at < 0:
+                raise ConfigError(
+                    f"elastic event time must be >= 0, got {self.at!r}"
+                )
+        else:
+            if self.count < 1:
+                raise ConfigError(f"{self.kind} rule needs a positive count")
+            if not np.isfinite(self.threshold):
+                raise ConfigError("elastic rule threshold must be finite")
+            if self.kind == "scaleout" and self.threshold <= 1.0:
+                raise ConfigError(
+                    f"scaleout LI threshold must exceed 1.0 (LI >= 1 by "
+                    f"definition), got {self.threshold!r}"
+                )
+            if self.kind == "scalein" and self.threshold <= 0:
+                raise ConfigError(
+                    f"scalein backlog threshold must be > 0, "
+                    f"got {self.threshold!r}"
+                )
+        if not np.isfinite(self.hold) or self.hold < 0:
+            raise ConfigError(f"hold must be >= 0, got {self.hold!r}")
+        if abs(self.count) > MAX_SCALE_STEP:
+            raise ConfigError(
+                f"elastic step {self.count} exceeds the per-action cap "
+                f"{MAX_SCALE_STEP}"
+            )
+
+    @property
+    def spec(self) -> str:
+        """The canonical textual form (round-trips through the parser)."""
+        if self.kind == "scaleout":
+            return f"scaleout:+{self.count}@LI>{self.threshold:g}/hold={self.hold:g}"
+        if self.kind == "scalein":
+            return f"scalein:-{self.count}@backlog<{self.threshold:g}/hold={self.hold:g}"
+        return f"at:t={self.at:g}{self.count:+d}"
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """A deterministic scaling schedule: rules plus scheduled events."""
+
+    actions: tuple[ElasticAction, ...] = ()
+
+    def scheduled(self) -> list[ElasticAction]:
+        """Scheduled events in deterministic firing order (time, spec)."""
+        return sorted(
+            (a for a in self.actions if a.kind == "at"),
+            key=lambda a: (a.at, a.spec),
+        )
+
+    def rules(self) -> list[ElasticAction]:
+        """Reactive rules, in spec order."""
+        return [a for a in self.actions if a.kind != "at"]
+
+    def validate(self, n_instances: int) -> None:
+        """Eager checks against the configured base group size.
+
+        The runtime clips scale-in at the base group, so a net-negative
+        schedule would silently do nothing — reject it up front instead,
+        matching the fail-loud contract of ``FaultPlan.validate``.  The
+        check runs only when the policy is purely scheduled: with rules
+        present, extra instances may exist at any time and the static
+        walk would be wrong.
+        """
+        if n_instances < 1:
+            raise ConfigError(f"n_instances must be >= 1, got {n_instances}")
+        if not self.rules():
+            extra = 0
+            for a in self.scheduled():
+                extra += a.count
+                if extra < 0:
+                    raise ConfigError(
+                        f"elastic event {a.spec!r} scales in below the base "
+                        f"group of {n_instances}: the schedule retires more "
+                        "instances than it ever added"
+                    )
+        peak = 0
+        extra = 0
+        for a in self.scheduled():
+            extra += a.count
+            peak = max(peak, extra)
+        if peak > MAX_EXTRA_INSTANCES:
+            raise ConfigError(
+                f"elastic schedule peaks at {peak} extra instances per side "
+                f"(cap {MAX_EXTRA_INSTANCES})"
+            )
+
+    @property
+    def spec(self) -> str:
+        return format_elastic_spec(self)
+
+
+# Same number grammar as the fault planner: a non-negative decimal whose
+# only +/- is the exponent sign, so the signed count of ``at:t=5+2`` is
+# never swallowed by a greedy number match.
+_NUM = r"\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+_SCALEOUT_RE = re.compile(
+    rf"^scaleout:\+(\d+)@LI>({_NUM})(?:/hold=({_NUM}))?$"
+)
+_SCALEIN_RE = re.compile(
+    rf"^scalein:-(\d+)@backlog<({_NUM})(?:/hold=({_NUM}))?$"
+)
+_AT_RE = re.compile(rf"^at:t=({_NUM})([+-]\d+)$")
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(f"bad {what} in elastic spec: {text!r}") from None
+
+
+def parse_elastic_spec(spec: str) -> ElasticPolicy:
+    """Parse the ``--elastic`` grammar into an :class:`ElasticPolicy`.
+
+    Raises :class:`~repro.errors.ConfigError` on any malformed term —
+    the CLI maps that to exit code 2 before anything runs.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigError("empty elastic spec")
+    actions: list[ElasticAction] = []
+    for raw in re.split(r"[;,]", spec):
+        term = raw.strip()
+        if not term:
+            continue
+        if m := _SCALEOUT_RE.match(term):
+            actions.append(ElasticAction(
+                kind="scaleout", count=int(m.group(1)),
+                threshold=_number(m.group(2), "LI threshold"),
+                hold=_number(m.group(3), "hold") if m.group(3) else 0.0,
+            ))
+            continue
+        if m := _SCALEIN_RE.match(term):
+            actions.append(ElasticAction(
+                kind="scalein", count=int(m.group(1)),
+                threshold=_number(m.group(2), "backlog threshold"),
+                hold=_number(m.group(3), "hold") if m.group(3) else 0.0,
+            ))
+            continue
+        if m := _AT_RE.match(term):
+            actions.append(ElasticAction(
+                kind="at", count=int(m.group(2)),
+                at=_number(m.group(1), "time"),
+            ))
+            continue
+        raise ConfigError(
+            f"malformed elastic term {term!r} (expected e.g. "
+            "'scaleout:+2@LI>3.0/hold=2.0', 'scalein:-1@backlog<0.2/hold=4', "
+            "or 'at:t=5+2')"
+        )
+    return ElasticPolicy(actions=tuple(actions))
+
+
+def format_elastic_spec(policy: ElasticPolicy) -> str:
+    """Render a policy back to the textual grammar (parse round-trips)."""
+    return ";".join(a.spec for a in policy.actions)
+
+
+def random_elastic_policy(
+    seed: int,
+    *,
+    horizon: float,
+    n_events: int = 2,
+    max_step: int = 2,
+) -> ElasticPolicy:
+    """A seeded random *scheduled* policy for chaos fuzzing.
+
+    The same ``(seed, horizon, n_events, max_step)`` always yields the
+    same policy.  Events are confined to [10%, 80%] of the horizon and
+    the chronological net instance delta never goes negative, so every
+    generated schedule passes :meth:`ElasticPolicy.validate` and drains
+    within the differential harness's extra-tick budget.
+    """
+    if horizon <= 0:
+        raise ConfigError(f"elastic horizon must be > 0, got {horizon!r}")
+    if n_events < 1:
+        raise ConfigError(f"n_events must be >= 1, got {n_events}")
+    rng = np.random.default_rng(np.random.SeedSequence([0xE1A5, seed]))
+    times = np.sort(rng.uniform(0.1, 0.8, size=n_events) * horizon)
+    actions: list[ElasticAction] = []
+    extra = 0
+    for t in times.tolist():
+        if extra > 0 and rng.integers(2):
+            n = int(rng.integers(1, extra + 1))
+            count = -n
+        else:
+            n = int(rng.integers(1, max_step + 1))
+            count = n
+        extra += count
+        actions.append(ElasticAction(kind="at", count=count, at=float(t)))
+    return ElasticPolicy(actions=tuple(actions))

@@ -95,7 +95,10 @@ class MigrationEvent:
     keys: tuple[int, ...] = ()
     #: why the transfer happened: ``"balance"`` for a monitor-triggered
     #: migration (the default), ``"failover"`` for a fault-injected
-    #: crash hand-off.  Hysteresis invariants only apply to the former.
+    #: crash hand-off, ``"scaleout"`` for the seeding transfer into a
+    #: freshly provisioned elastic instance, ``"scalein"`` for the
+    #: reverse-migration drain of a retiring one.  Hysteresis invariants
+    #: only apply to the first.
     reason: str = "balance"
 
 
@@ -135,6 +138,10 @@ class RunMetrics:
     #: post-warm-up component sums (seconds of wait, summed over tuples)
     #: under the same identity against the overall latency sum.
     component_totals: dict[str, float] = field(default_factory=dict)
+    #: per-side instance-count series as ``[(time, n_per_side), ...]``,
+    #: one entry per elastic scale event; empty when the group never
+    #: changed size (the count is then the configured ``n_instances``).
+    instance_counts: list = field(default_factory=list)
 
     def components(self) -> dict[str, np.ndarray]:
         """The four attribution series, keyed by component name."""
@@ -197,6 +204,7 @@ class MetricsCollector:
         self._comp_total_recovery = 0.0
         self._li: dict[str, list[tuple[float, float]]] = {}
         self._migrations: list[MigrationEvent] = []
+        self._instance_counts: list[tuple[float, int]] = []
         # The reservoir's replacement draws come from the run seed so that
         # reported percentiles are a pure function of (config, seed), like
         # every other statistic.
@@ -408,6 +416,11 @@ class MetricsCollector:
     def record_migration(self, event: MigrationEvent) -> None:
         self._migrations.append(event)
 
+    def record_instance_count(self, now: float, n_per_side: int) -> None:
+        """Record a group-size change (elastic scale-out/scale-in)."""
+        self._instance_counts.append((float(now), int(n_per_side)))
+        self._max_time = max(self._max_time, now)
+
     def migration_events(self) -> list[MigrationEvent]:
         """Live view of migrations recorded so far (used by the validation
         layer to mirror the migration schedule mid-run, before
@@ -515,4 +528,5 @@ class MetricsCollector:
             latency_migration_pause=comp_mg,
             latency_recovery_pause=comp_rc,
             component_totals=component_totals,
+            instance_counts=list(self._instance_counts),
         )

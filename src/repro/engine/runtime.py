@@ -60,9 +60,10 @@ class StreamJoinRuntime:
         self.backpressure_max_queue = backpressure_max_queue
         self.throttled_ticks = 0
         self.tick_index = 0
-        # The biclique membership is fixed for the runtime's lifetime;
-        # concatenating the two groups on every tick (the loop reads
-        # ``instances`` several times per step) is avoidable overhead.
+        # The biclique membership changes only when the elastic controller
+        # scales the group (which calls refresh_instances); caching the
+        # concatenation avoids rebuilding it on every tick (the loop reads
+        # ``instances`` several times per step).
         self._instances = tuple(
             self.dispatcher.groups["R"] + self.dispatcher.groups["S"]
         )
@@ -77,6 +78,14 @@ class StreamJoinRuntime:
         # Optional fault injector (repro.faults).  Same contract again:
         # None by default, one test per tick plus one per dispatch.
         self.faults = None
+        # Optional elasticity controller (repro.elastic).  Same contract:
+        # None by default, one test per tick after the monitors run.
+        self.elastic = None
+        # Instances the elastic controller retired, per side.  They are
+        # drained (empty store/queue) and unreachable, but their lifetime
+        # counters and per-key result tallies still count toward the
+        # conservation invariant and differential totals.
+        self.retired: dict[str, list[JoinInstance]] = {"R": [], "S": []}
 
     def attach_observer(self, obs, meta: dict | None = None) -> None:
         """Opt in to structured observability (events/metrics/profiling).
@@ -109,6 +118,28 @@ class StreamJoinRuntime:
         """
         injector.bind(self)
         self.faults = injector
+
+    def attach_elastic(self, controller) -> None:
+        """Opt in to policy-driven elastic scale-out/scale-in.
+
+        ``controller`` is an :class:`repro.elastic.controller.ElasticController`
+        (duck-typed here to keep the engine layer free of a dependency on
+        the elastic layer); it validates its policy against this runtime
+        and is then evaluated after the monitors in every :meth:`step`.
+        """
+        controller.bind(self)
+        self.elastic = controller
+
+    def refresh_instances(self) -> None:
+        """Rebuild the cached instance tuple after a membership change.
+
+        The elastic controller calls this after appending or retiring
+        instances so the step loop, backlog accounting and backpressure
+        checks see the new group immediately.
+        """
+        self._instances = tuple(
+            self.dispatcher.groups["R"] + self.dispatcher.groups["S"]
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -193,6 +224,11 @@ class StreamJoinRuntime:
 
         for monitor in self.monitors.values():
             monitor.tick(end)
+
+        # Elasticity is evaluated after the monitors so its signals (the
+        # load tables, the smoothed backlogs) reflect this tick's samples.
+        if self.elastic is not None:
+            self.elastic.tick(self, end)
 
         if self._next_rotation is not None and end >= self._next_rotation:
             self._next_rotation += self.window_rotation_period  # type: ignore[operator]

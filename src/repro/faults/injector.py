@@ -288,7 +288,16 @@ class FaultInjector:
 
     def _recover(self, runtime, side: str, idx: int, mode: str, now: float,
                  crashed_at: float) -> None:
-        inst = runtime.dispatcher.groups[side][idx]
+        group = runtime.dispatcher.groups[side]
+        if idx >= len(group):
+            # The elastic controller retired this instance mid-outage (a
+            # crashed elastic instance is drained from checkpoint + WAL
+            # before retirement), so there is nothing left to recover.
+            self.log.append(
+                (now, f"skipped recover {side}{idx}: instance retired")
+            )
+            return
+        inst = group[idx]
         if mode == "restart":
             n_restored = inst.checkpointer.recover_restart(now)
             duration = self.recovery_cost.duration(n_restored)

@@ -206,6 +206,20 @@ class ExactBiclique:
 
     # -- migration --------------------------------------------------------- #
 
+    def ensure_instances(self, n: int) -> None:
+        """Grow both sides to at least ``n`` instances (elastic replay).
+
+        ``self.n`` — the hash-partitioning base — stays fixed, exactly
+        like the performance engine's partitioners: keys reach the
+        above-base instances only through routing overrides installed by
+        replayed ``reason="scaleout"`` migration events.
+        """
+        for side in ("R", "S"):
+            group = self.groups[side]
+            while len(group) < n:
+                group.append(ExactInstance(len(group), side))
+            self.routing[side].grow(len(group))
+
     def migrate(
         self,
         side: str,
@@ -217,7 +231,13 @@ class ExactBiclique:
     ) -> None:
         """Move ``keys`` from ``source`` to ``target`` on ``side`` using
         the same ordering rules as :class:`repro.core.migration`.
+
+        Targets beyond the current group (a replayed elastic scale-out)
+        grow the biclique automatically; retired instances are never
+        reaped — a drained instance simply stays empty and unreachable,
+        which is observationally identical to retirement.
         """
+        self.ensure_instances(max(source, target) + 1)
         if source == target:
             raise MigrationError("source and target must differ")
         # A key can only be migrated by the instance that owns it: the real

@@ -420,6 +420,30 @@ class Observability:
                 outage=float(outage),
             )
 
+    def on_scale(
+        self,
+        now: float,
+        kind: str,
+        count: int,
+        n_per_side: int,
+        trigger: str,
+    ) -> None:
+        """The elastic controller resized the group.
+
+        ``kind`` is ``"scaleout"`` or ``"scalein"`` (recorded as the
+        event's ``direction`` field — ``kind`` already names the event
+        type), ``count`` the per-side instance delta, ``n_per_side`` the
+        size after the action, ``trigger`` the canonical spec of the rule
+        or scheduled event that fired.  The state hand-offs themselves
+        arrive as ordinary migration spans through :meth:`on_migration`.
+        """
+        if self.bus is not None:
+            self.bus.emit(
+                now, "scale",
+                direction=kind, count=int(count), n_per_side=int(n_per_side),
+                trigger=trigger,
+            )
+
     def on_recovery(
         self,
         now: float,

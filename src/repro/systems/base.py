@@ -165,4 +165,12 @@ def assemble(
                 per_tuple=config.recovery_per_tuple,
             ),
         ))
+    if config.elastic_spec is not None:
+        # Local import for the same reason: inelastic runs must not pay
+        # for loading the elastic layer.
+        from ..elastic import ElasticController, parse_elastic_spec
+
+        runtime.attach_elastic(
+            ElasticController(parse_elastic_spec(config.elastic_spec), config)
+        )
     return runtime

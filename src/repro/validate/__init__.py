@@ -20,7 +20,10 @@ first-class validation layer with three entry points:
   and (optionally) deliberately-broken protocol variants that must be
   caught; plus chaos fuzzing, which plays seeded random *fault plans*
   (:mod:`repro.faults`) through the differential harness and asserts
-  completeness survives crashes, failovers and mid-migration aborts.
+  completeness survives crashes, failovers and mid-migration aborts; and
+  elastic fuzzing, which plays seeded random *scaling schedules*
+  (:mod:`repro.elastic`) — optionally composed with fault plans — and
+  asserts completeness survives scale-out/scale-in churn.
 
 ``python -m repro validate --system fastjoin --seed 7 --ticks 2000`` runs
 the differential harness from the shell; :mod:`repro.validate.replay`
@@ -54,6 +57,7 @@ from .fuzz import (
     FuzzReport,
     ScheduleFuzzer,
     run_chaos_fuzz,
+    run_elastic_fuzz,
     run_instance_fuzz,
     run_oracle_fuzz,
 )
@@ -86,6 +90,7 @@ __all__ = [
     "run_oracle_fuzz",
     "run_instance_fuzz",
     "run_chaos_fuzz",
+    "run_elastic_fuzz",
     "replay",
     "repro_command",
     "VALIDATION_WORKLOADS",

@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from ..errors import ValidationError
 from ..parallel import run_tasks
 from .differential import DifferentialReport, run_differential
-from .fuzz import FuzzReport, run_chaos_fuzz, run_instance_fuzz, run_oracle_fuzz
+from .fuzz import (
+    FuzzReport,
+    run_chaos_fuzz,
+    run_elastic_fuzz,
+    run_instance_fuzz,
+    run_oracle_fuzz,
+)
 
 __all__ = [
     "DifferentialTask",
@@ -54,6 +60,7 @@ class DifferentialTask:
     guards: bool = True
     capture: bool = False
     fault_spec: str | None = None   # run the cell under fault injection
+    elastic_spec: str | None = None  # run the cell under elastic scaling
 
     @property
     def label(self) -> str:
@@ -97,6 +104,7 @@ def run_differential_task(task: DifferentialTask) -> DifferentialOutcome:
                 zipf=task.zipf,
                 guards=task.guards,
                 fault_spec=task.fault_spec,
+                elastic_spec=task.elastic_spec,
                 obs=obs,
             )
             outcome = DifferentialOutcome(task=task, report=report)
@@ -131,12 +139,13 @@ class FuzzTask:
     """One adversarial fuzz run, as a picklable spec."""
 
     seed: int
-    mode: str = "oracle"            # "oracle" | "instance" | "chaos"
+    mode: str = "oracle"    # "oracle" | "instance" | "chaos" | "elastic"
     selector: str = "greedyfit"
     n_actions: int = 40
     n_instances: int = 3
     windowed: bool = False
     fault: str | None = None        # oracle mode only
+    with_faults: bool = False       # elastic mode: compose a fault plan
 
     @property
     def label(self) -> str:
@@ -160,6 +169,14 @@ def run_fuzz_task(task: FuzzTask) -> FuzzReport:
                 n_actions=task.n_actions,
                 n_instances=task.n_instances,
                 selector=task.selector,
+            )
+        if task.mode == "elastic":
+            return run_elastic_fuzz(
+                task.seed,
+                n_events=task.n_actions,
+                n_instances=task.n_instances,
+                selector=task.selector,
+                with_faults=task.with_faults,
             )
         return run_instance_fuzz(
             task.seed,
@@ -190,6 +207,7 @@ def fuzz_grid(
     n_instances: int = 3,
     windowed: bool = False,
     chaos: bool = True,
+    elastic: bool = True,
 ) -> list[FuzzTask]:
     """The (seed x mode x selector) campaign grid, in deterministic order.
 
@@ -197,7 +215,11 @@ def fuzz_grid(
     — a random fault plan played through the full differential harness —
     so ``validate --fuzz N`` covers crash/recovery completeness too.  The
     chaos cell uses a fixed selector and its own action count (fault
-    plans are much denser per action than schedule actions).
+    plans are much denser per action than schedule actions).  With
+    ``elastic=True`` each seed further gets one elastic cell — a random
+    scale-out/scale-in schedule (:func:`repro.elastic.random_elastic_policy`)
+    played through the differential harness, with a composed fault plan
+    on every other seed.
     """
     tasks = [
         FuzzTask(
@@ -220,6 +242,18 @@ def fuzz_grid(
                 selector="greedyfit",
                 n_actions=3,
                 n_instances=4,
+            )
+            for i in range(n_seeds)
+        )
+    if elastic:
+        tasks.extend(
+            FuzzTask(
+                seed=base_seed + i,
+                mode="elastic",
+                selector="greedyfit",
+                n_actions=2,
+                n_instances=4,
+                with_faults=(i % 2 == 1),
             )
             for i in range(n_seeds)
         )

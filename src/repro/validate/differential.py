@@ -143,6 +143,7 @@ class DifferentialReport:
     seed: int
     ticks: int
     fault_spec: str | None = None
+    elastic_spec: str | None = None
     ok: bool = True
     n_migrations: int = 0
     n_migrations_replayed: int = 0
@@ -157,9 +158,10 @@ class DifferentialReport:
     def summary(self) -> str:
         status = "OK" if self.ok else "DIVERGED"
         faulted = f" faults={self.fault_spec!r}" if self.fault_spec else ""
+        elastic = f" elastic={self.elastic_spec!r}" if self.elastic_spec else ""
         lines = [
             f"differential[{self.system}/{self.workload} seed={self.seed} "
-            f"ticks={self.ticks}{faulted}]: {status}",
+            f"ticks={self.ticks}{faulted}{elastic}]: {status}",
             f"  pairs expected={self.pairs_expected} "
             f"system={self.results_system} oracle={self.pairs_oracle}",
             f"  migrations={self.n_migrations} "
@@ -191,6 +193,7 @@ class DifferentialReport:
                 "workload": self.workload,
                 "ticks": self.ticks,
                 "fault_plan": self.fault_spec,
+                "elastic_policy": self.elastic_spec,
                 "key": d.key if d is not None else None,
             },
         )
@@ -215,6 +218,7 @@ class DifferentialHarness:
         guards: bool = True,
         guard_period: int = 25,
         fault_spec: str | None = None,
+        elastic_spec: str | None = None,
         config_overrides: dict | None = None,
         obs=None,
     ) -> None:
@@ -230,7 +234,14 @@ class DifferentialHarness:
             # oracle then mirrors the injected delays and failover
             # hand-offs below.
             overrides["fault_spec"] = fault_spec
+        if elastic_spec is not None:
+            # Elasticity flows through the config the same way; its
+            # reason="scaleout"/"scalein" MigrationEvents then replay into
+            # the oracle below like any other migration, growing the
+            # oracle's biclique on demand.
+            overrides["elastic_spec"] = elastic_spec
         self.fault_spec = overrides.get("fault_spec")
+        self.elastic_spec = overrides.get("elastic_spec")
         self.config = validation_config(
             kind=workload,
             n_instances=n_instances,
@@ -347,6 +358,7 @@ class DifferentialHarness:
             seed=self.seed,
             ticks=self.ticks,
             fault_spec=self.fault_spec,
+            elastic_spec=self.elastic_spec,
         )
         report.n_migrations = len(rt.metrics.migration_events())
         report.n_migrations_replayed = self._replayed
@@ -364,7 +376,8 @@ class DifferentialHarness:
             for k in set(r_counts) & set(s_counts)
         }
         observed: dict[int, int] = defaultdict(int)
-        for inst in rt.instances:
+        retired = [i for side in ("R", "S") for i in rt.retired[side]]
+        for inst in rt.instances + retired:
             for k, c in inst.result_counts_snapshot().items():
                 observed[k] += int(round(c))
         divergences = []

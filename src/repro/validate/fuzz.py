@@ -58,6 +58,7 @@ __all__ = [
     "run_oracle_fuzz",
     "run_instance_fuzz",
     "run_chaos_fuzz",
+    "run_elastic_fuzz",
 ]
 
 #: deliberately broken migration variants the oracle must catch
@@ -451,6 +452,81 @@ def run_chaos_fuzz(
         selector=selector,
         fault=spec,
         n_actions=len(plan.actions),
+        n_migrations=report.n_migrations,
+        n_pairs=report.pairs_oracle,
+        ok=report.ok,
+        message=report.oracle_msg if report.ok else report.summary(),
+    )
+
+
+def run_elastic_fuzz(
+    seed: int,
+    *,
+    system: str = "fastjoin",
+    n_events: int = 2,
+    n_instances: int = 4,
+    ticks: int = 300,
+    tuples_per_stream: int = 2_400,
+    selector: str = "greedyfit",
+    with_faults: bool = False,
+    raise_on_failure: bool = False,
+) -> FuzzReport:
+    """One seeded elastic campaign cell: random scaling + exact oracle.
+
+    :func:`~repro.elastic.policy.random_elastic_policy` expands ``seed``
+    into a scheduled scale-out/scale-in sequence over the run's horizon;
+    the differential harness runs the system under that policy with all
+    invariant guards on and cross-checks the pair multiset against the
+    exact oracle (which grows its biclique on demand while replaying the
+    ``reason="scaleout"/"scalein"`` events).  With ``with_faults`` the
+    same seed additionally draws a random fault plan, exercising the
+    crash-during-scale and scale-in-of-a-recovering-instance interleavings.
+    ``ok`` means completeness survived the whole elastic schedule.
+    """
+    from ..elastic import random_elastic_policy
+    from .differential import run_differential
+
+    policy = random_elastic_policy(
+        seed, horizon=ticks * 0.01, n_events=n_events
+    )
+    spec = policy.spec
+    fault_spec = None
+    if with_faults:
+        from ..faults import random_fault_plan
+
+        fault_spec = random_fault_plan(
+            seed, n_instances=n_instances, horizon=ticks * 0.01, n_actions=2
+        ).spec
+    try:
+        report = run_differential(
+            system,
+            seed=seed,
+            ticks=ticks,
+            n_instances=n_instances,
+            tuples_per_stream=tuples_per_stream,
+            elastic_spec=spec,
+            fault_spec=fault_spec,
+            config_overrides={"selector": selector},
+            raise_on_failure=raise_on_failure,
+        )
+    except ValidationError:
+        if raise_on_failure:
+            raise
+        return FuzzReport(
+            seed=seed,
+            mode="elastic",
+            selector=selector,
+            fault=f"{spec};{fault_spec}" if fault_spec else spec,
+            n_actions=len(policy.actions),
+            ok=False,
+            message="invariant violated",
+        )
+    return FuzzReport(
+        seed=seed,
+        mode="elastic",
+        selector=selector,
+        fault=f"{spec};{fault_spec}" if fault_spec else spec,
+        n_actions=len(policy.actions),
         n_migrations=report.n_migrations,
         n_pairs=report.pairs_oracle,
         ok=report.ok,

@@ -235,11 +235,14 @@ class InvariantGuards:
         """
         stats = runtime.dispatcher.stats
         for side, group in runtime.dispatcher.groups.items():
-            served_stores = sum(inst.total_stored for inst in group)
-            served_probes = sum(inst.total_probed for inst in group)
-            queued_probes = sum(inst.queue.probe_backlog for inst in group)
+            # Elastically retired instances are drained but their lifetime
+            # served counters still account for work dispatched to them.
+            members = list(group) + list(runtime.retired[side])
+            served_stores = sum(inst.total_stored for inst in members)
+            served_probes = sum(inst.total_probed for inst in members)
+            queued_probes = sum(inst.queue.probe_backlog for inst in members)
             queued_stores = sum(
-                len(inst.queue) - inst.queue.probe_backlog for inst in group
+                len(inst.queue) - inst.queue.probe_backlog for inst in members
             )
             sent_stores = stats.stores_to_side[side]
             sent_probes = stats.probes_to_side[side]

@@ -1,0 +1,197 @@
+"""ElasticController wiring: provisioning, drains, retirement, rejection."""
+
+import pytest
+
+from repro.elastic import ElasticController, parse_elastic_spec
+from repro.errors import ConfigError
+from repro.systems import build_system
+from repro.validate.workloads import make_sources, validation_config
+
+BASE_N = 4
+
+
+def _runtime(elastic_spec, *, seed=0, rate=2_400.0, tuples=6_000, **overrides):
+    config = validation_config(
+        "zipf", n_instances=BASE_N, seed=seed, elastic_spec=elastic_spec,
+        **overrides,
+    )
+    r_source, s_source = make_sources(
+        "zipf", seed, rate=rate, tuples_per_stream=tuples
+    )
+    return build_system("fastjoin", config, r_source, s_source)
+
+
+class TestScaleOut:
+    def test_scheduled_scale_out_provisions_both_sides(self):
+        rt = _runtime("at:t=1+2")
+        v0 = rt.dispatcher.routing["R"].version
+        rt.run(duration=2.0, drain=False)
+        for side in ("R", "S"):
+            group = rt.dispatcher.groups[side]
+            assert len(group) == BASE_N + 2
+            # ids always equal list indices — the monitor indexes by them
+            assert [inst.instance_id for inst in group] == list(range(BASE_N + 2))
+        assert rt.dispatcher.routing["R"].version > v0
+        assert rt.elastic.summary()["n_scaleouts"] == 1
+        assert rt.elastic.summary()["n_provisioned"] == 4
+
+    def test_fresh_instances_are_seeded_through_migration_protocol(self):
+        rt = _runtime("at:t=1+1")
+        rt.run(duration=2.5, drain=False)
+        events = [
+            e for e in rt.metrics.migration_events() if e.reason == "scaleout"
+        ]
+        assert events, "seeding must be recorded as MigrationEvents"
+        for event in events:
+            assert event.target >= BASE_N
+            assert event.keys  # non-empty hand-off on this skewed workload
+
+    def test_instance_count_series_recorded(self):
+        rt = _runtime("at:t=1+2")
+        metrics = rt.run(duration=2.0, drain=False)
+        grown = [(t, n) for t, n in metrics.instance_counts if n == BASE_N + 2]
+        assert grown, "scale-out must record an instance-count sample"
+        # fired at the first monitor evaluation at or after t=1
+        assert 1.0 <= grown[0][0] <= 1.3
+
+    def test_elastic_instances_receive_traffic(self):
+        rt = _runtime("at:t=0.5+1")
+        rt.run(duration=3.0, drain=False)
+        newcomer = rt.dispatcher.groups["R"][BASE_N]
+        assert newcomer.store.total > 0
+
+
+class TestScaleIn:
+    SPEC = "at:t=0.5+2;at:t=1.5-2"
+
+    def test_round_trip_returns_to_base(self):
+        rt = _runtime(self.SPEC)
+        rt.run(duration=2.5, drain=False)
+        for side in ("R", "S"):
+            group = rt.dispatcher.groups[side]
+            assert len(group) == BASE_N
+            assert [inst.instance_id for inst in group] == list(range(BASE_N))
+        assert rt.elastic.summary()["n_scaleins"] == 1
+        assert rt.elastic.summary()["n_retired"] == 4
+
+    def test_overrides_to_retired_instances_removed(self):
+        rt = _runtime(self.SPEC)
+        rt.run(duration=2.5, drain=False)
+        for side in ("R", "S"):
+            overrides = rt.dispatcher.routing[side].overrides_snapshot()
+            assert all(target < BASE_N for target in overrides.values())
+
+    def test_retired_husks_preserved_for_accounting(self):
+        rt = _runtime(self.SPEC)
+        rt.run(duration=2.5, drain=False)
+        assert len(rt.retired["R"]) == 2
+        assert len(rt.retired["S"]) == 2
+        for side in ("R", "S"):
+            for husk in rt.retired[side]:
+                assert husk.store.total == 0, "drain must empty the store"
+                assert len(husk.queue) == 0, "drain must empty the queue"
+
+    def test_monitor_table_rows_purged(self):
+        rt = _runtime(self.SPEC)
+        rt.run(duration=2.5, drain=False)
+        for side in ("R", "S"):
+            assert all(
+                row < BASE_N for row in rt.monitors[side].table.rows
+            )
+
+    def test_drain_recorded_as_scalein_migrations(self):
+        rt = _runtime(self.SPEC)
+        metrics = rt.run(duration=2.5, drain=False)
+        reasons = {e.reason for e in metrics.migrations}
+        assert "scalein" in reasons
+        drains = [e for e in metrics.migrations if e.reason == "scalein"]
+        for event in drains:
+            assert event.source >= BASE_N
+            assert event.target < BASE_N
+
+    def test_drain_pause_lands_in_migration_attribution(self):
+        rt = _runtime(self.SPEC)
+        metrics = rt.run(duration=3.0, drain=False)
+        assert metrics.component_totals["migration_pause"] > 0.0
+
+    def test_scale_out_after_full_scale_in_reuses_stale_routing_bound(self):
+        # Peak at 6, shrink to base, grow again to 5: the routing table's
+        # bound stays at the peak after a scale-in (grow-only), so the
+        # re-grow must be a no-op inside the stale bound, not an error.
+        rt = _runtime("at:t=0.4+2;at:t=0.8-2;at:t=1.2+1")
+        rt.run(duration=2.0, drain=False)
+        assert rt.elastic.summary()["n_scaleouts"] == 2
+        assert rt.elastic.summary()["n_scaleins"] == 1
+        for side in ("R", "S"):
+            group = rt.dispatcher.groups[side]
+            assert len(group) == BASE_N + 1
+            assert [inst.instance_id for inst in group] == list(range(BASE_N + 1))
+
+    def test_scale_in_at_base_is_a_clipped_no_op(self):
+        # A rule whose condition is trivially true fires immediately; with
+        # no elastic instances to retire it must clip to a no-op, not dig
+        # into the base group.
+        rt = _runtime("scalein:-1@backlog<1e9/hold=0")
+        rt.run(duration=1.5, drain=False)
+        assert len(rt.dispatcher.groups["R"]) == BASE_N
+        assert rt.elastic.summary()["n_scaleins"] == 0
+        assert any("at base group" in msg for _, msg in rt.elastic.log)
+
+
+class TestRules:
+    def test_scaleout_rule_fires_on_sustained_imbalance(self):
+        # The validation operating point is deliberately skewed; LI rises
+        # well above 1.5 within the first second.
+        rt = _runtime("scaleout:+1@LI>1.5/hold=0.5")
+        rt.run(duration=4.0, drain=False)
+        assert rt.elastic.summary()["n_scaleouts"] >= 1
+        assert len(rt.dispatcher.groups["R"]) > BASE_N
+
+    def test_hold_window_delays_firing(self):
+        fast = _runtime("scaleout:+1@LI>1.5/hold=0")
+        slow = _runtime("scaleout:+1@LI>1.5/hold=2.0")
+        fast.run(duration=1.2, drain=False)
+        slow.run(duration=1.2, drain=False)
+        assert fast.elastic.summary()["n_scaleouts"] >= 1
+        assert slow.elastic.summary()["n_scaleouts"] == 0
+
+
+class TestDeterminism:
+    def test_same_spec_same_run_bit_identical(self):
+        spec = "at:t=0.5+2;scalein:-1@backlog<0.5/hold=0.8"
+        a = _runtime(spec).run(duration=3.0, drain=False)
+        b = _runtime(spec).run(duration=3.0, drain=False)
+        assert a.total_results == b.total_results
+        assert a.instance_counts == b.instance_counts
+        assert [
+            (e.time, e.side, e.source, e.target, e.reason, tuple(e.keys))
+            for e in a.migrations
+        ] == [
+            (e.time, e.side, e.source, e.target, e.reason, tuple(e.keys))
+            for e in b.migrations
+        ]
+
+
+class TestBindRejection:
+    def test_baselines_cannot_scale(self):
+        config = validation_config("zipf", n_instances=BASE_N, theta=None)
+        r_source, s_source = make_sources("zipf", 0)
+        rt = build_system("bistream", config, r_source, s_source)
+        controller = ElasticController(parse_elastic_spec("at:t=1+1"), config)
+        with pytest.raises(ConfigError, match="balancing monitor"):
+            rt.attach_elastic(controller)
+
+    def test_windowed_stores_rejected_at_config_time(self):
+        with pytest.raises(ConfigError, match="windowed"):
+            validation_config(
+                "zipf", n_instances=BASE_N,
+                elastic_spec="at:t=1+1", window_subwindows=4,
+            )
+
+    def test_empty_elastic_spec_rejected_at_config_time(self):
+        with pytest.raises(ConfigError):
+            validation_config("zipf", n_instances=BASE_N, elastic_spec="  ")
+
+    def test_net_negative_schedule_rejected_at_bind(self):
+        with pytest.raises(ConfigError, match="below the base group"):
+            _runtime("at:t=1-1")

@@ -1,0 +1,109 @@
+"""Elastic runs against the exact oracle, and the --jobs determinism
+acceptance: completeness survives scale-out/scale-in churn, composed with
+fault plans, and the whole thing is a pure function of (config, seed)."""
+
+import pytest
+
+from repro.cli import main
+from repro.validate import run_differential, run_elastic_fuzz
+from repro.validate.differential import DifferentialHarness
+
+pytestmark = pytest.mark.integration
+
+N_INSTANCES = 4
+TICKS = 400
+TUPLES = 2_400
+
+
+def _harness(elastic_spec, fault_spec=None, seed=0, **kw):
+    return DifferentialHarness(
+        "fastjoin", seed=seed, ticks=TICKS, n_instances=N_INSTANCES,
+        tuples_per_stream=TUPLES, elastic_spec=elastic_spec,
+        fault_spec=fault_spec, **kw,
+    )
+
+
+class TestElasticDifferential:
+    def test_scheduled_cycle_is_complete(self):
+        harness = _harness("at:t=1+2;at:t=2-2")
+        report = harness.run()
+        assert report.ok, report.summary()
+        assert report.pairs_expected == report.results_system
+        assert report.pairs_expected == report.pairs_oracle
+        reasons = {
+            e.reason for e in harness.runtime.metrics.migration_events()
+        }
+        assert {"scaleout", "scalein"} <= reasons
+        # the oracle replayed every recorded migration
+        assert report.n_migrations == report.n_migrations_replayed
+
+    def test_rule_driven_policy_is_complete(self):
+        report = _harness(
+            "scaleout:+1@LI>1.5/hold=0.5;scalein:-1@backlog<0.05/hold=1.0"
+        ).run()
+        assert report.ok, report.summary()
+
+    def test_elastic_composed_with_faults_is_complete(self):
+        report = _harness(
+            "at:t=1+2;at:t=2.5-2",
+            fault_spec="crash:R0@1.2+0.6;ckpt=0.25",
+        ).run()
+        assert report.ok, report.summary()
+
+    def test_report_summary_names_the_policy(self):
+        report = _harness("at:t=1+1;at:t=2-1").run()
+        assert "elastic=" in report.summary()
+
+    def test_retired_instances_counted_in_totals(self):
+        harness = _harness("at:t=1+2;at:t=2-2")
+        report = harness.run()
+        assert report.ok
+        retired = harness.runtime.retired
+        assert len(retired["R"]) == 2 and len(retired["S"]) == 2
+
+    def test_run_differential_entry_point(self):
+        report = run_differential(
+            "fastjoin", seed=3, ticks=TICKS, n_instances=N_INSTANCES,
+            elastic_spec="at:t=1+1;at:t=2-1",
+        )
+        assert report.ok, report.summary()
+
+
+class TestElasticFuzz:
+    @pytest.mark.parametrize("seed,with_faults", [(0, False), (1, True)])
+    def test_random_schedules_are_complete(self, seed, with_faults):
+        report = run_elastic_fuzz(seed, with_faults=with_faults)
+        assert report.ok, report.message
+        assert report.mode == "elastic"
+
+
+class TestJobsDeterminism:
+    """Acceptance: an elastic run is bit-identical at --jobs 1 vs --jobs 4."""
+
+    BASE = [
+        "validate", "--system", "fastjoin", "--ticks", "400",
+        "--elastic", "at:t=1+2;at:t=2-2",
+    ]
+
+    def test_validate_identical_across_jobs(self, capsys):
+        assert main([*self.BASE, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*self.BASE, "--jobs", "4"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+        assert "OK" in serial
+        assert "elastic=" in serial
+
+    def test_elastic_trace_self_diff_is_empty(self, tmp_path, capsys):
+        """Two traced runs of the same elastic config produce byte-identical
+        event streams — the trace self-diff is empty."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        base = [
+            "run", "--instances", "2", "--duration", "4", "--rate", "400",
+            "--warmup", "1", "--elastic", "at:t=1+1;at:t=2.5-1",
+        ]
+        assert main([*base, "--trace", str(a)]) == 0
+        assert main([*base, "--trace", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        assert a.stat().st_size > 0

@@ -1,0 +1,173 @@
+"""The elastic policy grammar: parsing, validation, canonical forms."""
+
+import pytest
+
+from repro.elastic import (
+    MAX_EXTRA_INSTANCES,
+    MAX_SCALE_STEP,
+    ElasticAction,
+    ElasticPolicy,
+    format_elastic_spec,
+    parse_elastic_spec,
+    random_elastic_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestParse:
+    def test_scheduled_events(self):
+        policy = parse_elastic_spec("at:t=5+2;at:t=12-2")
+        assert [a.kind for a in policy.actions] == ["at", "at"]
+        assert [(a.at, a.count) for a in policy.actions] == [(5.0, 2), (12.0, -2)]
+
+    def test_rules(self):
+        policy = parse_elastic_spec(
+            "scaleout:+2@LI>3.0/hold=2.0;scalein:-1@backlog<0.2/hold=4.0"
+        )
+        out, inn = policy.actions
+        assert (out.kind, out.count, out.threshold, out.hold) == (
+            "scaleout", 2, 3.0, 2.0
+        )
+        assert (inn.kind, inn.count, inn.threshold, inn.hold) == (
+            "scalein", 1, 0.2, 4.0
+        )
+
+    def test_hold_defaults_to_zero(self):
+        policy = parse_elastic_spec("scaleout:+1@LI>2.5")
+        assert policy.actions[0].hold == 0.0
+
+    def test_comma_and_semicolon_separators(self):
+        a = parse_elastic_spec("at:t=1+1,at:t=2-1")
+        b = parse_elastic_spec("at:t=1+1;at:t=2-1")
+        assert a == b
+
+    def test_whitespace_tolerated(self):
+        policy = parse_elastic_spec(" at:t=1+1 ; at:t=2-1 ")
+        assert len(policy.actions) == 2
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "bogus",
+        "at:t=5",            # no signed count
+        "at:t=5+0",          # zero delta
+        "at:t=-1+2",         # negative time never parses (grammar)
+        "scaleout:-2@LI>3",  # wrong sign for scale-out
+        "scalein:+1@backlog<0.2",
+        "scaleout:+2@LI>0.5",   # LI threshold must exceed 1.0
+        "scalein:-1@backlog<0",  # backlog threshold must be positive
+        "at:t=5+99",         # exceeds MAX_SCALE_STEP
+        "scaleout:+2@backlog<0.2",  # signal/kind mismatch
+    ])
+    def test_malformed_specs_raise_config_error(self, bad):
+        with pytest.raises(ConfigError):
+            parse_elastic_spec(bad)
+
+    def test_error_names_the_offending_term(self):
+        with pytest.raises(ConfigError, match="nonsense"):
+            parse_elastic_spec("at:t=1+1;nonsense")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        "at:t=5+2;at:t=12-2",
+        "scaleout:+2@LI>3/hold=2;scalein:-1@backlog<0.2/hold=4",
+        "scaleout:+1@LI>1.5/hold=0;at:t=8-1",
+    ])
+    def test_parse_format_round_trip(self, spec):
+        policy = parse_elastic_spec(spec)
+        canonical = format_elastic_spec(policy)
+        assert parse_elastic_spec(canonical) == policy
+        # the canonical form is a fixed point
+        assert format_elastic_spec(parse_elastic_spec(canonical)) == canonical
+
+    def test_policy_spec_property(self):
+        policy = parse_elastic_spec("at:t=5+2")
+        assert policy.spec == "at:t=5+2"
+
+
+class TestValidate:
+    def test_net_negative_schedule_rejected(self):
+        policy = parse_elastic_spec("at:t=5+1;at:t=9-2")
+        with pytest.raises(ConfigError, match="below the base group"):
+            policy.validate(4)
+
+    def test_interleaved_net_negative_rejected(self):
+        # Transiently negative even though the total sums to zero.
+        policy = parse_elastic_spec("at:t=2-1;at:t=5+1")
+        with pytest.raises(ConfigError):
+            policy.validate(4)
+
+    def test_balanced_schedule_passes(self):
+        parse_elastic_spec("at:t=5+2;at:t=12-2").validate(4)
+
+    def test_rules_skip_the_static_walk(self):
+        # With a rule present, extras may exist at any time; the static
+        # net check would be wrong, so it is skipped.
+        policy = parse_elastic_spec("scaleout:+1@LI>2;at:t=9-1")
+        policy.validate(4)
+
+    def test_peak_extra_instances_capped(self):
+        terms = ";".join(
+            f"at:t={t}+{MAX_SCALE_STEP}"
+            for t in range(1, MAX_EXTRA_INSTANCES // MAX_SCALE_STEP + 2)
+        )
+        with pytest.raises(ConfigError, match="peaks at"):
+            parse_elastic_spec(terms).validate(4)
+
+    def test_bad_base_size_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_elastic_spec("at:t=1+1").validate(0)
+
+
+class TestScheduledOrdering:
+    def test_scheduled_sorted_by_time_then_spec(self):
+        policy = parse_elastic_spec("at:t=9-1;at:t=2+2;at:t=2+1")
+        fired = [a.spec for a in policy.scheduled()]
+        assert fired == ["at:t=2+1", "at:t=2+2", "at:t=9-1"]
+
+    def test_rules_keep_spec_order(self):
+        policy = parse_elastic_spec(
+            "scalein:-1@backlog<0.2;scaleout:+1@LI>2"
+        )
+        assert [a.kind for a in policy.rules()] == ["scalein", "scaleout"]
+
+
+class TestRandomPolicy:
+    def test_deterministic_per_seed(self):
+        a = random_elastic_policy(7, horizon=10.0, n_events=3)
+        b = random_elastic_policy(7, horizon=10.0, n_events=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        specs = {
+            random_elastic_policy(s, horizon=10.0, n_events=3).spec
+            for s in range(8)
+        }
+        assert len(specs) > 1
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_schedules_always_validate(self, seed):
+        policy = random_elastic_policy(seed, horizon=6.0, n_events=3)
+        policy.validate(4)  # must not raise
+        # all scheduled, inside the active window
+        assert all(a.kind == "at" for a in policy.actions)
+        assert all(0.0 < a.at < 6.0 for a in policy.actions)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            random_elastic_policy(0, horizon=0.0)
+        with pytest.raises(ConfigError):
+            random_elastic_policy(0, horizon=5.0, n_events=0)
+
+
+class TestActionValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            ElasticAction(kind="resize", count=1)
+
+    def test_policy_is_hashable_and_frozen(self):
+        policy = parse_elastic_spec("at:t=1+1")
+        hash(policy)
+        with pytest.raises(Exception):
+            policy.actions = ()

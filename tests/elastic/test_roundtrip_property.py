@@ -1,0 +1,88 @@
+"""Satellite property: a symmetric scale-out → scale-in round trip
+converges to the never-scaled system state.
+
+With the balancing monitor passivated (an unreachable ``monitor_min_load``
+gate, so the only key movement is controller-driven), running the same
+finite stream prefix through
+
+- system A: scale out by ``k`` at ``t1``, scale back in at ``t2``, and
+- system B: a fixed fleet,
+
+must land both in the identical end state: same per-key store contents on
+every base instance, same (empty) routing-override maps, same join-result
+totals.  This is the drain protocol's defining property — overrides are
+*removed* (keys return to hash-default homes) rather than re-installed,
+so elasticity leaves no residue.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.systems import build_system
+from repro.validate.workloads import make_sources, validation_config
+
+BASE_N = 4
+RATE = 2_000.0
+TUPLES = 3_000   # ~1.5s of emission per stream
+
+
+def _run(elastic_spec, seed):
+    config = validation_config(
+        "zipf", n_instances=BASE_N, seed=seed, elastic_spec=elastic_spec,
+        monitor_min_load=1e12,   # monitor never fires; only elastic moves keys
+    )
+    r_source, s_source = make_sources(
+        "zipf", seed, rate=RATE, tuples_per_stream=TUPLES
+    )
+    runtime = build_system("fastjoin", config, r_source, s_source)
+    metrics = runtime.run(duration=None, drain=True, max_duration=240.0)
+    return runtime, metrics
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(0, 2**16),
+    k=st.integers(1, 2),
+    t1=st.floats(0.3, 0.9),
+    dt=st.floats(0.3, 0.8),
+)
+def test_scale_round_trip_converges_to_never_scaled_state(seed, k, t1, dt):
+    t2 = t1 + dt   # still inside the run: emission + drain exceed ~1.7s
+    spec = f"at:t={t1:g}+{k};at:t={t2:g}-{k}"
+    scaled_rt, scaled_m = _run(spec, seed)
+    fixed_rt, fixed_m = _run(None, seed)
+
+    summary = scaled_rt.elastic.summary()
+    assert summary["n_scaleouts"] == 1 and summary["n_scaleins"] == 1
+    assert summary["n_unfired"] == 0
+
+    assert scaled_m.total_results == fixed_m.total_results
+    for side in ("R", "S"):
+        scaled_group = scaled_rt.dispatcher.groups[side]
+        fixed_group = fixed_rt.dispatcher.groups[side]
+        assert len(scaled_group) == len(fixed_group) == BASE_N
+        # identical per-key store contents on every base instance
+        for a, b in zip(scaled_group, fixed_group):
+            assert a.store.counts_snapshot() == b.store.counts_snapshot()
+        # and identical routing: no overrides survive the round trip
+        assert (
+            scaled_rt.dispatcher.routing[side].overrides_snapshot()
+            == fixed_rt.dispatcher.routing[side].overrides_snapshot()
+            == {}
+        )
+
+
+def test_round_trip_convergence_pinned_example():
+    """One deterministic instance of the property, outside Hypothesis, so
+    a plain ``pytest -k roundtrip`` run exercises it without the plugin."""
+    scaled_rt, scaled_m = _run("at:t=0.5+2;at:t=1.1-2", 7)
+    fixed_rt, fixed_m = _run(None, 7)
+    assert scaled_m.total_results == fixed_m.total_results
+    for side in ("R", "S"):
+        for a, b in zip(
+            scaled_rt.dispatcher.groups[side], fixed_rt.dispatcher.groups[side]
+        ):
+            assert a.store.counts_snapshot() == b.store.counts_snapshot()

@@ -1,0 +1,155 @@
+"""Golden elasticity campaign: pinned metrics for a seeded scale cycle.
+
+Mirrors ``test_golden_faults.py`` for the elasticity subsystem: one named
+campaign on a skew-*drifting* Zipf workload (the hot-key permutation is
+reshuffled mid-run, the scenario elasticity exists for), against the
+fastjoin golden configuration with the balancing monitor passivated
+(``monitor_min_load=1e12``) so every key movement in the run is
+controller-driven — the migration schedule below is the elasticity
+protocol's alone, not entangled with balance decisions.
+
+``skew-drift-cycle``
+    Two instances per side join at t=6 (each seeded from the heaviest
+    base donor through the migration protocol, recorded with
+    ``reason="scaleout"``) and retire at t=12 (drained back through the
+    reverse protocol, ``reason="scalein"``), with the drift boundary at
+    tuple 10,800 landing inside the scaled-out window.
+
+The headline completeness evidence is pinned first: ``total_results``
+equals the never-scaled control run on the identical workload —
+provisioning workers, handing them the hot keys, and draining them away
+again loses and duplicates nothing.  The remaining constants pin the
+scale *trajectory* (seeding/drain schedules, pause accounting, latency)
+so a silent change to provisioning order, drain targeting, or routing
+versioning fails loudly here.  The whole campaign runs under the
+attribution invariant guard, which must not move any constant by a bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import canonical_config, skew_drift_sources
+from repro.systems import build_system
+from repro.validate import GuardConfig, InvariantGuards
+
+from .test_attribution import _assert_mean_identity, _attribution_guards
+
+pytestmark = pytest.mark.integration
+
+ELASTIC_SCHEDULE = "at:t=6+2;at:t=12-2"
+
+#: The never-scaled control total for this exact workload and config —
+#: the elastic campaign must land on this value (see the control test).
+SCALE_FREE_TOTAL_RESULTS = 17_476_356
+
+GOLDEN = dict(
+    total_results=SCALE_FREE_TOTAL_RESULTS,
+    total_processed=86_400,
+    migrations=4,
+    n_migrated_keys=672,
+    migrated_key_sum=335_938,
+    reasons=["scalein", "scaleout"],
+    # (time, side, source, target, n_keys) per event, times rounded to
+    # tick granularity: both sides seed their newcomer from the heaviest
+    # donor at t=6 and drain it back at t=12 — symmetric hand-offs,
+    # hence the matching key counts.
+    schedule=[
+        (6.0, "R", 3, 4, 179),
+        (6.0, "S", 3, 4, 157),
+        (12.0, "R", 4, 3, 179),
+        (12.0, "S", 4, 3, 157),
+    ],
+    instance_count_ns=[6, 4],
+    latency_overall_mean=0.9893187481550283,
+    latency_p99=10.492250000000016,
+    mean_throughput=624155.5714285715,
+    migration_pause=388.8651735118978,
+    controller=dict(
+        n_scaleouts=1, n_scaleins=1, n_provisioned=4, n_retired=4,
+        n_deferred=0, n_unfired=0,
+    ),
+)
+
+
+def _campaign_config(elastic_spec: str | None, seed: int = 7):
+    return canonical_config(
+        n_instances=4,
+        theta=2.2,
+        seed=seed,
+        warmup=0.0,
+        capacity=9_000.0,
+        monitor_min_load=1e12,
+        window_subwindows=None,
+        elastic_spec=elastic_spec,
+    )
+
+
+def _run_campaign(elastic_spec: str | None, guards: InvariantGuards | None = None):
+    config = _campaign_config(elastic_spec)
+    r_source, s_source = skew_drift_sources(
+        config.seed, n_keys=1_000, rate=1_800.0,
+        drift_after=10_800, tuples_per_stream=21_600,
+    )
+    runtime = build_system("fastjoin", config, r_source, s_source)
+    if guards is not None:
+        runtime.attach_guards(guards)
+    metrics = runtime.run(duration=None, drain=True, max_duration=400.0)
+    return runtime, metrics
+
+
+def test_elastic_campaign_golden():
+    guards = _attribution_guards(seed=7)
+    runtime, m = _run_campaign(ELASTIC_SCHEDULE, guards)
+    assert guards.checks_run > 0 and guards.violations == 0
+    _assert_mean_identity(m)
+
+    assert m.total_results == GOLDEN["total_results"]
+    assert m.total_processed == GOLDEN["total_processed"]
+    assert len(m.migrations) == GOLDEN["migrations"]
+    migrated = sorted(k for ev in m.migrations for k in ev.keys)
+    assert len(migrated) == GOLDEN["n_migrated_keys"]
+    assert sum(migrated) == GOLDEN["migrated_key_sum"]
+    assert sorted({ev.reason for ev in m.migrations}) == GOLDEN["reasons"]
+    assert [
+        (round(ev.time, 6), ev.side, ev.source, ev.target, len(ev.keys))
+        for ev in m.migrations
+    ] == GOLDEN["schedule"]
+
+    # Instance-count series: up to 6 per side at t=6, back to 4 at t=12.
+    assert [n for _, n in m.instance_counts] == GOLDEN["instance_count_ns"]
+    times = [t for t, _ in m.instance_counts]
+    assert times[0] == pytest.approx(6.0) and times[1] == pytest.approx(12.0)
+
+    assert m.latency_overall_mean == pytest.approx(
+        GOLDEN["latency_overall_mean"], rel=1e-9
+    )
+    assert m.latency_p99 == pytest.approx(GOLDEN["latency_p99"], rel=1e-9)
+    assert m.mean_throughput == pytest.approx(
+        GOLDEN["mean_throughput"], rel=1e-9
+    )
+    # Scale latency is charged to migration_pause; no faults → no recovery.
+    assert m.component_totals["migration_pause"] == pytest.approx(
+        GOLDEN["migration_pause"], rel=1e-9
+    )
+    assert m.component_totals["recovery_pause"] == 0.0
+
+    assert runtime.elastic.summary() == GOLDEN["controller"]
+    # The cycle ends where it began: base fleet, retired husks emptied.
+    for side in ("R", "S"):
+        assert len(runtime.dispatcher.groups[side]) == 4
+        assert len(runtime.retired[side]) == 2
+        for husk in runtime.retired[side]:
+            assert husk.store.total == 0
+
+
+def test_control_run_matches_pinned_scale_free_total():
+    """The cross-check constant is itself derived, not asserted on faith:
+    the never-scaled control run on the identical drifting workload must
+    reproduce ``SCALE_FREE_TOTAL_RESULTS`` (and, having never scaled,
+    record no migrations at all under the passivated monitor)."""
+    runtime, m = _run_campaign(None)
+    assert m.total_results == SCALE_FREE_TOTAL_RESULTS
+    assert m.total_processed == GOLDEN["total_processed"]
+    assert len(m.migrations) == 0
+    assert runtime.elastic is None

@@ -82,6 +82,26 @@ class TestArgHygiene:
         assert "not supported" in capsys.readouterr().err
         assert main(["inspect", "--faults", "crash:R0@2+1"]) == 2
 
+    def test_malformed_elastic_is_exit_2(self, capsys):
+        # Eagerly validated before any simulation runs, same as --faults.
+        assert main(["run", "--elastic", "bogus"]) == 2
+        assert "--elastic:" in capsys.readouterr().err
+        assert main(["run", "--elastic", "at:t=1"]) == 2
+        assert main(["validate", "--elastic", "scaleout:+0@LI>2/hold=1"]) == 2
+        # Net-negative schedules are a spec error, caught at the same gate.
+        assert main(["run", "--elastic", "at:t=1-1"]) == 2
+
+    def test_elastic_rejected_by_bench_and_inspect(self, capsys):
+        assert main(["bench", "--elastic", "at:t=1+1"]) == 2
+        assert "not supported" in capsys.readouterr().err
+        assert main(["inspect", "--elastic", "at:t=1+1"]) == 2
+
+    def test_elastic_rejected_for_baseline_systems(self, capsys):
+        assert main([
+            "run", "--system", "bistream", "--elastic", "at:t=1+1",
+        ]) == 2
+        assert "fastjoin" in capsys.readouterr().err
+
 
 class TestFaults:
     """The ``--faults`` flag end to end (see repro.faults)."""
@@ -134,6 +154,38 @@ class TestFaults:
         assert main([*base, "--jobs", "2"]) == 0
         fanned = capsys.readouterr().out
         assert serial == fanned
+
+
+class TestElastic:
+    """The ``--elastic`` flag end to end (see repro.elastic)."""
+
+    def test_elastic_run_exits_zero(self, capsys):
+        code = main([
+            "run", "--elastic", "at:t=1+1;at:t=2.5-1",
+            "--instances", "2", "--duration", "4",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
+        assert "fastjoin" in capsys.readouterr().out
+
+    def test_elastic_validate_exits_zero(self, capsys):
+        code = main([
+            "validate", "--system", "fastjoin", "--ticks", "150",
+            "--elastic", "at:t=0.5+1;at:t=1-1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "elastic=" in out
+
+    def test_elastic_composes_with_faults(self, capsys):
+        code = main([
+            "run", "--elastic", "at:t=1+1",
+            "--faults", "crash:R0@1.5+0.5;ckpt=0.25",
+            "--instances", "2", "--duration", "4",
+            "--rate", "300", "--warmup", "1",
+        ])
+        assert code == 0
 
 
 class TestMain:

@@ -17,15 +17,22 @@ from repro.validate import (
 class TestFuzzGrid:
     def test_grid_shape_and_determinism(self):
         grid = fuzz_grid(3, base_seed=5)
-        # seeds x modes x selectors, plus one chaos cell per seed
-        assert len(grid) == 3 * 2 * 2 + 3
+        # seeds x modes x selectors, plus one chaos and one elastic cell
+        # per seed
+        assert len(grid) == 3 * 2 * 2 + 3 + 3
         assert grid == fuzz_grid(3, base_seed=5)
         assert {t.seed for t in grid} == {5, 6, 7}
-        assert {t.mode for t in grid} == {"oracle", "instance", "chaos"}
+        assert {t.mode for t in grid} == {
+            "oracle", "instance", "chaos", "elastic"
+        }
         assert {t.selector for t in grid} == {"greedyfit", "safit"}
+        # elastic cells compose a fault plan on every other seed
+        assert [t.with_faults for t in grid if t.mode == "elastic"] == [
+            False, True, False,
+        ]
 
     def test_chaos_cells_can_be_disabled(self):
-        grid = fuzz_grid(3, base_seed=5, chaos=False)
+        grid = fuzz_grid(3, base_seed=5, chaos=False, elastic=False)
         assert len(grid) == 3 * 2 * 2
         assert {t.mode for t in grid} == {"oracle", "instance"}
 
