@@ -52,6 +52,7 @@ __all__ = [
     "bench_cases",
     "run_case",
     "run_matrix",
+    "run_profile",
     "machine_metadata",
     "compare_reports",
     "format_report",
@@ -215,6 +216,40 @@ def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS) -> CaseResult:
         latency_p99=metrics.latency_p99,
         mean_throughput=metrics.mean_throughput,
     )
+
+
+def run_profile(
+    quick: bool = False,
+    cases: tuple[BenchCase, ...] | None = None,
+    alloc: bool = True,
+    progress=None,
+) -> dict:
+    """Profile the matrix cells: per-phase wall/work/alloc attribution.
+
+    Each cell runs once with a :class:`~repro.obs.profile.PhaseProfiler`
+    attached (allocation tracking on by default, so tracemalloc is live —
+    the wall numbers here are *not* comparable to ``run_matrix`` output
+    and never land in a baseline).  Returns ``{case_name: phase_report}``
+    where ``phase_report`` is :meth:`PhaseProfiler.report` plus the
+    profiler itself under ``"_profiler"`` for table printing.
+    """
+    from ..obs import Observability
+    from ..obs.profile import PhaseProfiler
+
+    matrix = bench_cases(quick) if cases is None else tuple(cases)
+    out: dict = {}
+    for case in matrix:
+        if progress is not None:
+            progress(case)
+        runtime = _build_runtime(case)
+        profiler = PhaseProfiler(track_alloc=alloc)
+        runtime.attach_observer(
+            Observability(profiler=profiler),
+            meta={"bench_case": case.name},
+        )
+        runtime.run(duration=case.duration, drain=False, max_duration=240.0)
+        out[case.name] = {"phases": profiler.report(), "_profiler": profiler}
+    return out
 
 
 def machine_metadata() -> dict:

@@ -193,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None,
                        help="wall-clock repeats per case; the best run is "
                        "reported (default 3)")
+    bench.add_argument("--profile", action="store_true",
+                       help="profile the matrix cells instead of timing "
+                       "them: one run per cell with the phase profiler "
+                       "attached, printing a per-phase wall/work/alloc "
+                       "table (tracemalloc is live, so numbers are not "
+                       "baseline-comparable and nothing is written)")
+    bench.add_argument("--no-alloc", action="store_true",
+                       help="with --profile: skip the tracemalloc "
+                       "allocation counter (wall/work attribution only)")
     bench.add_argument("--sentinel", action="store_true",
                        help="perf-regression sentinel: compare this run "
                        "against the committed trajectory history "
@@ -312,9 +321,29 @@ def _run_bench(args: argparse.Namespace) -> int:
         args.tolerance if args.tolerance is not None else perf.DEFAULT_TOLERANCE
     )
 
+    if args.profile and (args.check or args.sentinel or args.update_baseline):
+        print("--profile runs under tracemalloc; its wall numbers are not "
+              "baseline-comparable, so it cannot be combined with --check, "
+              "--sentinel or --update-baseline", file=sys.stderr)
+        return 2
+
     def progress(case):
         print(f"bench {case.name} (rate {case.rate:g}, "
               f"{case.duration:g}s x {repeats} repeats)...", file=sys.stderr)
+
+    if args.profile:
+        def profile_progress(case):
+            print(f"profiling {case.name} (rate {case.rate:g}, "
+                  f"{case.duration:g}s)...", file=sys.stderr)
+
+        profiled = perf.run_profile(
+            quick=args.quick, alloc=not args.no_alloc,
+            progress=profile_progress,
+        )
+        for name, entry in profiled.items():
+            print(f"\n{name}")
+            print(entry["_profiler"].summary())
+        return 0
 
     report = perf.run_matrix(quick=args.quick, progress=progress,
                              repeats=repeats, jobs=args.jobs)

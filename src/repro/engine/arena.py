@@ -1,0 +1,123 @@
+"""Grow-only scratch-buffer arena for the allocation-free hot path.
+
+The batched engine (PR 3) made the tick loop vector-oriented; the remaining
+steady-state cost is numpy *churn* — every tick used to reallocate masks,
+cost vectors, latency buffers and ring-index arrays of nearly identical
+shape.  An :class:`Arena` hands out views into grow-only backing buffers
+keyed by a string tag, so after a short warm-up the same memory is reused
+every tick and a steady-state tick performs zero numpy heap allocations
+(DESIGN §9).
+
+Ownership rules (the part that keeps buffer reuse bit-exact):
+
+- One arena has exactly one *owner* — a ``JoinInstance`` (shared with its
+  ``TupleQueue``), a ``Dispatcher``, or the metrics collector.  Views the
+  owner hands out are valid until the owner's next use of the same tag;
+  they must never be retained across ticks by anyone else.
+- Anything that escapes the owner's scope into long-lived state (the WAL,
+  the migration log, a golden report) must be copied out explicitly at the
+  escape point.  ``ServiceReport`` arrays are the documented exception:
+  they are valid until the *producing instance's next step*, and the
+  metrics collector consumes them within the same tick.
+- A view's contents are whatever the previous user of the tag left there —
+  callers always overwrite before reading (``np.equal(..., out=...)``
+  style), never rely on zero-initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Arena"]
+
+#: buffers start at this many elements so tiny first requests do not cause
+#: a cascade of doubling grows
+_MIN_ELEMS = 64
+
+
+class Arena:
+    """Tagged, grow-only scratch buffers returning ``buf[:n]`` views.
+
+    ``array(tag, n, dtype)`` returns a contiguous, writable, *uninitialised*
+    view of length ``n``.  The backing buffer for a tag only ever grows
+    (power-of-two), so after warm-up every request is a zero-allocation
+    slice.  ``grows`` / ``requests`` counters let tests assert the arena
+    has reached steady state.
+    """
+
+    __slots__ = ("_bufs", "grows", "requests")
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+        #: number of backing-buffer (re)allocations since construction
+        self.grows = 0
+        #: number of array() calls since construction
+        self.requests = 0
+
+    def array(self, tag: str, n: int, dtype: np.dtype | type) -> np.ndarray:
+        """Return an uninitialised contiguous view of ``n`` elements.
+
+        The view aliases the tag's backing buffer: it is invalidated by the
+        next ``array()`` call with the same tag (and by nothing else).
+        """
+        self.requests += 1
+        buf = self._bufs.get(tag)
+        # Steady-state fast path: hot callers pass scalar types (np.int64,
+        # np.float64, ...), so an identity check on ``dtype.type`` avoids
+        # constructing/comparing np.dtype objects on every request.
+        if buf is not None and buf.dtype.type is dtype and n <= buf.shape[0]:
+            return buf[:n]
+        return self._grow(tag, n, dtype, buf)
+
+    def _grow(
+        self, tag: str, n: int, dtype: np.dtype | type, buf: np.ndarray | None
+    ) -> np.ndarray:
+        dt = np.dtype(dtype)
+        if buf is not None and buf.dtype == dt and n <= buf.shape[0]:
+            # dtype was passed as an instance the fast path can't match.
+            return buf[:n]
+        cap = _MIN_ELEMS
+        while cap < n:
+            cap <<= 1
+        self._bufs[tag] = buf = np.empty(cap, dtype=dt)
+        self.grows += 1
+        return buf[:n]
+
+    def zeros(self, tag: str, n: int, dtype: np.dtype | type) -> np.ndarray:
+        """Like :meth:`array`, but the backing buffer is zero-filled when
+        (and only when) it is first allocated or grown.
+
+        For callers that maintain an *all-zero between uses* invariant
+        themselves (the C same-key counter does: it un-writes every slot it
+        touched before returning), this gives a dense zeroed workspace with
+        no per-call clearing.
+        """
+        self.requests += 1
+        buf = self._bufs.get(tag)
+        if buf is not None and buf.dtype.type is dtype and n <= buf.shape[0]:
+            return buf[:n]
+        view = self._grow(tag, n, dtype, buf)
+        base = self._bufs[tag]
+        if base is not buf:  # only a genuine (re)allocation is cleared
+            base.fill(0)
+        return view
+
+    def iota(self, n: int) -> np.ndarray:
+        """Return a read-only view of ``arange(n, dtype=int64)``.
+
+        The backing ramp only grows, so steady-state requests are
+        zero-allocation; it is marked non-writable because every consumer
+        shares it.
+        """
+        self.requests += 1
+        buf = self._bufs.get("__iota__")
+        if buf is not None and n <= buf.shape[0]:
+            return buf[:n]
+        cap = _MIN_ELEMS
+        while cap < n:
+            cap <<= 1
+        buf = np.arange(cap, dtype=np.int64)
+        buf.flags.writeable = False
+        self._bufs["__iota__"] = buf
+        self.grows += 1
+        return buf[:n]

@@ -42,6 +42,8 @@ class CostModel:
         self,
         store_sizes: np.ndarray,
         match_counts: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
     ) -> np.ndarray:
         """Per-tuple cost of probing, given store size and match count.
 
@@ -51,10 +53,19 @@ class CostModel:
             ``|R_i|`` in effect when each probe tuple is served.
         match_counts:
             ``|R_ik|`` — stored tuples sharing the probe tuple's key.
+        out:
+            Optional float64 buffer to write the costs into (hot-path
+            arena scratch); allocated when omitted.  The arithmetic is
+            identical either way, so results are bit-exact.
+        scratch:
+            Optional second float64 buffer for models that need an
+            intermediate of the same shape (``ScanCost`` with per-position
+            store sizes).
 
         Returns
         -------
-        float64 array of work-unit costs, same shape as the inputs.
+        float64 array of work-unit costs, same shape as the inputs
+        (``out`` when provided).
         """
         raise NotImplementedError
 
@@ -88,13 +99,26 @@ class ScanCost(CostModel):
     scan_coeff: float = 0.01
     emit_cost: float = 0.01
 
-    def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
+    def probe_costs(
+        self,
+        store_sizes: np.ndarray,
+        match_counts: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
         # (base + coeff*s) + emit*m, evaluated with the fewest temporaries:
         # int64 * float64-scalar promotes elementwise exactly like an asarray
         # conversion would, and IEEE addition is commutative, so the result
         # is bit-identical to the naive expression.
-        out = np.multiply(match_counts, self.emit_cost)
-        tmp = np.multiply(store_sizes, self.scan_coeff)
+        out = np.multiply(match_counts, self.emit_cost, out=out)
+        if np.ndim(store_sizes) == 0:
+            # Scalar store size (probe-only chunk): the scan term is one
+            # float, computed with the same IEEE ops as the array path
+            # (exact int -> float conversion below 2**53, then the same
+            # multiply/add), so no scratch array is needed.
+            out += float(store_sizes) * self.scan_coeff + self.probe_base
+            return out
+        tmp = np.multiply(store_sizes, self.scan_coeff, out=scratch)
         tmp += self.probe_base
         out += tmp
         return out
@@ -122,10 +146,16 @@ class IndexedCost(CostModel):
     emit_cost: float = 0.1
     uses_store_sizes: ClassVar[bool] = False
 
-    def probe_costs(self, store_sizes: np.ndarray, match_counts: np.ndarray) -> np.ndarray:
-        del store_sizes  # irrelevant under an index
+    def probe_costs(
+        self,
+        store_sizes: np.ndarray,
+        match_counts: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        del store_sizes, scratch  # irrelevant under an index
         # base + emit*m with one temporary; bit-identical (commuted add).
-        out = np.multiply(match_counts, self.emit_cost)
+        out = np.multiply(match_counts, self.emit_cost, out=out)
         out += self.probe_base
         return out
 

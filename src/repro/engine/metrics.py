@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..attribution import close_decomposition
+from .arena import Arena
 
 __all__ = ["MetricsCollector", "RunMetrics", "MigrationEvent", "Reservoir"]
 
@@ -33,9 +34,14 @@ class Reservoir:
 
     def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
         self._capacity = int(capacity)
-        self._buf = np.empty(self._capacity, dtype=np.float64)
+        # One slot past the end is a write-off target: replacement draws
+        # that land outside the reservoir are redirected there instead of
+        # being filtered out with a boolean mask (DESIGN §9).  values()
+        # never exposes it.
+        self._buf = np.empty(self._capacity + 1, dtype=np.float64)
         self._n_seen = 0
         self._rng = np.random.Generator(np.random.PCG64(seed))
+        self._arena = Arena()
 
     def add_many(self, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.float64).ravel()
@@ -47,16 +53,27 @@ class Reservoir:
         if fill:
             self._buf[start : start + fill] = values[:fill]
         rest = values[fill:]
-        if rest.shape[0]:
+        m = rest.shape[0]
+        if m:
             # Vectorised Vitter's R: item i (0-based global index g) replaces
             # a uniformly random slot j in [0, g]; kept only if j < capacity.
             # Later duplicates overwrite earlier ones, matching the
-            # sequential algorithm's behaviour.
-            g = start + fill + np.arange(rest.shape[0], dtype=np.float64)
-            j = (self._rng.random(rest.shape[0]) * (g + 1.0)).astype(np.int64)
-            mask = j < self._capacity
-            if mask.any():
-                self._buf[j[mask]] = rest[mask]
+            # sequential algorithm's behaviour.  All scratch lives in the
+            # reservoir's arena and the rejected draws are clamped onto the
+            # write-off slot, so a steady-state call allocates nothing.
+            # Every quantity is an exact integer below 2**53, so computing
+            # g + 1 as iota(m) + (start + fill + 1) is bit-identical to the
+            # former (start + fill + arange) + 1.0, and the unsafe copyto
+            # truncates exactly like .astype(np.int64) did.
+            g1 = self._arena.array("rsv_g", m, np.float64)
+            np.add(self._arena.iota(m), float(start + fill + 1), out=g1)
+            r = self._arena.array("rsv_r", m, np.float64)
+            self._rng.random(out=r)
+            np.multiply(r, g1, out=r)
+            j = self._arena.array("rsv_j", m, np.int64)
+            np.copyto(j, r, casting="unsafe")
+            np.minimum(j, self._capacity, out=j)
+            self._buf[j] = rest
         self._n_seen += n
 
     @property
@@ -209,6 +226,8 @@ class MetricsCollector:
         # reported percentiles are a pure function of (config, seed), like
         # every other statistic.
         self._reservoir = Reservoir(reservoir_capacity, seed=reservoir_seed)
+        # Scratch for the per-tick latency concatenation (DESIGN §9).
+        self._arena = Arena()
         self._total_results = 0
         self._total_processed = 0
         self._lat_total = 0.0
@@ -295,6 +314,10 @@ class MetricsCollector:
         in_window = now >= self._warmup
         lat_arrays = []
         obs = self.obs
+        # ndarray.sum() is np.add.reduce plus a dispatch wrapper; with ~2
+        # small reductions per report per tick the wrapper is measurable,
+        # and the pairwise summation underneath is the same either way.
+        _sum = np.add.reduce
         results_by_sec = self._results
         lat_sum_by_sec = self._lat_sum
         comp_sv_by_sec = self._comp_service
@@ -321,24 +344,24 @@ class MetricsCollector:
                 results_by_sec[sec] = results_by_sec.get(sec, 0.0) + float(n_results)
                 tick_results_int += int(round(n_results))
             if latencies is not None and latencies.size:
-                s = float(latencies.sum())
+                s = float(_sum(latencies))
                 lat_sum_by_sec[sec] = lat_sum_by_sec.get(sec, 0.0) + s
                 tick_lat_n += int(latencies.size)
                 ca = rep.comp_service
                 if ca is not None:
-                    sv = float(ca.sum())
+                    sv = float(_sum(ca))
                     if sv:
                         comp_sv_by_sec[sec] = comp_sv_by_sec.get(sec, 0.0) + sv
                         tick_sv += sv
                 ca = rep.comp_migration
                 if ca is not None:
-                    mg = float(ca.sum())
+                    mg = float(_sum(ca))
                     if mg:
                         comp_mg_by_sec[sec] = comp_mg_by_sec.get(sec, 0.0) + mg
                         tick_mg += mg
                 ca = rep.comp_recovery
                 if ca is not None:
-                    rc = float(ca.sum())
+                    rc = float(_sum(ca))
                     if rc:
                         comp_rc_by_sec[sec] = comp_rc_by_sec.get(sec, 0.0) + rc
                         tick_rc += rc
@@ -368,9 +391,18 @@ class MetricsCollector:
                 self._comp_total_recovery += tick_rc
         self._lat_total_n += tick_lat_n_window
         if lat_arrays:
-            self._reservoir.add_many(
-                lat_arrays[0] if len(lat_arrays) == 1 else np.concatenate(lat_arrays)
-            )
+            if len(lat_arrays) == 1:
+                self._reservoir.add_many(lat_arrays[0])
+            else:
+                # Concatenate into collector-owned scratch: the inputs alias
+                # the instances' arenas and the reservoir only reads, so the
+                # whole hand-off stays allocation-free.
+                total = 0
+                for a in lat_arrays:
+                    total += a.shape[0]
+                cat = self._arena.array("lat_cat", total, np.float64)
+                np.concatenate(lat_arrays, out=cat)
+                self._reservoir.add_many(cat)
         return tick_sv, tick_mg, tick_rc
 
     def _close_second(self, sec: int) -> None:

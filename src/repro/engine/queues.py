@@ -29,17 +29,30 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError
+from .arena import Arena
 from .tuples import OP_PROBE, Batch
 
 __all__ = ["TupleQueue"]
 
 _MIN_CAPACITY = 64
 
+#: key-bound sentinels for an empty push history: any real push tightens
+#: both, and the (lo > hi) combination never satisfies a fast-path check
+_KEY_BOUND_EMPTY_LO = 1 << 62
+_KEY_BOUND_EMPTY_HI = -1
+
 
 class TupleQueue:
     """Growable FIFO of pending operations with probe-backlog accounting."""
 
-    def __init__(self, initial_capacity: int = _MIN_CAPACITY) -> None:
+    def __init__(
+        self,
+        initial_capacity: int = _MIN_CAPACITY,
+        arena: Arena | None = None,
+    ) -> None:
+        # Scratch space for wrapped-ring peeks; the owning instance shares
+        # its arena so one warm buffer set serves queue + join step.
+        self._arena = arena if arena is not None else Arena()
         cap = max(int(initial_capacity), _MIN_CAPACITY)
         self._keys = np.empty(cap, dtype=np.int64)
         self._times = np.empty(cap, dtype=np.float64)
@@ -59,6 +72,14 @@ class TupleQueue:
         # Service consumption only: migration extraction and clear() are
         # not service, so they leave the watermark untouched.
         self._consumed = 0
+        # Conservative (grow-only) bounds over every key ever pushed.  The
+        # join instance forwards them to the store's dense-table fast-path
+        # checks, replacing two boxed min/max reductions per service step
+        # with two reductions per *push* — pushes are rare under
+        # backpressure, steps are not.  Never narrowed: a stale-wide bound
+        # only costs the callee its own min/max re-check.
+        self._key_lo = _KEY_BOUND_EMPTY_LO
+        self._key_hi = _KEY_BOUND_EMPTY_HI
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -77,6 +98,15 @@ class TupleQueue:
         """Lifetime tuples served through :meth:`consume` (the checkpoint
         watermark: WAL entries after it are replayed on recovery)."""
         return self._consumed
+
+    @property
+    def key_bounds(self) -> tuple[int, int]:
+        """Conservative ``(lo, hi)`` over every key ever pushed.
+
+        Grow-only, so the bounds cover any batch peeked from this queue;
+        an empty push history reports ``lo > hi``.
+        """
+        return self._key_lo, self._key_hi
 
     def _live(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Views/copies of the live region in FIFO order."""
@@ -139,10 +169,18 @@ class TupleQueue:
         times = np.empty(new_cap, dtype=np.float64)
         ops = np.empty(new_cap, dtype=np.int8)
         if self._size:
-            idx = (self._head + np.arange(self._size)) % self.capacity
-            keys[: self._size] = self._keys[idx]
-            times[: self._size] = self._times[idx]
-            ops[: self._size] = self._ops[idx]
+            # At most two contiguous ring segments — copy them as slices
+            # instead of materialising an arange-modulo index array.
+            head, size, cap = self._head, self._size, self.capacity
+            first = min(size, cap - head)
+            keys[:first] = self._keys[head : head + first]
+            times[:first] = self._times[head : head + first]
+            ops[:first] = self._ops[head : head + first]
+            rest = size - first
+            if rest:
+                keys[first:size] = self._keys[:rest]
+                times[first:size] = self._times[:rest]
+                ops[first:size] = self._ops[:rest]
         self._keys, self._times, self._ops = keys, times, ops
         self._head = 0
 
@@ -173,6 +211,12 @@ class TupleQueue:
         self._size += n
         self._n_probes += int(np.count_nonzero(batch.ops == OP_PROBE))
         self._monotonic = False
+        lo = int(batch.keys.min())
+        hi = int(batch.keys.max())
+        if lo < self._key_lo:
+            self._key_lo = lo
+        if hi > self._key_hi:
+            self._key_hi = hi
 
     def push_block(self, keys: np.ndarray, time: float, op: int) -> None:
         """Append keys that share one visible-time and one operation.
@@ -202,6 +246,12 @@ class TupleQueue:
             self._monotonic = False
         else:
             self._tail_time = time
+        lo = int(keys.min())
+        hi = int(keys.max())
+        if lo < self._key_lo:
+            self._key_lo = lo
+        if hi > self._key_hi:
+            self._key_hi = hi
 
     def _live_indices(self, n: int) -> np.ndarray:
         return (self._head + np.arange(n)) % self.capacity
@@ -214,20 +264,28 @@ class TupleQueue:
         behind it (queues are per-destination, so this models an ordered
         channel, matching Storm's per-task stream semantics).
 
-        The returned batch may share memory with the queue's ring buffer;
-        it is valid until the next ``push``/``_grow``.  Callers that hold
-        on to it across mutations must copy.
+        The returned batch may share memory with the queue's ring buffer
+        or its scratch arena; it is valid until the next ``push``/``_grow``
+        or the next wrapped peek on this queue.  Callers that hold on to it
+        across mutations must copy.
         """
         n = self._size if limit is None else min(self._size, int(limit))
         if n == 0:
             return Batch.empty()
         head = self._head
-        if head + n <= self.capacity:
+        cap = self._keys.shape[0]  # inlined ``capacity`` (hot path)
+        if head + n <= cap:
             # Contiguous live prefix: slice views, no fancy-index copies.
             times = self._times[head : head + n]
             if self._monotonic:
-                # Nondecreasing times: the visibility cut is a bisection.
-                cut = int(times.searchsorted(now, side="right"))
+                # Nondecreasing times: when even the last requested tuple
+                # is visible (a backlogged queue peeked with a limit — the
+                # steady state) one scalar read answers; otherwise the
+                # visibility cut is a bisection.
+                if times[n - 1] <= now:
+                    cut = n
+                else:
+                    cut = int(times.searchsorted(now, side="right"))
             else:
                 invisible = np.nonzero(times > now)[0]
                 cut = int(invisible[0]) if invisible.size else n
@@ -238,6 +296,41 @@ class TupleQueue:
                 times[:cut],
                 self._ops[head : head + cut],
             )
+        # Wrapped live prefix: the ring holds two contiguous segments —
+        # [head:cap] and [0:n-first].  The ordered datapath resolves the
+        # visibility cut per segment with bisection; when the cut lands
+        # inside the first segment the peek stays slice-backed, otherwise
+        # the two visible pieces are stitched into arena scratch (no
+        # arange-modulo index materialisation either way).
+        first = cap - head
+        if self._monotonic:
+            times1 = self._times[head:cap]
+            cut1 = int(times1.searchsorted(now, side="right"))
+            if cut1 < first:
+                if cut1 == 0:
+                    return Batch.empty()
+                return Batch.wrap(
+                    self._keys[head : head + cut1],
+                    times1[:cut1],
+                    self._ops[head : head + cut1],
+                )
+            rest = n - first
+            cut2 = int(self._times[:rest].searchsorted(now, side="right"))
+            if cut2 == 0:
+                return Batch.wrap(self._keys[head:cap], times1, self._ops[head:cap])
+            m = first + cut2
+            keys = self._arena.array("peek_keys", m, np.int64)
+            times = self._arena.array("peek_times", m, np.float64)
+            ops = self._arena.array("peek_ops", m, np.int8)
+            keys[:first] = self._keys[head:cap]
+            keys[first:] = self._keys[:cut2]
+            times[:first] = times1
+            times[first:] = self._times[:cut2]
+            ops[:first] = self._ops[head:cap]
+            ops[first:] = self._ops[:cut2]
+            return Batch.wrap(keys, times, ops)
+        # Non-monotonic wrapped ring (generic push into a wrapped queue —
+        # migration/test paths only): fall back to the index-array scan.
         idx = self._live_indices(n)
         times = self._times[idx]
         invisible = np.nonzero(times > now)[0]
@@ -268,7 +361,7 @@ class TupleQueue:
         self._n_probes -= n_probes
         if self._n_probes < 0:
             raise SimulationError("probe counter underflow")
-        self._head = (self._head + n) % self.capacity
+        self._head = (self._head + n) % self._keys.shape[0]
         self._size -= n
         self._consumed += n
         if self._size == 0 and not self._monotonic:

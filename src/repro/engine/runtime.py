@@ -164,6 +164,7 @@ class StreamJoinRuntime:
             faults.before_tick(self, now)
 
         t_mark = prof.now() if prof is not None else 0.0
+        a_mark = prof.mark_alloc() if prof is not None else -1
         throttled = self.backpressure_max_queue is not None and any(
             len(inst.queue) > self.backpressure_max_queue
             for inst in self._instances
@@ -189,8 +190,12 @@ class StreamJoinRuntime:
                 self.dispatcher.dispatch("S", s_keys, now, extra_delay=extra)
         if prof is not None:
             t_now = prof.now()
-            prof.add("dispatch", t_now - t_mark, work=n_emitted)
+            prof.add(
+                "dispatch", t_now - t_mark, work=n_emitted,
+                alloc=prof.alloc_since(a_mark),
+            )
             t_mark = t_now
+            a_mark = prof.mark_alloc()
 
         end = now + dt
         tot_processed = 0
@@ -214,8 +219,12 @@ class StreamJoinRuntime:
             comps = self.metrics.record_service_many(end, reports)
         if prof is not None:
             t_now = prof.now()
-            prof.add("service", t_now - t_mark, work=work_done)
+            prof.add(
+                "service", t_now - t_mark, work=work_done,
+                alloc=prof.alloc_since(a_mark),
+            )
             t_mark = t_now
+            a_mark = prof.mark_alloc()
         if obs is not None and tot_processed:
             obs.on_service_tick(
                 end, tot_processed, tot_results, lat_sum, lat_count,
@@ -235,7 +244,10 @@ class StreamJoinRuntime:
             for inst in self._instances:
                 inst.rotate_window()
         if prof is not None:
-            prof.add("monitor", prof.now() - t_mark)
+            prof.add(
+                "monitor", prof.now() - t_mark,
+                alloc=prof.alloc_since(a_mark),
+            )
 
         self.clock.advance()
         self.tick_index += 1

@@ -98,12 +98,14 @@ class Batch:
 
     @classmethod
     def empty(cls) -> "Batch":
-        """An empty batch."""
-        return cls(
-            keys=np.empty(0, dtype=np.int64),
-            times=np.empty(0, dtype=np.float64),
-            ops=np.empty(0, dtype=np.int8),
-        )
+        """The shared empty batch.
+
+        Constructed on every idle peek / extraction miss, so it is a
+        frozen module-level singleton: the arrays are zero-length and
+        marked read-only, making accidental mutation of the shared
+        instance impossible.
+        """
+        return _EMPTY_BATCH
 
     @classmethod
     def stores(cls, keys: np.ndarray, times: np.ndarray) -> "Batch":
@@ -120,6 +122,16 @@ class Batch:
     def select(self, mask: np.ndarray) -> "Batch":
         """Return the sub-batch where ``mask`` is true."""
         return Batch(keys=self.keys[mask], times=self.times[mask], ops=self.ops[mask])
+
+
+_EMPTY_BATCH = Batch(
+    keys=np.empty(0, dtype=np.int64),
+    times=np.empty(0, dtype=np.float64),
+    ops=np.empty(0, dtype=np.int8),
+)
+for _arr in (_EMPTY_BATCH.keys, _EMPTY_BATCH.times, _EMPTY_BATCH.ops):
+    _arr.flags.writeable = False
+del _arr
 
 
 def concat_batches(batches: list[Batch]) -> Batch:

@@ -23,7 +23,9 @@ import numpy as np
 
 from ..core.selection.base import SelectionProblem
 from ..core.load_model import InstanceLoad
-from ..engine.cost import CostModel, ScanCost
+from ..engine import ckernels as _ck
+from ..engine.arena import Arena
+from ..engine.cost import CostModel, IndexedCost, ScanCost
 from ..engine.queues import TupleQueue
 from ..engine.tuples import OP_PROBE, OP_STORE, Batch
 from ..errors import ConfigError, StorageError
@@ -63,6 +65,130 @@ def _prior_same_key_stores(
     return out
 
 
+try:  # pragma: no cover - plain count_nonzero on other numpy layouts
+    # The C kernel directly: the np.count_nonzero wrapper's axis handling
+    # costs as much as counting a chunk-sized mask.
+    _count_nonzero = np._core.multiarray.count_nonzero
+except AttributeError:  # pragma: no cover
+    _count_nonzero = np.count_nonzero
+
+#: Dense same-key counter cap for the fused C correction: bounds above
+#: this would ask for a >16 MB counter table, so such chunks (no shipped
+#: workload comes close) stay on the numpy paths.
+_PSK_C_CAP = 1 << 21
+
+
+#: Below this chunk length the dict-based scalar loop beats the vector
+#: pipeline: ~10 numpy calls plus a sort cost more than n dict operations
+#: until n is well past a hundred (measured crossover ~140 on the bench
+#: cells), and the scalar path needs no key-range guard because Python
+#: ints never overflow the composite.
+_PSK_SMALL_N = 128
+
+
+def _accumulate_prior_same_key_stores(
+    keys: np.ndarray,
+    store_mask: np.ndarray,
+    match_counts: np.ndarray,
+    arena: Arena,
+    bounds: tuple[int, int] | None = None,
+) -> None:
+    """Add each position's prior-same-key-store count into ``match_counts``.
+
+    Allocation-free equivalent of ``match_counts += _prior_same_key_stores``
+    for the hot path.  Small chunks (the typical case: service chunks run a
+    few dozen tuples) take a scalar dict loop — integer adds, bit-identical
+    by construction.  Larger chunks replace the stable argsort over keys
+    with an *in-place* sort of the composite ``key << 32 | position`` into
+    arena scratch (unique composites make the sorted order identical to the
+    stable grouped-by-key order — the same trick the dispatcher's counting
+    scatter uses), and every intermediate lives in the arena.  The final
+    scatter-add ``np.add.at(match_counts, positions, within_group_prefix)``
+    is the permutation-inverse of the reference implementation's fancy
+    assignment, so the accumulated values are bit-identical.
+
+    Keys outside ``[0, 2**31)`` cannot ride the composite; such chunks
+    (never produced by the shipped workloads) fall back to the reference
+    implementation.  ``bounds`` is the caller's conservative key range
+    (the queue's push-time bounds); when given it replaces the per-call
+    min/max guard reductions.
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return
+    if _ck.lib is not None and bounds is not None:
+        lo, hi = bounds
+        if 0 <= lo and hi < _PSK_C_CAP:
+            # Fused C pass: one O(n) scalar loop over dense per-key running
+            # counters replaces the whole pipeline below.  Integer adds in
+            # the same per-position order as the reference — bit-identical
+            # by construction.  The counter buffer is all-zero between
+            # calls (the kernel un-writes the slots it touched), so
+            # ``Arena.zeros`` never has to clear it on the steady path.
+            cnt = arena.zeros("psk_cnt", hi + 1, np.int64)
+            f = _ck.ffi
+            _ck.lib.psk_correct(
+                f.from_buffer("int64_t[]", keys),
+                f.from_buffer("unsigned char[]", store_mask),
+                f.from_buffer("int64_t[]", match_counts),
+                n,
+                f.from_buffer("int64_t[]", cnt),
+            )
+            return
+    if n <= _PSK_SMALL_N:
+        counts: dict[int, int] = {}
+        counts_get = counts.get
+        for i, (k, is_store) in enumerate(
+            zip(keys.tolist(), store_mask.tolist())
+        ):
+            c = counts_get(k)
+            if c:
+                match_counts[i] += c
+            if is_store:
+                counts[k] = (c + 1) if c else 1
+        return
+    if bounds is not None:
+        lo, hi = bounds
+    else:
+        lo = int(keys.min())
+        hi = int(keys.max())
+    if lo < 0 or hi >= (1 << 31):
+        match_counts += _prior_same_key_stores(keys, store_mask)
+        return
+    # One int64 block and one bool block instead of six tagged lookups:
+    # arena.array is on the per-step path often enough that the dict
+    # round-trips are measurable.
+    iblk = arena.array("psk_i", 3 * n, np.int64)
+    bblk = arena.array("psk_b", 2 * n, np.bool_)
+    packed = iblk[:n]
+    np.multiply(keys, 1 << 32, out=packed)
+    np.add(packed, arena.iota(n), out=packed)
+    packed.sort()
+    idx = iblk[n : 2 * n]
+    np.bitwise_and(packed, 0xFFFFFFFF, out=idx)
+    np.right_shift(packed, 32, out=packed)  # now the grouped (sorted) keys
+    flags = bblk[:n]
+    store_mask.take(idx, out=flags, mode="clip")
+    excl = iblk[2 * n : 3 * n]
+    np.copyto(excl, flags, casting="unsafe")
+    excl.cumsum(out=excl)
+    np.subtract(excl, flags, out=excl)  # exclusive global store prefix
+    start = bblk[n : 2 * n]
+    start[0] = True
+    np.not_equal(packed[1:], packed[:-1], out=start[1:])
+    base = packed  # the grouped keys are dead once ``start`` is taken
+    np.multiply(excl, start, out=base)  # == where(start, excl, 0): ints
+    np.maximum.accumulate(base, out=base)
+    np.subtract(excl, base, out=excl)  # exclusive within-group prefix
+    # ``idx`` is a permutation (each position appears exactly once), so the
+    # scatter-add degenerates to gather + integer add + fancy assignment —
+    # identical values without ufunc.at's slow buffered path.
+    gathered = base  # and the group bases are dead once ``excl`` is final
+    match_counts.take(idx, out=gathered)
+    np.add(gathered, excl, out=gathered)
+    match_counts[idx] = gathered
+
+
 @dataclass
 class ServiceReport:
     """What one instance accomplished during one tick.
@@ -75,6 +201,14 @@ class ServiceReport:
     instance's attribution accounting is switched off.  Queue wait is not
     reported — it is the residual that closes the identity, derived by the
     metrics collector (:func:`repro.attribution.close_residual`).
+
+    Ownership (DESIGN §9): ``latencies`` and the ``comp_*`` arrays alias
+    the producing instance's scratch arena.  They are valid until that
+    instance's *next* ``step()``; the metrics collector consumes them
+    within the same tick (summing / copying into its reservoir), and any
+    consumer that retains them longer must copy.  A non-idle step reuses
+    one report object per instance on the same validity schedule — hold
+    the fields you need, not the report.
     """
 
     n_processed: int = 0
@@ -141,7 +275,23 @@ class JoinInstance:
             self.store = KeyedStore()
         else:
             self.store = WindowedStore(window_subwindows)
-        self.queue = TupleQueue()
+        # Hot-path binding: the windowed store's match_counts is a pure
+        # delegation, so the probe lookup goes straight to the inner keyed
+        # store (one call frame per chunk is measurable at tick rate).
+        self._match_counts = (
+            self.store._store.match_counts
+            if isinstance(self.store, WindowedStore)
+            else self.store.match_counts
+        )
+        # Reused per-instance report (DESIGN §9): its arrays alias the
+        # arena and are valid until the next step, so the carrier object
+        # can be recycled on the same schedule.
+        self._report = ServiceReport()
+        # Grow-only scratch buffers for the tick loop (DESIGN §9).  The
+        # instance owns the arena and shares it with its queue; views it
+        # hands out (ServiceReport arrays) stay valid until the next step.
+        self._arena = Arena()
+        self.queue = TupleQueue(arena=self._arena)
         self._paused_until = 0.0
         self._work_credit = 0.0
         self._max_chunk = int(max_service_chunk)
@@ -155,6 +305,21 @@ class JoinInstance:
             1e-9,
         )
         self._cost_uses_sizes = getattr(self.cost_model, "uses_store_sizes", True)
+        # Fused C service kernel (ckernels.step_service): only the two
+        # shipped cost models have their exact float-op order baked into
+        # the kernel, so an exact type check gates it — subclasses with an
+        # overridden probe_costs take the numpy path.  -1 = unavailable.
+        if _ck.lib is not None and type(self.cost_model) is ScanCost:
+            self._c_model = 0
+        elif _ck.lib is not None and type(self.cost_model) is IndexedCost:
+            self._c_model = 1
+        else:
+            self._c_model = -1
+        self._c_probe_base = float(getattr(self.cost_model, "probe_base", 0.0))
+        self._c_scan_coeff = float(getattr(self.cost_model, "scan_coeff", 0.0))
+        self._c_emit_cost = float(getattr(self.cost_model, "emit_cost", 0.0))
+        self._c_out_i = np.empty(3, dtype=np.int64)
+        self._c_out_d = np.empty(1, dtype=np.float64)
         # Exponential moving average of the probe backlog, with time
         # constant tau.  The monitor reads this smoothed value: an
         # instantaneous queue length sampled once a second is a noisy load
@@ -259,7 +424,9 @@ class JoinInstance:
             self._pause_log = [iv for iv in log if iv[1] > floor]
 
     def _pause_overlaps(
-        self, taken_times: np.ndarray
+        self,
+        taken_times: np.ndarray,
+        bufs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Per-tuple overlap of [arrival, service] with tagged pauses.
 
@@ -270,29 +437,49 @@ class JoinInstance:
         """
         mig: np.ndarray | None = None
         rec: np.ndarray | None = None
+        # The component vectors ride in the (reused) ServiceReport, so they
+        # must live in scratch the arena already grew — fresh allocations
+        # here would survive the tick in the recycled report and break the
+        # steady-state allocation budget.  ``step()`` passes slices of its
+        # per-tick float block (sized during warm-up); direct callers fall
+        # back to dedicated arena tags.
+        if bufs is not None:
+            mig_buf, rec_buf, ov_buf = bufs
+        else:
+            arena = self._arena
+            n = taken_times.shape[0]
+            mig_buf = arena.array("pause_mig", n, np.float64)
+            rec_buf = arena.array("pause_rec", n, np.float64)
+            ov_buf = arena.array("pause_ov", n, np.float64)
         for start, end, cause in self._pause_log:
-            ov = np.maximum(taken_times, start)
-            np.subtract(end, ov, out=ov)
-            np.maximum(ov, 0.0, out=ov)
             if cause == "migration":
-                if mig is None:
-                    mig = ov
-                else:
-                    mig += ov
+                dst, fresh = mig, mig is None
+                if fresh:
+                    dst = mig = mig_buf
             else:
-                if rec is None:
-                    rec = ov
-                else:
-                    rec += ov
+                dst, fresh = rec, rec is None
+                if fresh:
+                    dst = rec = rec_buf
+            if fresh:
+                np.maximum(taken_times, start, out=dst)
+                np.subtract(end, dst, out=dst)
+                np.maximum(dst, 0.0, out=dst)
+            else:
+                ov = ov_buf
+                np.maximum(taken_times, start, out=ov)
+                np.subtract(end, ov, out=ov)
+                np.maximum(ov, 0.0, out=ov)
+                dst += ov
         return mig, rec
 
     def step(self, now: float, dt: float) -> ServiceReport:
         """Serve the queue for one tick ending at ``now + dt``."""
+        queue = self.queue
         if self._tau > 0:
             alpha = min(dt / self._tau, 1.0)
-            self._backlog_ewma += alpha * (self.queue.probe_backlog - self._backlog_ewma)
+            self._backlog_ewma += alpha * (queue.probe_backlog - self._backlog_ewma)
         else:
-            self._backlog_ewma = float(self.queue.probe_backlog)
+            self._backlog_ewma = float(queue.probe_backlog)
         # A crashed instance serves nothing; its (durable) queue keeps
         # absorbing dispatched tuples until the injector recovers it.
         if self._ft is not None and self._ft.crashed:
@@ -305,7 +492,7 @@ class JoinInstance:
         # tuple that straddled the previous tick boundary.  Idle capacity is
         # never banked: credit is clamped to <= 0 whenever the queue drains.
         credit = self._work_credit + self.capacity * dt
-        if len(self.queue) == 0 or credit <= 0:
+        if len(queue) == 0 or credit <= 0:
             self._work_credit = min(credit, 0.0)
             return _IDLE_REPORT
 
@@ -314,7 +501,7 @@ class JoinInstance:
         # so peeking deeper than credit/floor_cost wastes copying on
         # backlogged queues.
         affordable = int(credit / self._floor_cost) + 1
-        batch = self.queue.peek_visible(now + dt, limit=min(self._max_chunk, affordable))
+        batch = queue.peek_visible(now + dt, limit=min(self._max_chunk, affordable))
         n_visible = len(batch)
         if n_visible == 0:
             self._work_credit = min(credit, 0.0)
@@ -324,105 +511,205 @@ class JoinInstance:
         # all-store chunks never consult the keyed store, all-probe chunks
         # (the common case under broadcast probes) skip the store-prefix
         # cumsum and the boolean-mask copies, and only mixed chunks pay for
-        # the intra-chunk same-key correction.
-        store_mask = batch.ops == OP_STORE
-        n_stores_visible = int(np.count_nonzero(store_mask))
+        # the intra-chunk same-key correction.  Every vector below lives in
+        # the instance's arena, so a steady-state tick allocates nothing
+        # (DESIGN §9); ``costs``/``cum`` escape into the ServiceReport and
+        # stay valid until the next step.
+        arena = self._arena
+        # Push-time key bounds: one conservative range check replaces the
+        # store's per-call min/max reductions (see TupleQueue.key_bounds).
+        key_bounds = (queue._key_lo, queue._key_hi)
+        # Scratch is fetched as one block per dtype and sliced here: the
+        # per-tag arena lookups are cheap but frequent enough on this path
+        # that three fetches beat eight.
+        # Six float slots: costs, cum, probe scratch, and three for the
+        # pause-attribution vectors — carving the latter out of the same
+        # per-tick block means their backing memory is grown during
+        # warm-up, not on the first post-pause steady tick.
+        fblk = arena.array("step_f", 6 * n_visible, np.float64)
+        iblk = arena.array("step_i", 3 * n_visible, np.int64)
+        bblk = arena.array("step_b", 2 * n_visible, np.bool_)
+        store_mask = bblk[:n_visible]
+        np.equal(batch.ops, OP_STORE, out=store_mask)
+        n_stores_visible = int(_count_nonzero(store_mask))
         any_stores = n_stores_visible > 0
+        pure_store = n_stores_visible == n_visible
         store_cost = self.cost_model.store_cost
-        if n_stores_visible == n_visible:
+        costs = fblk[:n_visible]
+        cum = fblk[n_visible : 2 * n_visible]
+        if pure_store:
             # Pure store chunk: no probes, no matches, uniform cost.
             match_counts = None
-            costs = np.full(n_visible, float(store_cost))
         else:
             # Matches are exact even intra-chunk: stored count at chunk
-            # start (a dense-table fancy-index on the raw keys) plus
-            # same-key stores served earlier in this chunk.  The intra-chunk
+            # start (a dense-table gather on the raw keys) plus same-key
+            # stores served earlier in this chunk.  The intra-chunk
             # correction only exists when the chunk contains stores, so
-            # probe-only chunks skip the argsort pass entirely.
-            match_counts = self.store.match_counts(batch.keys)
-            if any_stores:
-                # Positions before the chunk's first store need no
-                # correction, so the argsort pass runs on the suffix only —
-                # usually just the tail blocks of a mostly-probe chunk.
-                # match_counts is always a fresh array, so the in-place add
-                # is safe.
-                i0 = int(np.argmax(store_mask))
-                match_counts[i0:] += _prior_same_key_stores(
-                    batch.keys[i0:], store_mask[i0:]
-                )
-                if self._cost_uses_sizes:
-                    # |R_i| in effect at each position: start size plus
-                    # stores already applied earlier in the chunk.
-                    sizes_at = store_mask.cumsum()
-                    sizes_at -= store_mask
-                    sizes_at += self.store.total
-                else:
-                    # The cost model ignores store sizes: skip the prefix
-                    # pass and pass a placeholder.
-                    sizes_at = match_counts
-            else:
-                # No stores in the chunk: the store size is constant; a
-                # scalar broadcasts through the cost arithmetic.
-                sizes_at = np.int64(self.store.total)
-            # probe_costs returns a fresh array; overwrite the store
-            # positions in place instead of a second np.where allocation.
-            costs = np.asarray(
-                self.cost_model.probe_costs(sizes_at, match_counts),
-                dtype=np.float64,
+            # probe-only chunks skip the grouping pass entirely.
+            match_counts = self._match_counts(
+                batch.keys,
+                out=iblk[:n_visible],
+                bounds=key_bounds,
             )
             if any_stores:
-                costs[store_mask] = store_cost
-        cum = costs.cumsum()
-        # Serve tuple t while credit is still positive when t starts, i.e.
-        # while its exclusive prefix cost cum[t-1] is < credit (allows one
-        # overdraft tuple, modelling partial service carried into the next
-        # tick).  The first inclusive prefix >= credit is that boundary.
-        n_take = int(cum.searchsorted(credit, side="left")) + 1
-        if n_take > n_visible:
-            n_take = n_visible
+                # Positions before the chunk's first store need no
+                # correction, so the grouping pass runs on the suffix only —
+                # usually just the tail blocks of a mostly-probe chunk.
+                i0 = int(store_mask.argmax())
+                _accumulate_prior_same_key_stores(
+                    batch.keys[i0:], store_mask[i0:], match_counts[i0:],
+                    arena, bounds=key_bounds,
+                )
+        fused = self._c_model >= 0
+        if fused:
+            # Fused C service kernel (ckernels.step_service): costs,
+            # cumsum, credit cutoff, taken-store count, result sum,
+            # latencies and attribution in one pass over the same arena
+            # buffers the numpy chain below uses — bit-identical outputs
+            # (the kernel replicates each ufunc's op order exactly).
+            f = _ck.ffi
+            out_i = self._c_out_i
+            out_d = self._c_out_d
+            _ck.lib.step_service(
+                f.NULL
+                if match_counts is None
+                else f.from_buffer("int64_t[]", match_counts),
+                f.from_buffer("unsigned char[]", store_mask),
+                f.from_buffer("double[]", batch.times),
+                f.from_buffer("double[]", costs),
+                f.from_buffer("double[]", cum),
+                n_visible,
+                self.store.total,
+                self._c_model,
+                1 if pure_store else 0,
+                1 if self.attribution else 0,
+                store_cost,
+                self._c_probe_base,
+                self._c_scan_coeff,
+                self._c_emit_cost,
+                credit,
+                self.capacity,
+                now,
+                self.latency_offset,
+                f.from_buffer("int64_t[]", out_i),
+                f.from_buffer("double[]", out_d),
+            )
+            n_take = int(out_i[0])
+        else:
+            if pure_store:
+                costs.fill(float(store_cost))
+            else:
+                if any_stores:
+                    if self._cost_uses_sizes:
+                        # |R_i| in effect at each position: start size plus
+                        # stores already applied earlier in the chunk.
+                        sizes_at = iblk[n_visible : 2 * n_visible]
+                        np.copyto(sizes_at, store_mask, casting="unsafe")
+                        sizes_at.cumsum(out=sizes_at)
+                        np.subtract(sizes_at, store_mask, out=sizes_at)
+                        sizes_at += self.store.total
+                    else:
+                        # The cost model ignores store sizes: skip the
+                        # prefix pass and pass a placeholder.
+                        sizes_at = match_counts
+                else:
+                    # No stores in the chunk: the store size is constant; a
+                    # scalar broadcasts through the cost arithmetic.
+                    sizes_at = np.int64(self.store.total)
+                # probe_costs writes into the arena buffer; overwrite the
+                # store positions in place instead of a second np.where
+                # allocation.
+                costs = self.cost_model.probe_costs(
+                    sizes_at,
+                    match_counts,
+                    out=costs,
+                    scratch=fblk[2 * n_visible : 3 * n_visible],
+                )
+                if any_stores:
+                    np.copyto(costs, store_cost, where=store_mask)
+            costs.cumsum(out=cum)
+            # Serve tuple t while credit is still positive when t starts,
+            # i.e. while its exclusive prefix cost cum[t-1] is < credit
+            # (allows one overdraft tuple, modelling partial service
+            # carried into the next tick).  The first inclusive prefix >=
+            # credit is that boundary.  When even the full chunk fits in
+            # the credit (backlog drained — a frequent steady state) the
+            # scalar tail read settles it without a bisection.
+            if cum[n_visible - 1] < credit:
+                n_take = n_visible
+            else:
+                n_take = int(cum.searchsorted(credit, side="left")) + 1
+                if n_take > n_visible:
+                    n_take = n_visible
 
         taken_keys = batch.keys[:n_take]
         taken_times = batch.times[:n_take]
-        spent = float(cum[n_take - 1])
+        # Sampled before consume() (draining flips the flag back to True):
+        # were the taken times nondecreasing, so taken_times[0] is their
+        # minimum?  Used by the pause-overlap short-circuit below.
+        taken_monotonic = queue._monotonic
+        spent = float(out_d[0]) if fused else float(cum[n_take - 1])
         leftover = credit - spent
         if n_take == n_visible:
             # Drained everything visible: idle remainder is not banked.
             leftover = min(leftover, 0.0)
         self._work_credit = leftover
 
-        if not any_stores:
+        taken_mask = store_mask[:n_take]
+        if fused:
+            n_stored = int(out_i[1])
+        elif not any_stores:
             n_stored = 0
         elif n_take == n_visible:
             n_stored = n_stores_visible
         else:
-            n_stored = int(np.count_nonzero(store_mask[:n_take]))
+            n_stored = int(_count_nonzero(taken_mask))
         n_probed = n_take - n_stored
-        self.queue.consume(n_take, n_probes=n_probed)
+        queue.consume(n_take, n_probes=n_probed)
         if n_stored:
-            stored_keys = taken_keys[store_mask[:n_take]]
-            self.store.add_batch(stored_keys)
             if self._ft is not None:
                 # WAL append: these keys mutate the volatile store, so
                 # crash recovery must be able to replay them on top of
-                # the last checkpoint.  ``stored_keys`` is freshly
-                # mask-indexed, so the WAL owns it without a copy.
+                # the last checkpoint.  The WAL retains the array, so it
+                # must own fresh memory — the mask-indexed copy here is
+                # the explicit copy-out point, never arena scratch.
+                stored_keys = taken_keys[taken_mask]
+                self.store.add_batch(stored_keys)
                 self._ft.record_stores(stored_keys)
-        if n_probed == 0:
-            probe_results = None
+            else:
+                # No WAL: scatter the 0/1 store mask over the whole chunk
+                # instead of materialising keys[mask] (bit-identical —
+                # probes add zero).
+                weights = iblk[2 * n_visible : 2 * n_visible + n_take]
+                np.copyto(weights, taken_mask, casting="unsafe")
+                self.store.add_weighted(
+                    taken_keys, weights, n_stored, bounds=key_bounds
+                )
+        if fused:
+            # Integer sum over taken probe positions — order-invariant, so
+            # the kernel's scalar accumulation is exact.
+            n_results = float(out_i[2])
+        elif n_probed == 0:
             n_results = 0.0
         elif n_stored == 0:
-            probe_results = match_counts[:n_take]
-            n_results = float(probe_results.sum())
+            n_results = float(np.add.reduce(match_counts[:n_take]))
         else:
-            probe_results = match_counts[:n_take][~store_mask[:n_take]]
-            n_results = float(probe_results.sum())
+            # Sum the probe positions only; a masked reduction over the
+            # integer match counts equals summing the compressed array.
+            nmask = bblk[n_visible : n_visible + n_take]
+            np.logical_not(taken_mask, out=nmask)
+            n_results = float(np.add.reduce(match_counts[:n_take], where=nmask))
         if self._result_counts is not None and n_probed:
+            # Validation-only accounting: allocating the compacted views
+            # here is fine, the differential harness is not the hot path.
             counts = self._result_counts
-            probe_keys = (
-                taken_keys
-                if n_stored == 0
-                else taken_keys[~store_mask[:n_take]]
-            )
+            if n_stored == 0:
+                probe_keys = taken_keys
+                probe_results = match_counts[:n_take]
+            else:
+                keep = ~taken_mask
+                probe_keys = taken_keys[keep]
+                probe_results = match_counts[:n_take][keep]
             for k, c in zip(probe_keys.tolist(), probe_results.tolist()):
                 if c:
                     counts[k] += c
@@ -436,10 +723,11 @@ class JoinInstance:
         # ``cum`` is not read again after ``spent`` was captured, so the
         # division happens in place on its buffer.
         latencies = cum[:n_take]
-        latencies /= self.capacity
-        latencies += now
-        latencies -= taken_times
-        np.maximum(latencies, 0.0, out=latencies)
+        if not fused:
+            latencies /= self.capacity
+            latencies += now
+            latencies -= taken_times
+            np.maximum(latencies, 0.0, out=latencies)
         # Latency attribution (DESIGN §5), taken before the offset lands so
         # components are clipped against the measured queue+service window.
         # service = min(own cost / capacity, clamped pre-offset latency):
@@ -451,27 +739,45 @@ class JoinInstance:
         comp_service = comp_migration = comp_recovery = None
         if self.attribution:
             comp_service = costs[:n_take]
-            comp_service /= self.capacity
-            np.minimum(comp_service, latencies, out=comp_service)
-            if self._pause_log:
-                comp_migration, comp_recovery = self._pause_overlaps(taken_times)
-        if self.latency_offset:
+            if not fused:
+                comp_service /= self.capacity
+                np.minimum(comp_service, latencies, out=comp_service)
+            if self._pause_log and not (
+                # Short-circuit: intervals are sorted, so log[-1] ends last;
+                # when even that end precedes the chunk's earliest arrival
+                # every per-tuple overlap is exactly 0 and the components
+                # are all-zero vectors.  Reporting them as None is
+                # equivalent everywhere sums are consumed, but an attached
+                # observability bundle histograms the zero vectors, so the
+                # shortcut only fires on the bare datapath.
+                self.obs is None
+                and taken_monotonic
+                and self._pause_log[-1][1] <= taken_times[0]
+            ):
+                comp_migration, comp_recovery = self._pause_overlaps(
+                    taken_times,
+                    (
+                        fblk[3 * n_visible : 3 * n_visible + n_take],
+                        fblk[4 * n_visible : 4 * n_visible + n_take],
+                        fblk[5 * n_visible : 5 * n_visible + n_take],
+                    ),
+                )
+        if self.latency_offset and not fused:
             latencies += self.latency_offset
 
         self.total_stored += n_stored
         self.total_probed += n_probed
         self.total_results += n_results
-        report = ServiceReport(
-            n_processed=n_take,
-            n_stored=n_stored,
-            n_probed=n_probed,
-            n_results=n_results,
-            latencies=latencies,
-            work_units=spent,
-            comp_service=comp_service,
-            comp_migration=comp_migration,
-            comp_recovery=comp_recovery,
-        )
+        report = self._report
+        report.n_processed = n_take
+        report.n_stored = n_stored
+        report.n_probed = n_probed
+        report.n_results = n_results
+        report.latencies = latencies
+        report.work_units = spent
+        report.comp_service = comp_service
+        report.comp_migration = comp_migration
+        report.comp_recovery = comp_recovery
         if self.obs is not None:
             self.obs.on_instance_step(self, report)
         return report

@@ -97,15 +97,41 @@ class KeyedStore:
     def keys(self) -> list[int]:
         return list(np.nonzero(self._dense)[0].tolist()) + list(self._overflow)
 
-    def match_counts(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorised lookup of ``|R_ik|`` for an array of probe keys."""
+    def match_counts(
+        self,
+        keys: np.ndarray,
+        out: np.ndarray | None = None,
+        bounds: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised lookup of ``|R_ik|`` for an array of probe keys.
+
+        ``out`` is an optional int64 buffer for the dense fast path (the
+        join instance passes arena scratch so a steady-state lookup
+        allocates nothing).  The fallback paths ignore it and return a
+        fresh array — callers must use the returned array either way.
+
+        ``bounds`` is an optional conservative ``(lo, hi)`` over ``keys``
+        the caller already knows (the queue's push-time key bounds): when
+        it proves every key addresses the dense table, the per-call min/max
+        reductions are skipped entirely.  A too-wide bound is never wrong —
+        the reductions run as before.
+        """
         n = keys.shape[0]
         dense = self._dense
         size = dense.shape[0]
         if n == 0:
             return np.zeros(0, dtype=np.int64)
-        # Fast path: every key addresses the dense table directly.
-        if int(keys.min()) >= 0 and int(keys.max()) < size:
+        # Fast path: every key addresses the dense table directly.  The
+        # bounds were just verified, so take's mode="clip" never clips —
+        # it only skips the buffered bounds-checking copy.
+        if (
+            bounds is not None and bounds[0] >= 0 and bounds[1] < size
+        ) or (int(keys.min()) >= 0 and int(keys.max()) < size):
+            if out is not None:
+                # ndarray.take, not np.take: the module wrapper's dispatch
+                # costs as much as the gather itself at chunk sizes.
+                dense.take(keys, out=out, mode="clip")
+                return out
             return dense[keys]
         out = np.zeros(n, dtype=np.int64)
         ok = (keys >= 0) & (keys < size)
@@ -138,6 +164,44 @@ class KeyedStore:
             for k in keys[~ok].tolist():
                 table[k] = table.get(k, 0) + 1
         self._total += n
+
+    def add_weighted(
+        self,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        total: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> None:
+        """Hot-path masked insert: add ``weights[i]`` tuples of ``keys[i]``.
+
+        ``weights`` is an int64 0/1 array aligned with ``keys`` (the
+        chunk's store mask) and ``total`` its precomputed sum.  Scattering
+        the weights over the whole chunk — probes contribute +0 — lets the
+        join instance skip materialising ``keys[mask]``, which is what
+        keeps the mixed-chunk store path allocation-free.  Exactly
+        equivalent to ``add_batch(keys[mask])``: integer adds of zero are
+        no-ops.
+
+        ``bounds`` plays the same role as in :meth:`match_counts`: a
+        caller-known conservative ``(lo, hi)`` over ``keys`` that lets the
+        dense-eligibility check skip its min/max reductions.  The dense
+        table is grown to cover the (possibly wider) hint — growth timing
+        is the only thing the hint can change, never a stored count.
+        """
+        if total == 0 or keys.shape[0] == 0:
+            return
+        if bounds is not None and bounds[0] >= 0 and bounds[1] < DENSE_KEY_CAP:
+            mn, mx = bounds
+        else:
+            mn = int(keys.min())
+            mx = int(keys.max())
+        if mn >= 0 and mx < DENSE_KEY_CAP:
+            self._ensure(mx)
+            np.add.at(self._dense, keys, weights)
+            self._total += total
+        else:
+            # Out-of-dense-range keys present (rare): take the general path.
+            self.add_batch(keys[weights.astype(bool)])
 
     def add(self, key: int, count: int = 1) -> None:
         if count < 0:

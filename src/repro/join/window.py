@@ -89,8 +89,13 @@ class WindowedStore:
     def keys(self) -> list[int]:
         return self._store.keys()
 
-    def match_counts(self, keys: np.ndarray) -> np.ndarray:
-        return self._store.match_counts(keys)
+    def match_counts(
+        self,
+        keys: np.ndarray,
+        out: np.ndarray | None = None,
+        bounds: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        return self._store.match_counts(keys, out=out, bounds=bounds)
 
     # -- window-aware mutation ---------------------------------------------- #
 
@@ -138,6 +143,38 @@ class WindowedStore:
             return
         self._store.add_batch(keys)
         self._credit_current(keys)
+
+    def add_weighted(
+        self,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        total: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> None:
+        """Masked insert mirroring :meth:`KeyedStore.add_weighted`.
+
+        The current sub-window's row receives the same 0/1 weight scatter
+        as the underlying store, so expiry accounting stays exact.
+        ``bounds`` is the caller's conservative key range, as in
+        :meth:`KeyedStore.add_weighted`; it can widen the ring rows early
+        but never changes a stored count.
+        """
+        if total == 0 or keys.shape[0] == 0:
+            return
+        if bounds is not None and bounds[0] >= 0 and bounds[1] < DENSE_KEY_CAP:
+            mn, mx = bounds
+        else:
+            mn = int(keys.min())
+            mx = int(keys.max())
+        if mn >= 0 and mx < DENSE_KEY_CAP:
+            self._store.add_weighted(keys, weights, total, bounds=(mn, mx))
+            row = self._ring[self._current_row]
+            if mx >= row.shape[0]:
+                self._widen(mx)
+                row = self._ring[self._current_row]
+            np.add.at(row, keys, weights)
+        else:
+            self.add_batch(keys[weights.astype(bool)])
 
     def add(self, key: int, count: int = 1) -> None:
         self._store.add(key, count)

@@ -257,3 +257,29 @@ class TestReportIO:
     def test_machine_metadata_fields(self):
         meta = machine_metadata()
         assert {"python", "numpy", "platform", "machine"} <= set(meta)
+
+
+class TestRunProfile:
+    def test_profiles_each_case_with_alloc(self):
+        from repro.bench.perf import run_profile
+
+        case = _tiny_case()
+        seen = []
+        out = run_profile(cases=(case,), alloc=True, progress=seen.append)
+        assert seen == [case]
+        entry = out[case.name]
+        phases = entry["phases"]
+        assert "service" in phases and "dispatch" in phases
+        assert phases["service"]["wall_s"] > 0
+        assert phases["service"]["work_units"] > 0
+        # tracemalloc was live: the phases carry allocation attribution
+        assert phases["dispatch"]["alloc_bytes"] > 0
+        assert "alloc B" in entry["_profiler"].summary()
+
+    def test_alloc_tracking_can_be_disabled(self):
+        from repro.bench.perf import run_profile
+
+        case = _tiny_case(system="fastjoin")
+        out = run_profile(cases=(case,), alloc=False)
+        phases = out[case.name]["phases"]
+        assert all(p["alloc_bytes"] == 0 for p in phases.values())

@@ -1,0 +1,93 @@
+"""Tests for the grow-only scratch arena (DESIGN §9)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.arena import Arena
+
+
+class TestArray:
+    def test_returns_requested_length_and_dtype(self):
+        a = Arena()
+        v = a.array("x", 10, np.float64)
+        assert v.shape == (10,)
+        assert v.dtype == np.float64
+        assert v.flags.c_contiguous
+        assert v.flags.writeable
+
+    def test_same_tag_reuses_backing_buffer(self):
+        a = Arena()
+        v1 = a.array("x", 10, np.int64)
+        v1[:] = 7
+        v2 = a.array("x", 10, np.int64)
+        # Same memory: the previous contents are still there (callers must
+        # overwrite before reading — this asserts reuse, not a contract).
+        assert v2.base is v1.base
+        assert v2.tolist() == [7] * 10
+
+    def test_shrinking_request_is_a_view_of_same_buffer(self):
+        a = Arena()
+        v1 = a.array("x", 50, np.int64)
+        grows = a.grows
+        v2 = a.array("x", 3, np.int64)
+        assert a.grows == grows
+        assert v2.shape == (3,)
+        assert v2.base is v1.base
+
+    def test_growth_is_power_of_two_and_counted(self):
+        a = Arena()
+        a.array("x", 1, np.int64)
+        assert a.grows == 1
+        a.array("x", 64, np.int64)  # fits the minimum 64-element buffer
+        assert a.grows == 1
+        a.array("x", 65, np.int64)
+        assert a.grows == 2
+        a.array("x", 100, np.int64)  # fits the doubled (128) buffer
+        assert a.grows == 2
+        assert a.array("x", 128, np.int64).base.shape[0] == 128
+
+    def test_dtype_change_reallocates(self):
+        a = Arena()
+        a.array("x", 8, np.int64)
+        grows = a.grows
+        v = a.array("x", 8, np.float64)
+        assert v.dtype == np.float64
+        assert a.grows == grows + 1
+
+    def test_distinct_tags_are_distinct_buffers(self):
+        a = Arena()
+        v1 = a.array("x", 16, np.int64)
+        v2 = a.array("y", 16, np.int64)
+        v1[:] = 1
+        v2[:] = 2
+        assert v1.tolist() == [1] * 16
+        assert v2.tolist() == [2] * 16
+
+    def test_requests_counter(self):
+        a = Arena()
+        for _ in range(5):
+            a.array("x", 4, np.int64)
+        a.iota(4)
+        assert a.requests == 6
+
+    def test_zero_length_request(self):
+        a = Arena()
+        assert a.array("x", 0, np.int64).shape == (0,)
+
+
+class TestIota:
+    def test_values_and_read_only(self):
+        a = Arena()
+        v = a.iota(10)
+        assert v.tolist() == list(range(10))
+        assert not v.flags.writeable
+        with pytest.raises(ValueError):
+            v[0] = 1
+
+    def test_steady_state_no_growth(self):
+        a = Arena()
+        a.iota(100)
+        grows = a.grows
+        for n in (1, 50, 100, 128):
+            assert a.iota(n).tolist() == list(range(n))
+        assert a.grows == grows

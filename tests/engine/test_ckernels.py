@@ -1,0 +1,181 @@
+"""Differential tests: the optional C kernels vs the pure-numpy paths.
+
+The fused kernels in :mod:`repro.engine.ckernels` claim *bit-identical*
+results to the numpy hot path (DESIGN §9).  These tests hold that claim to
+byte equality: the same workload is driven through a C-enabled instance and
+a numpy-forced twin, and every report field — including float latency and
+attribution vectors — must match exactly, not approximately.
+
+Everything here is skipped when the kernels could not be built (no cffi or
+no C compiler): in that configuration the numpy path is the only path and
+the rest of the suite already covers it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ckernels
+from repro.engine.arena import Arena
+from repro.engine.cost import IndexedCost, ScanCost
+from repro.engine.tuples import OP_PROBE, OP_STORE, Batch
+from repro.join.instance import (
+    JoinInstance,
+    _accumulate_prior_same_key_stores,
+    _prior_same_key_stores,
+)
+
+pytestmark = pytest.mark.skipif(
+    not ckernels.available(), reason="C kernels unavailable (no cffi/cc)"
+)
+
+
+# --------------------------------------------------------------------- #
+# psk_correct
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 12), st.booleans()), min_size=1, max_size=400
+    ),
+    base=st.integers(0, 50),
+)
+def test_psk_correct_matches_reference(ops, base):
+    """C counting pass == reference prefix count, for any chunk shape."""
+    keys = np.array([k for k, _ in ops], dtype=np.int64)
+    mask = np.array([s for _, s in ops])
+    match = np.full(keys.shape[0], base, dtype=np.int64)
+    expected = match + _prior_same_key_stores(keys, mask)
+    arena = Arena()
+    _accumulate_prior_same_key_stores(
+        keys, mask, match, arena, bounds=(int(keys.min()), int(keys.max()))
+    )
+    np.testing.assert_array_equal(match, expected)
+
+
+def test_psk_counter_left_all_zero():
+    """The kernel's dense counter is restored to zero between calls."""
+    arena = Arena()
+    keys = np.array([3, 3, 7, 3, 7], dtype=np.int64)
+    mask = np.array([True, True, True, False, True])
+    match = np.zeros(5, dtype=np.int64)
+    _accumulate_prior_same_key_stores(keys, mask, match, arena, bounds=(3, 7))
+    cnt = arena.zeros("psk_cnt", 8, np.int64)
+    assert not cnt.any(), "counter buffer must be all-zero after a call"
+
+
+# --------------------------------------------------------------------- #
+# step_service (via JoinInstance.step)
+# --------------------------------------------------------------------- #
+
+
+def _twin_instances(**kwargs):
+    """One C-enabled instance and one forced onto the numpy path."""
+    a = JoinInstance(0, **kwargs)
+    b = JoinInstance(0, **kwargs)
+    assert a._c_model >= 0, "C kernels reported available but not selected"
+    b._c_model = -1
+    return a, b
+
+
+def _drive(inst, batches, dt=0.05, attribution=True, n_steps=None):
+    """Feed batches, stepping after each; return per-step report snapshots."""
+    inst.attribution = attribution
+    out = []
+    now = 0.0
+    for batch in batches:
+        inst.enqueue(batch)
+        for _ in range(n_steps or 1):
+            rep = inst.step(now, dt)
+            out.append(
+                (
+                    rep.n_processed,
+                    rep.n_stored,
+                    rep.n_probed,
+                    rep.n_results,
+                    rep.work_units,
+                    rep.latencies.tobytes(),
+                    None
+                    if rep.comp_service is None
+                    else rep.comp_service.tobytes(),
+                )
+            )
+            now += dt
+    return out
+
+
+def _random_batches(seed, n_batches=8, size=200, key_hi=40, t_span=0.3):
+    rng = np.random.default_rng(seed)
+    batches = []
+    t0 = 0.0
+    for _ in range(n_batches):
+        n = int(rng.integers(1, size))
+        keys = rng.integers(0, key_hi, n).astype(np.int64)
+        ops = np.where(
+            rng.random(n) < 0.4, OP_STORE, OP_PROBE
+        ).astype(np.int8)
+        times = np.sort(rng.uniform(t0, t0 + t_span, n))
+        batches.append(Batch(keys=keys, times=times, ops=ops))
+        t0 += t_span / 4
+    return batches
+
+
+@pytest.mark.parametrize("attribution", [True, False])
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},  # ScanCost, ample capacity
+        {"capacity": 800.0},  # credit-limited: overdraft boundary tuples
+        {"cost_model": IndexedCost()},
+        {"cost_model": ScanCost(emit_cost=0.03), "latency_offset": 0.012},
+        {"window_subwindows": 4},
+    ],
+    ids=["scan", "credit-limited", "indexed", "offset", "windowed"],
+)
+def test_step_service_matches_numpy(kwargs, attribution):
+    """Full step reports are byte-identical between C and numpy paths."""
+    a, b = _twin_instances(**kwargs)
+    batches = _random_batches(seed=17)
+    got = _drive(a, batches, attribution=attribution, n_steps=3)
+    want = _drive(b, batches, attribution=attribution, n_steps=3)
+    assert got == want
+    assert a.total_results == b.total_results
+    assert a.store.total == b.store.total
+    assert a._work_credit == b._work_credit
+
+
+def test_step_service_pure_chunks():
+    """Pure-store and pure-probe chunks agree across both paths."""
+    a, b = _twin_instances()
+    n = 300
+    keys = np.arange(n, dtype=np.int64) % 11
+    stores = Batch(
+        keys=keys,
+        times=np.linspace(0.0, 0.01, n),
+        ops=np.full(n, OP_STORE, dtype=np.int8),
+    )
+    probes = Batch(
+        keys=keys,
+        times=np.linspace(0.02, 0.03, n),
+        ops=np.full(n, OP_PROBE, dtype=np.int8),
+    )
+    got = _drive(a, [stores, probes])
+    want = _drive(b, [stores, probes])
+    assert got == want
+
+
+def test_disable_env_falls_back(monkeypatch):
+    """REPRO_NO_CKERNELS short-circuits the loader without importing cffi."""
+    monkeypatch.setenv("REPRO_NO_CKERNELS", "1")
+    import importlib
+
+    mod = importlib.reload(ckernels)
+    try:
+        assert mod.lib is None and not mod.available()
+    finally:
+        monkeypatch.delenv("REPRO_NO_CKERNELS")
+        importlib.reload(ckernels)
+    assert ckernels.available()

@@ -176,3 +176,75 @@ def test_probe_backlog_invariant(ops_seq):
         assert sum(q.probe_counts_snapshot().values()) == len(expected)
         visible = q.peek_visible(np.inf)
         assert visible.keys.tolist() == expected
+
+
+class TestWrappedPeek:
+    """Regression tests for the wrapped-ring peek paths (DESIGN §9).
+
+    A wrapped live region used to be peeked through an arange-modulo fancy
+    index — one fresh index array plus three fancy-index copies per peek.
+    The ordered datapath now resolves the cut per ring segment: peeks that
+    end inside the first segment stay *slice-backed* (zero copies), and
+    only a peek that truly spans both segments stitches into arena scratch.
+    """
+
+    @staticmethod
+    def _wrapped_queue():
+        # cap 64; consume 30 then append 20 more: live region is
+        # [30:64] (34 tuples, t=1.0) + [0:20] (20 tuples, t=5.0).
+        q = TupleQueue()
+        q.push_block(np.arange(64, dtype=np.int64), 1.0, OP_PROBE)
+        q.consume(30)
+        q.push_block(np.arange(100, 120, dtype=np.int64), 5.0, OP_STORE)
+        assert q._head + len(q) > q.capacity  # really wrapped
+        assert q._monotonic
+        return q
+
+    def test_cut_inside_first_segment_is_slice_backed(self):
+        q = self._wrapped_queue()
+        out = q.peek_visible(2.0, limit=10)
+        assert out.keys.tolist() == list(range(30, 40))
+        # The regression: a wrapped peek whose cut lands in the first ring
+        # segment must alias the ring buffer, not a fancy-index copy.
+        assert out.keys.base is q._keys
+        assert out.ops.base is q._ops
+
+    def test_whole_first_segment_visible_second_not(self):
+        q = self._wrapped_queue()
+        out = q.peek_visible(2.0)
+        assert out.keys.tolist() == list(range(30, 64))
+        assert out.keys.base is q._keys
+
+    def test_two_segment_stitch_matches_reference(self):
+        q = self._wrapped_queue()
+        out = q.peek_visible(6.0)
+        assert out.keys.tolist() == list(range(30, 64)) + list(range(100, 120))
+        assert out.times.tolist() == [1.0] * 34 + [5.0] * 20
+        assert out.ops.tolist() == [OP_PROBE] * 34 + [OP_STORE] * 20
+
+    def test_stitch_respects_limit(self):
+        q = self._wrapped_queue()
+        out = q.peek_visible(6.0, limit=40)
+        assert out.keys.tolist() == list(range(30, 64)) + list(range(100, 106))
+
+    def test_nothing_visible_wrapped(self):
+        q = self._wrapped_queue()
+        assert len(q.peek_visible(0.5)) == 0
+
+    def test_wrapped_peek_reuses_arena_buffers(self):
+        q = self._wrapped_queue()
+        first = q.peek_visible(6.0)
+        grows = q._arena.grows
+        again = q.peek_visible(6.0)
+        assert q._arena.grows == grows  # steady state: no new backing buffers
+        assert again.keys.tolist() == first.keys.tolist()
+
+    def test_non_monotonic_wrapped_falls_back_correctly(self):
+        q = self._wrapped_queue()
+        # Generic push clears the monotonic flag; correctness must survive.
+        q.push(make_batch([7, 8], times=[3.0, 2.0]))
+        assert not q._monotonic
+        out = q.peek_visible(6.0)
+        assert out.keys.tolist() == (
+            list(range(30, 64)) + list(range(100, 120)) + [7, 8]
+        )

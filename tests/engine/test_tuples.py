@@ -70,3 +70,25 @@ class TestStreamTuple:
         t = StreamTuple(stream="R", key=5, uid=10)
         with pytest.raises(AttributeError):
             t.key = 6  # type: ignore[misc]
+
+
+class TestEmptyBatchSingleton:
+    def test_shared_instance(self):
+        assert Batch.empty() is Batch.empty()
+
+    def test_len_zero_and_dtypes(self):
+        e = Batch.empty()
+        assert len(e) == 0
+        assert e.keys.dtype == np.int64
+        assert e.times.dtype == np.float64
+        assert e.ops.dtype == np.int8
+
+    def test_arrays_are_immutable(self):
+        e = Batch.empty()
+        for arr in (e.keys, e.times, e.ops):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[:] = 1
+
+    def test_concat_of_nothing_is_the_singleton(self):
+        assert concat_batches([]) is Batch.empty()

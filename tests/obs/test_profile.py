@@ -51,3 +51,46 @@ class TestPhaseProfiler:
         p = PhaseProfiler()
         t0 = p.now()
         assert p.now() >= t0
+
+
+class TestAllocTracking:
+    def test_disabled_by_default(self):
+        p = PhaseProfiler()
+        assert p.track_alloc is False
+        mark = p.mark_alloc()
+        assert mark == -1
+        assert p.alloc_since(mark) == 0
+
+    def test_counts_allocations_in_window(self):
+        p = PhaseProfiler(track_alloc=True)
+        mark = p.mark_alloc()
+        blob = bytearray(512 * 1024)  # transient: freed before measuring
+        del blob
+        grown = p.alloc_since(mark)
+        assert grown >= 512 * 1024  # peak delta sees the freed transient
+        p.add("service", 0.1, work=10, alloc=grown)
+        assert p.phases["service"].alloc == grown
+
+    def test_quiet_window_is_small(self):
+        p = PhaseProfiler(track_alloc=True)
+        p.mark_alloc()
+        mark = p.mark_alloc()
+        assert p.alloc_since(mark) < 64 * 1024
+
+    def test_report_and_summary_include_alloc(self):
+        p = PhaseProfiler(track_alloc=True)
+        p.add("dispatch", 0.5, work=100, alloc=12345)
+        p.add("dispatch", 0.5, work=100, alloc=5)
+        rep = p.report()["dispatch"]
+        assert rep["alloc_bytes"] == 12350
+        assert rep["alloc_per_call"] == pytest.approx(6175.0)
+        text = p.summary()
+        assert "alloc B" in text and "12350" in text
+
+    def test_summary_hides_alloc_when_untracked(self):
+        p = PhaseProfiler()
+        p.add("dispatch", 0.5, work=100)
+        assert "alloc B" not in p.summary()
+
+    def test_alloc_per_call_nan_when_no_calls(self):
+        assert math.isnan(PhaseStats().alloc_per_call)

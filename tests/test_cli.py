@@ -380,3 +380,29 @@ class TestBench:
                      "--tolerance", "0.99", "--baseline", str(baseline)])
         assert code == 0
         assert "ok" in capsys.readouterr().out
+
+
+class TestBenchProfileFlag:
+    @pytest.mark.parametrize(
+        "extra", [["--check"], ["--sentinel"], ["--update-baseline"]]
+    )
+    def test_profile_rejects_baseline_modes(self, extra, capsys):
+        assert main(["bench", "--profile", *extra]) == 2
+        assert "not baseline-comparable" in capsys.readouterr().err
+
+    def test_profile_prints_phase_tables(self, monkeypatch, capsys):
+        from repro.bench import perf
+        from repro.obs.profile import PhaseProfiler
+
+        prof = PhaseProfiler(track_alloc=True)
+        prof.add("service", 0.5, work=100, alloc=0)
+
+        def fake_run_profile(quick=False, alloc=True, progress=None, cases=None):
+            assert quick and alloc
+            return {"tiny/fake/1": {"phases": prof.report(), "_profiler": prof}}
+
+        monkeypatch.setattr(perf, "run_profile", fake_run_profile)
+        assert main(["bench", "--profile", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny/fake/1" in out
+        assert "alloc B" in out
