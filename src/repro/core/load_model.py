@@ -15,7 +15,7 @@ monitor and the selection algorithms build on them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -140,39 +140,144 @@ def migration_key_factor(
         return np.where(stored > 0, benefit / np.maximum(stored, 1e-300), np.inf)
 
 
-@dataclass
 class LoadInfoTable:
     """The monitor's view of one join-instance group (section III-A).
 
-    Rows are refreshed wholesale each monitoring period; helper queries
-    return the extremes the migration decision needs.
+    Rows are refreshed wholesale each monitoring period.  The storage is
+    columnar — grow-only id/stored/backlog/load arrays — so a periodic
+    sample writes scalars into preallocated columns and the extreme/LI
+    queries are vector reductions, instead of allocating one frozen
+    dataclass per instance per period.  ``rows`` is kept as a lazily
+    materialised dict view for compatibility (and rebuilt only when the
+    table changed); per-row loads are ``float(stored) * float(backlog)``
+    exactly as :meth:`InstanceLoad.load` computes them, so every derived
+    value is bit-identical to the row-object implementation.
     """
 
-    rows: dict[int, InstanceLoad] = field(default_factory=dict)
+    __slots__ = ("_ids", "_stored", "_backlog", "_loads", "_n", "_rows_cache")
+
+    def __init__(self) -> None:
+        self._ids = np.empty(0, dtype=np.int64)
+        self._stored = np.empty(0, dtype=np.int64)
+        self._backlog = np.empty(0, dtype=np.float64)
+        self._loads = np.empty(0, dtype=np.float64)
+        self._n = 0
+        self._rows_cache: dict[int, InstanceLoad] | None = None
+
+    def _ensure(self, n: int) -> None:
+        if self._ids.shape[0] >= n:
+            return
+        cap = 8
+        while cap < n:
+            cap <<= 1
+        for name in ("_ids", "_stored", "_backlog", "_loads"):
+            old = getattr(self, name)
+            grown = np.empty(cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def _find(self, instance: int) -> int:
+        ids = self._ids
+        for i in range(self._n):
+            if ids[i] == instance:
+                return i
+        return -1
+
+    def _row(self, i: int) -> InstanceLoad:
+        return InstanceLoad(
+            instance=int(self._ids[i]),
+            stored=int(self._stored[i]),
+            backlog=float(self._backlog[i]),
+        )
+
+    @property
+    def rows(self) -> dict[int, InstanceLoad]:
+        """Dict view of the table (lazily rebuilt after mutations)."""
+        cache = self._rows_cache
+        if cache is None:
+            cache = {
+                int(self._ids[i]): self._row(i) for i in range(self._n)
+            }
+            self._rows_cache = cache
+        return cache
 
     def update(self, stats: InstanceLoad) -> None:
-        self.rows[stats.instance] = stats
+        i = self._find(stats.instance)
+        if i < 0:
+            self._ensure(self._n + 1)
+            i = self._n
+            self._n += 1
+        self._ids[i] = stats.instance
+        self._stored[i] = stats.stored
+        self._backlog[i] = stats.backlog
+        self._loads[i] = float(stats.stored) * float(stats.backlog)
+        self._rows_cache = None
 
     def update_many(self, stats: list[InstanceLoad]) -> None:
         for s in stats:
             self.update(s)
 
+    def refill(self, ids, stored, backlog) -> None:
+        """Wholesale replace from parallel id/stored/backlog arrays.
+
+        The monitor's periodic sample always covers every instance of the
+        group, so replacing is equivalent to the historical upsert; the
+        per-row load column is one vectorised multiply (int64 operands
+        convert to float64 exactly as ``float(stored) * float(backlog)``
+        does).
+        """
+        n = len(ids)
+        self._ensure(n)
+        self._ids[:n] = ids
+        self._stored[:n] = stored
+        self._backlog[:n] = backlog
+        np.multiply(self._stored[:n], self._backlog[:n], out=self._loads[:n])
+        self._n = n
+        self._rows_cache = None
+
+    def discard(self, instance: int) -> None:
+        """Drop one instance's row if present (elastic retirement)."""
+        i = self._find(instance)
+        if i < 0:
+            return
+        last = self._n - 1
+        if i != last:
+            for name in ("_ids", "_stored", "_backlog", "_loads"):
+                col = getattr(self, name)
+                col[i] = col[last]
+        self._n = last
+        self._rows_cache = None
+
     def loads(self) -> np.ndarray:
-        return np.array([row.load for row in self.rows.values()], dtype=np.float64)
+        return self._loads[: self._n].copy()
 
     def imbalance(self) -> float:
         """Eq. (2) over the current table."""
-        return load_imbalance(self.loads())
+        return load_imbalance(self._loads[: self._n])
 
     def heaviest(self) -> InstanceLoad:
-        if not self.rows:
+        """Highest-load row; ties resolve to the smallest instance id
+        (the historical ``max(key=(load, -instance))`` semantics)."""
+        n = self._n
+        if n == 0:
             raise ValueError("load table is empty")
-        return max(self.rows.values(), key=lambda r: (r.load, -r.instance))
+        loads = self._loads[:n]
+        hits = np.nonzero(loads == loads.max())[0]
+        if hits.shape[0] > 1:
+            return self._row(int(hits[int(np.argmin(self._ids[hits]))]))
+        return self._row(int(hits[0]))
 
     def lightest(self) -> InstanceLoad:
-        if not self.rows:
+        """Lowest-load row; ties resolve to the smallest instance id
+        (the historical ``min(key=(load, instance))`` semantics)."""
+        n = self._n
+        if n == 0:
             raise ValueError("load table is empty")
-        return min(self.rows.values(), key=lambda r: (r.load, r.instance))
+        loads = self._loads[:n]
+        hits = np.nonzero(loads == loads.min())[0]
+        if hits.shape[0] > 1:
+            return self._row(int(hits[int(np.argmin(self._ids[hits]))]))
+        return self._row(int(hits[0]))
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._n

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
+from ..engine.arena import Arena
 from ..engine.metrics import MetricsCollector
 from ..errors import ConfigError
 from ..join.instance import JoinInstance
@@ -109,6 +112,12 @@ class Monitor:
         self.li_history: deque[tuple[float, float]] = deque(maxlen=li_history_cap)
         # Optional observability bundle (repro.obs); one test per sample.
         self.obs = None
+        # Optional migration barrier hook (repro.engine.shard): called with
+        # (side, source, target) right before the executor runs, so a
+        # sharded runtime can pull both parties' live state first.
+        self.prepare_migration = None
+        # Grow-only scratch for the periodic sample's load columns.
+        self._arena = Arena()
 
     # ------------------------------------------------------------------ #
 
@@ -117,14 +126,30 @@ class Monitor:
         return self.theta is not None
 
     def sample(self, now: float) -> float:
-        """Refresh the load table from the instances; return current LI."""
-        snapshots = [inst.snapshot() for inst in self.instances]
-        self.table.update_many(snapshots)
+        """Refresh the load table from the instances; return current LI.
+
+        The sampled values land directly in arena-backed columns (one
+        scalar write per instance) and refresh the table wholesale —
+        bit-identical to the historical per-instance ``snapshot()`` path,
+        which now only runs when an observer wants the row objects.
+        """
+        instances = self.instances
+        n = len(instances)
+        arena = self._arena
+        ids = arena.array("mon_ids", n, np.int64)
+        stored = arena.array("mon_stored", n, np.int64)
+        backlog = arena.array("mon_backlog", n, np.float64)
+        for i, inst in enumerate(instances):
+            ids[i] = inst.instance_id
+            stored[i] = inst.store.total
+            backlog[i] = inst.load_backlog()
+        self.table.refill(ids, stored, backlog)
         li = self.table.imbalance()
         self.li_history.append((now, li))
         if self.metrics is not None:
             self.metrics.record_li(self.side, now, li)
         if self.obs is not None:
+            snapshots = [inst.snapshot() for inst in instances]
             self.obs.on_li_sample(self.side, now, li, snapshots)
         return li
 
@@ -162,6 +187,10 @@ class Monitor:
             # outside the target's checkpoint+WAL).  Balancing defers
             # until the failure is handled; the next period retries.
             return False
+        if self.prepare_migration is not None:
+            # Sharded execution barrier: both parties' live state must be
+            # local before the selection/transfer protocol reads it.
+            self.prepare_migration(self.side, source, target)
         assert self.selector is not None and self.executor is not None
         event = self.executor.execute(
             now, self.side, source, target, self.selector, li_before=li

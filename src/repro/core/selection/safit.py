@@ -19,6 +19,7 @@ temperature schedule small for the same reason.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -82,12 +83,19 @@ class SAFit:
             return SelectionResult()
 
         rng = np.random.Generator(np.random.PCG64(self.seed))
-        benefits = problem.benefits()
-        stored = problem.key_stored.astype(np.float64)
-        backlog = problem.key_backlog.astype(np.float64)
+        benefit_arr = problem.benefits()
+        # The annealing loop runs tens of thousands of single-key flips;
+        # plain-float arithmetic on pre-extracted Python scalars is several
+        # times faster than indexing numpy scalars out of the arrays and
+        # bit-identical (both are IEEE-754 doubles, and the RNG draw sites
+        # are unchanged), so selections and goldens are preserved exactly.
+        benefits = benefit_arr.tolist()
+        stored = problem.key_stored.astype(np.float64).tolist()
+        backlog = problem.key_backlog.astype(np.float64).tolist()
+        gap = float(gap)
 
         # --- initial random feasible solution (Algorithm 3 lines 3-14) ---
-        flags = np.zeros(n, dtype=bool)
+        flags = [False] * n
         benefit_sum = 0.0
         stored_sum = 0.0
         backlog_sum = 0.0
@@ -100,7 +108,7 @@ class SAFit:
                 stored_sum += stored[idx]
                 backlog_sum += backlog[idx]
 
-        best_flags = flags.copy()
+        best_flags = list(flags)
         best_value = self._value(benefit_sum, stored_sum)
         cur_value = best_value
         evaluations = 0
@@ -120,8 +128,14 @@ class SAFit:
                     continue
                 new_value = self._value(new_benefit, new_stored)
                 accept = new_value > cur_value
-                if not accept and np.isfinite(new_value) and np.isfinite(cur_value):
-                    # Metropolis acceptance (Eq. 11).
+                if (
+                    not accept
+                    and math.isfinite(new_value)
+                    and math.isfinite(cur_value)
+                ):
+                    # Metropolis acceptance (Eq. 11).  np.exp/np.clip are
+                    # kept so the probability is ULP-identical to the
+                    # historical array-scalar computation.
                     p = float(np.exp(np.clip((new_value - cur_value) / t, -700, 0)))
                     accept = rng.random() < p
                 if accept:
@@ -132,13 +146,13 @@ class SAFit:
                     cur_value = new_value
                     if cur_value > best_value:
                         best_value = cur_value
-                        best_flags = flags.copy()
+                        best_flags = list(flags)
             t *= self.attenuation
 
         sel_idx = np.nonzero(best_flags)[0]
         return SelectionResult(
             selected_keys=[int(k) for k in problem.keys[sel_idx].tolist()],
-            total_benefit=float(benefits[sel_idx].sum()),
+            total_benefit=float(benefit_arr[sel_idx].sum()),
             moved_stored=int(problem.key_stored[sel_idx].sum()),
             moved_backlog=int(problem.key_backlog[sel_idx].sum()),
             evaluations=evaluations,

@@ -1,0 +1,881 @@
+"""Sharded execution of the per-tick service phase (DESIGN §10).
+
+FastJoin's premise is that a distributed stream join scales by spreading
+join instances across processing units (paper §III); this module makes the
+reproduction actually execute that way.  A :class:`ShardCoordinator`
+partitions the join instances of both biclique sides across N persistent
+worker *processes* (``os.fork``) and runs the service phase of every tick
+in parallel, while staying **bit-exact** with the serial engine:
+
+- The parent keeps everything with cross-instance or random state: the
+  sources, the dispatcher and its routing tables, metrics, monitors, the
+  fault injector and the elastic controller.  Every RNG draw happens in
+  the parent, in the serial order.
+- Each worker owns the queues and stores of the instances with
+  ``global_index % nshards == shard``, for the whole run.  Instances are
+  stepped in ascending global index with the same ``(now, dt)`` the serial
+  loop would use, so every per-instance float trajectory is identical.
+- Per tick, the dispatcher's counting-scatter output is staged into one
+  packed block per shard and shipped over a preallocated shared-memory
+  ring (:class:`ShmRing`); workers enqueue the blocks in dispatch order
+  (per-queue FIFO preserved), step their instances, and ship the
+  :class:`~repro.join.instance.ServiceReport` component arrays back
+  through the return ring.  The parent merges reports in instance-index
+  order, so ``MetricsCollector.record_service_many``, the latency
+  reservoir, the attribution sums and the obs events observe byte-wise
+  the same values in the same order as the serial loop.
+- Cross-instance events — migrations (§III-D), failover, elastic scale
+  out/in, checkpoint/WAL recovery — run at their existing cadence points
+  as *barriers*: the parent pulls the involved instances' serialized
+  state (store counts, queue contents, ckpt+WAL images), runs the event
+  exactly as the serial engine would, and pushes the state back (or
+  reforks the workers when the group membership changed).
+
+The parent-side instance objects act as *husks* between barriers: after
+every tick their monitor-visible scalars (queue length, probe backlog,
+store total, backlog EWMA) are synced from the worker replies, so the
+monitors, the backpressure check, the elastic signals and the obs gauges
+read exactly the values the serial engine would — without shipping any
+deep state on the hot path.
+
+Transport: rings are mmap-backed files (``/dev/shm`` when present), one
+``int64`` parent→worker ring and one ``float64`` worker→parent ring per
+shard.  Frames are 8-byte words ``[seq, n, payload..., seq]``; a sequence
+mismatch raises :class:`~repro.errors.TransportError` (torn-write guard).
+Rings are grow-only like :class:`~repro.engine.arena.Arena`: an oversized
+block allocates a fresh segment (power-of-two), bumps a generation
+counter, and piggybacks the switch notice on the control-pipe message of
+the same transfer; control messages (barriers, rotation, shutdown) are
+small and ride the pipes as pickles.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError, TransportError
+
+__all__ = ["ShmRing", "ShardCoordinator", "effective_shards"]
+
+#: ring frame overhead in 8-byte words: leading seq, length, trailing seq
+_FRAME_WORDS = 3
+
+#: default ring capacity in words (256 KiB); grows on demand
+_DEFAULT_RING_WORDS = 1 << 15
+
+_LEN_STRUCT = struct.Struct("<Q")
+
+
+def _shm_dir() -> str | None:
+    """Directory for ring segments: /dev/shm on Linux, tempdir elsewhere."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def _next_pow2(n: int) -> int:
+    cap = 1
+    while cap < n:
+        cap <<= 1
+    return cap
+
+
+def _unlink_quiet(path: str | None) -> None:
+    if path:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def effective_shards(requested: int | None) -> tuple[int, str | None]:
+    """Clamp a ``--shards`` request to what this host can honour.
+
+    Returns ``(shards, warning)``.  Hosts that cannot run sharded — a
+    single core (workers would only contend with the parent) or no
+    ``os.fork`` — are demoted to the serial path with a warning instead
+    of failing, the same rule the parallel campaign layer applies to
+    wall-clock checks on shared machines.  Results are unaffected either
+    way: sharded execution is bit-exact with serial.
+    """
+    if requested is None or int(requested) <= 1:
+        return 1, None
+    requested = int(requested)
+    if not hasattr(os, "fork"):
+        return 1, (
+            f"--shards {requested}: os.fork unavailable on this platform; "
+            "running the serial path (results are identical)"
+        )
+    if (os.cpu_count() or 1) <= 1:
+        return 1, (
+            f"--shards {requested}: single-core machine; running the "
+            "serial path (results are identical)"
+        )
+    return requested, None
+
+
+class ShmRing:
+    """Single-direction shared-memory ring with strict alternation.
+
+    One endpoint only ever sends, the peer only ever receives, and the
+    control pipes synchronize them into a strict request/response
+    alternation — so the ring needs no atomics: both sides advance the
+    same ``(position, sequence)`` deterministically, and the redundant
+    trailing sequence word is a torn-write guard, not a lock.
+
+    The payload dtype is any 8-byte type (``int64``/``float64``); callers
+    bit-cast mixed content via contiguous-slice ``.view()``.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        capacity_words: int = _DEFAULT_RING_WORDS,
+        payload_dtype=np.float64,
+    ) -> None:
+        self.label = label
+        self.payload_dtype = np.dtype(payload_dtype)
+        if self.payload_dtype.itemsize != 8:
+            raise ConfigError("ShmRing payloads must use an 8-byte dtype")
+        self._pos = 0
+        self._seq = 0
+        self.generation = 0
+        self._frame = np.empty(0, dtype=np.int64)
+        self._scratch = np.empty(0, dtype=self.payload_dtype)
+        self.path: str | None = None
+        self._mm: mmap.mmap | None = None
+        self._create(max(int(capacity_words), _FRAME_WORDS + 1))
+
+    # -- segment lifecycle ---------------------------------------------- #
+
+    def _create(self, words: int) -> None:
+        fd, path = tempfile.mkstemp(
+            prefix=f"repro-ring-{self.label}-", dir=_shm_dir()
+        )
+        try:
+            os.ftruncate(fd, words * 8)
+        except OSError:
+            os.close(fd)
+            _unlink_quiet(path)
+            raise
+        self._map(fd, path, words)
+
+    def _map(self, fd: int, path: str, words: int) -> None:
+        mm = mmap.mmap(fd, words * 8)
+        os.close(fd)
+        # Drop references to the previous mapping instead of closing it:
+        # live numpy views would make mmap.close() raise BufferError; GC
+        # unmaps once the views die.
+        self.path = path
+        self.capacity = words
+        self._mm = mm
+        self._i64 = np.frombuffer(mm, dtype=np.int64)
+        self._payload = np.frombuffer(mm, dtype=self.payload_dtype)
+
+    def _grow(self, need_words: int) -> dict:
+        """Switch to a fresh, larger segment; returns the peer's notice."""
+        old_path = self.path
+        words = _next_pow2(max(self.capacity * 2, need_words))
+        self._create(words)
+        self.generation += 1
+        self._pos = 0
+        # The peer still has the old segment mapped (mapped pages survive
+        # the unlink on POSIX); nobody will open it by name again.
+        _unlink_quiet(old_path)
+        return {"gen": self.generation, "path": self.path, "words": words}
+
+    def apply_grow(self, notice: dict | None) -> None:
+        """Receiver side of a grow: re-attach to the sender's new segment."""
+        if notice is None or notice["gen"] <= self.generation:
+            return
+        old_path = self.path
+        fd = os.open(notice["path"], os.O_RDWR)
+        self._map(fd, notice["path"], int(notice["words"]))
+        self.generation = int(notice["gen"])
+        self._pos = 0
+        if old_path != notice["path"]:
+            _unlink_quiet(old_path)
+
+    def close(self, unlink: bool = False) -> None:
+        if unlink:
+            _unlink_quiet(self.path)
+        # References dropped, not closed — see _map.
+        self._i64 = self._payload = None  # type: ignore[assignment]
+        self._mm = None
+        self.path = None
+
+    # -- transfer -------------------------------------------------------- #
+
+    def send(self, payload: np.ndarray) -> dict | None:
+        """Write one frame; returns a grow notice when the segment moved.
+
+        The caller must forward a non-None notice to the peer on the same
+        control message as this transfer, before the peer's ``recv``.
+        """
+        n = int(payload.shape[0])
+        m = n + _FRAME_WORDS
+        notice = None
+        if m > self.capacity:
+            notice = self._grow(m)
+        if self._frame.shape[0] < m:
+            self._frame = np.empty(_next_pow2(m), dtype=np.int64)
+        frame = self._frame[:m]
+        seq = self._seq
+        frame[0] = seq
+        frame[1] = n
+        if n:
+            frame[2 : 2 + n] = payload.view(np.int64)
+        frame[m - 1] = seq
+        pos, cap = self._pos, self.capacity
+        end = pos + m
+        if end <= cap:
+            self._i64[pos:end] = frame
+        else:
+            first = cap - pos
+            self._i64[pos:cap] = frame[:first]
+            self._i64[: m - first] = frame[first:]
+        self._pos = end % cap
+        self._seq = seq + 1
+        return notice
+
+    def recv(self) -> np.ndarray:
+        """Read the next frame; the returned array is a view (contiguous
+        frame) or ring-owned scratch (wrapped frame) — valid until the
+        next ``recv`` on this ring."""
+        i64, cap = self._i64, self.capacity
+        pos, seq = self._pos, self._seq
+        lead = int(i64[pos])
+        if lead != seq:
+            raise TransportError(
+                f"ring {self.label}: expected frame seq {seq}, found {lead}"
+            )
+        n = int(i64[(pos + 1) % cap])
+        m = n + _FRAME_WORDS
+        if n < 0 or m > cap:
+            raise TransportError(
+                f"ring {self.label}: corrupt frame length {n} (capacity {cap})"
+            )
+        trail = int(i64[(pos + m - 1) % cap])
+        if trail != seq:
+            raise TransportError(
+                f"ring {self.label}: torn frame (seq {seq}, trailer {trail})"
+            )
+        start = (pos + 2) % cap
+        if n == 0:
+            out = self._payload[:0]
+        elif start + n <= cap:
+            out = self._payload[start : start + n]
+        else:
+            first = cap - start
+            if self._scratch.shape[0] < n:
+                self._scratch = np.empty(
+                    _next_pow2(n), dtype=self.payload_dtype
+                )
+            out = self._scratch[:n]
+            out[:first] = self._payload[start:cap]
+            out[first:] = self._payload[: n - first]
+        self._pos = (pos + m) % cap
+        self._seq = seq + 1
+        return out
+
+
+# --------------------------------------------------------------------- #
+# control-pipe framing
+# --------------------------------------------------------------------- #
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view) :]
+
+
+def _read_exact(fd: int, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = os.read(fd, n)
+        if not chunk:
+            raise TransportError("shard control pipe closed unexpectedly")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_msg(fd: int, obj) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    _write_all(fd, _LEN_STRUCT.pack(len(data)) + data)
+
+
+def _recv_msg(fd: int):
+    (length,) = _LEN_STRUCT.unpack(_read_exact(fd, _LEN_STRUCT.size))
+    return pickle.loads(_read_exact(fd, length))
+
+
+class _Shard:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("index", "pid", "cmd_r", "cmd_w", "resp_r", "resp_w", "down", "up")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pid = 0
+        self.cmd_r, self.cmd_w = os.pipe()
+        self.resp_r, self.resp_w = os.pipe()
+        self.down = ShmRing(f"d{index}", payload_dtype=np.int64)
+        self.up = ShmRing(f"u{index}", payload_dtype=np.float64)
+
+
+class ShardCoordinator:
+    """Partitions the instance service loop across persistent workers.
+
+    Attached to a :class:`~repro.engine.runtime.StreamJoinRuntime` via
+    ``attach_sharding`` (which must be the *last* attachment, after obs,
+    guards, faults and elastic, so the forked workers inherit the fully
+    wired system).  Workers fork lazily on the first serviced tick and
+    are restarted whenever the elastic controller changes the group
+    membership.
+    """
+
+    def __init__(self, nshards: int) -> None:
+        nshards = int(nshards)
+        if nshards < 2:
+            raise ConfigError(
+                f"ShardCoordinator needs >= 2 shards, got {nshards}; "
+                "shards=1 is the serial in-process path (do not attach)"
+            )
+        if not hasattr(os, "fork"):
+            raise ConfigError("sharded execution requires os.fork (POSIX)")
+        self.nshards = nshards
+        self.started = False
+        self._shards: list[_Shard] = []
+        self._runtime = None
+        self._r_len = 0
+        self._index_of: dict[int, int] = {}  # id(instance) -> global index
+        # per-shard staged dispatch blocks (int64, grow-only)
+        self._stage: list[np.ndarray] = [
+            np.empty(_DEFAULT_RING_WORDS, dtype=np.int64)
+            for _ in range(nshards)
+        ]
+        self._stage_used = [1] * nshards   # word 0 reserved for record count
+        self._stage_nrec = [0] * nshards
+        self._dirty: set[int] = set()
+        # worker-side fields (populated in the child after fork)
+        self._worker_index: int | None = None
+        self._ubuf = np.empty(_DEFAULT_RING_WORDS, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def bind(self, runtime) -> None:
+        """Wire the delivery hook and the barrier hooks into the system."""
+        self._runtime = runtime
+        runtime.dispatcher.delivery = self._deliver
+        for monitor in runtime.monitors.values():
+            monitor.prepare_migration = self._prepare_migration
+        if runtime.elastic is not None:
+            runtime.elastic.shard_coordinator = self
+        self._refresh_topology(runtime)
+
+    def _refresh_topology(self, runtime) -> None:
+        self._r_len = len(runtime.dispatcher.groups["R"])
+        self._index_of = {
+            id(inst): gidx for gidx, inst in enumerate(runtime._instances)
+        }
+
+    def _owned(self, runtime, shard_index: int):
+        return [
+            (gidx, inst)
+            for gidx, inst in enumerate(runtime._instances)
+            if gidx % self.nshards == shard_index
+        ]
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    def ensure_started(self, runtime) -> None:
+        if self.started:
+            return
+        self._refresh_topology(runtime)
+        shards = [_Shard(s) for s in range(self.nshards)]
+        self._shards = shards
+        for sh in shards:
+            pid = os.fork()
+            if pid == 0:
+                # Worker: never returns.  os._exit skips inherited atexit
+                # handlers and stdio flushes (the parent owns those).
+                status = 0
+                try:
+                    self._worker_main(runtime, sh)
+                except BaseException:  # pragma: no cover - crash path
+                    status = 1
+                finally:
+                    os._exit(status)
+            sh.pid = pid
+        for sh in shards:
+            os.close(sh.cmd_r)
+            os.close(sh.resp_w)
+        self.started = True
+        obs = runtime.obs
+        if obs is not None:
+            obs.on_shard_event(
+                "fork", runtime.clock.now, self.nshards,
+                len(runtime._instances),
+            )
+
+    def _worker_main(self, runtime, mine: _Shard) -> None:
+        self._worker_index = mine.index
+        for sh in self._shards:
+            if sh is mine:
+                os.close(sh.cmd_w)
+                os.close(sh.resp_r)
+            else:
+                os.close(sh.cmd_r)
+                os.close(sh.cmd_w)
+                os.close(sh.resp_r)
+                os.close(sh.resp_w)
+        owned = self._owned(runtime, mine.index)
+        owned_by_idx = dict(owned)
+        cmd_r, resp_w = mine.cmd_r, mine.resp_w
+        try:
+            while True:
+                msg = _recv_msg(cmd_r)
+                kind = msg[0]
+                if kind == "tick":
+                    _, now, dt, down_notice, has_block = msg
+                    mine.down.apply_grow(down_notice)
+                    if has_block:
+                        self._worker_enqueue(mine.down.recv(), owned_by_idx)
+                    block = self._pack_reports(owned, now, dt)
+                    up_notice = mine.up.send(block)
+                    _send_msg(resp_w, ("ok", up_notice))
+                elif kind == "pull":
+                    ids = msg[1]
+                    pairs = (
+                        owned
+                        if ids is None
+                        else [(g, owned_by_idx[g]) for g in ids]
+                    )
+                    _send_msg(
+                        resp_w,
+                        ("pulled", [(g, inst.export_state()) for g, inst in pairs]),
+                    )
+                elif kind == "push":
+                    for gidx, state in msg[1]:
+                        owned_by_idx[gidx].import_state(state)
+                elif kind == "rotate":
+                    totals = []
+                    for gidx, inst in owned:
+                        inst.rotate_window()
+                        totals.append((gidx, inst.store.total))
+                    _send_msg(resp_w, ("rotated", totals))
+                elif kind == "exit":
+                    return
+                else:  # pragma: no cover - protocol bug
+                    raise SimulationError(f"unknown shard command {kind!r}")
+        except BaseException:
+            import traceback
+
+            try:
+                _send_msg(resp_w, ("err", traceback.format_exc()))
+            except OSError:  # pragma: no cover - parent already gone
+                pass
+
+    @staticmethod
+    def _worker_enqueue(block: np.ndarray, owned_by_idx: dict) -> None:
+        """Replay the staged dispatch blocks in original dispatch order."""
+        off = 0
+        nrec = int(block[off])
+        off += 1
+        for _ in range(nrec):
+            gidx = int(block[off])
+            op = int(block[off + 1])
+            time = float(block[off + 2 : off + 3].view(np.float64)[0])
+            n = int(block[off + 3])
+            off += 4
+            owned_by_idx[gidx].queue.push_block(block[off : off + n], time, op)
+            off += n
+
+    def _pack_reports(self, owned, now: float, dt: float) -> np.ndarray:
+        """Step every owned instance (ascending global index, exactly the
+        serial order restricted to this shard) and pack the reports."""
+        buf = self._ubuf
+        used = 0
+        for gidx, inst in owned:
+            rep = inst.step(now, dt)
+            n = rep.n_processed
+            flags = 0
+            extra = 0
+            if n:
+                extra = n
+                if rep.comp_service is not None:
+                    flags |= 1
+                    extra += n
+                if rep.comp_migration is not None:
+                    flags |= 2
+                    extra += n
+                if rep.comp_recovery is not None:
+                    flags |= 4
+                    extra += n
+            need = used + 11 + extra
+            if need > buf.shape[0]:
+                grown = np.empty(_next_pow2(need), dtype=np.float64)
+                grown[:used] = buf[:used]
+                buf = self._ubuf = grown
+            ints = buf[used : used + 8].view(np.int64)
+            ints[0] = gidx
+            ints[1] = n
+            ints[2] = rep.n_stored
+            ints[3] = rep.n_probed
+            ints[4] = len(inst.queue)
+            ints[5] = inst.queue.probe_backlog
+            ints[6] = inst.store.total
+            ints[7] = flags
+            buf[used + 8] = rep.n_results
+            buf[used + 9] = rep.work_units
+            buf[used + 10] = inst._backlog_ewma
+            used += 11
+            if n:
+                buf[used : used + n] = rep.latencies
+                used += n
+                if flags & 1:
+                    buf[used : used + n] = rep.comp_service
+                    used += n
+                if flags & 2:
+                    buf[used : used + n] = rep.comp_migration
+                    used += n
+                if flags & 4:
+                    buf[used : used + n] = rep.comp_recovery
+                    used += n
+        return buf[:used]
+
+    # ------------------------------------------------------------------ #
+    # parent: per-tick hot path
+    # ------------------------------------------------------------------ #
+
+    def _deliver(self, side: str, local_idx: int, keys, time: float, op: int) -> None:
+        """Dispatcher delivery hook: stage one scatter block for a shard.
+
+        The keys block aliases the dispatcher's arena scratch, which is
+        reused within the same dispatch — it is copied into the per-shard
+        staging buffer immediately.
+        """
+        gidx = local_idx if side == "R" else self._r_len + local_idx
+        s = gidx % self.nshards
+        buf = self._stage[s]
+        used = self._stage_used[s]
+        n = int(keys.shape[0])
+        need = used + 4 + n
+        if need > buf.shape[0]:
+            grown = np.empty(_next_pow2(need), dtype=np.int64)
+            grown[:used] = buf[:used]
+            buf = self._stage[s] = grown
+        buf[used] = gidx
+        buf[used + 1] = op
+        buf[used + 2 : used + 3].view(np.float64)[0] = time
+        buf[used + 3] = n
+        buf[used + 4 : need] = keys
+        self._stage_used[s] = need
+        self._stage_nrec[s] += 1
+
+    def _read_reply(self, sh: _Shard):
+        reply = _recv_msg(sh.resp_r)
+        if reply[0] == "err":
+            tb = reply[1]
+            self._teardown(kill=True)
+            raise SimulationError(
+                f"shard worker {sh.index} failed:\n{tb}"
+            )
+        return reply
+
+    def service_tick(self, runtime, now: float, dt: float):
+        """Run the service phase of one tick across the workers.
+
+        Returns ``(reports, tot_processed, tot_results, lat_sum,
+        lat_count, work_done)`` — the reports in global instance order and
+        the obs aggregates computed exactly as the serial loop computes
+        them.
+        """
+        self.ensure_started(runtime)
+        obs = runtime.obs
+        prof = obs.profiler if obs is not None else None
+        for sh in self._shards:
+            s = sh.index
+            used = self._stage_used[s]
+            has_block = used > 1
+            notice = None
+            if has_block:
+                stage = self._stage[s]
+                stage[0] = self._stage_nrec[s]
+                notice = sh.down.send(stage[:used])
+            self._stage_used[s] = 1
+            self._stage_nrec[s] = 0
+            _send_msg(sh.cmd_w, ("tick", now, dt, notice, has_block))
+        wait = 0.0
+        blocks: list[np.ndarray | None] = [None] * self.nshards
+        for sh in self._shards:
+            t0 = prof.now() if prof is not None else 0.0
+            kind, up_notice = self._read_reply(sh)
+            if prof is not None:
+                wait += prof.now() - t0
+            sh.up.apply_grow(up_notice)
+            blocks[sh.index] = sh.up.recv()
+        if prof is not None:
+            prof.add("shard_wait", wait)
+        return self._merge(runtime, blocks, obs)
+
+    def _merge(self, runtime, blocks, obs):
+        from ..join.storage import KeyedStore
+
+        nshards = self.nshards
+        offs = [0] * nshards
+        reports = []
+        tot_processed = 0
+        tot_results = 0.0
+        lat_sum = 0.0
+        lat_count = 0
+        work_done = 0.0
+        qlen_sum = 0
+        qlen_max = 0
+        for gidx, inst in enumerate(runtime._instances):
+            s = gidx % nshards
+            blk = blocks[s]
+            off = offs[s]
+            ints = blk[off : off + 8].view(np.int64)
+            if int(ints[0]) != gidx:
+                raise TransportError(
+                    f"shard {s}: report for instance {int(ints[0])} where "
+                    f"{gidx} was expected"
+                )
+            n = int(ints[1])
+            qlen = int(ints[4])
+            queue = inst.queue
+            queue._size = qlen
+            queue._n_probes = int(ints[5])
+            store = inst.store
+            if type(store) is KeyedStore:
+                store._total = int(ints[6])
+            else:
+                store._store._total = int(ints[6])
+            inst._backlog_ewma = float(blk[off + 10])
+            qlen_sum += qlen
+            if qlen > qlen_max:
+                qlen_max = qlen
+            if n:
+                flags = int(ints[7])
+                rep = inst._report
+                rep.n_processed = n
+                rep.n_stored = int(ints[2])
+                rep.n_probed = int(ints[3])
+                rep.n_results = float(blk[off + 8])
+                rep.work_units = float(blk[off + 9])
+                off += 11
+                lat = blk[off : off + n]
+                off += n
+                rep.latencies = lat
+                if flags & 1:
+                    rep.comp_service = blk[off : off + n]
+                    off += n
+                else:
+                    rep.comp_service = None
+                if flags & 2:
+                    rep.comp_migration = blk[off : off + n]
+                    off += n
+                else:
+                    rep.comp_migration = None
+                if flags & 4:
+                    rep.comp_recovery = blk[off : off + n]
+                    off += n
+                else:
+                    rep.comp_recovery = None
+                reports.append(rep)
+                if obs is not None:
+                    tot_processed += n
+                    tot_results += rep.n_results
+                    lat_sum += float(lat.sum())
+                    lat_count += int(lat.size)
+                    work_done += rep.work_units
+                    obs.on_instance_step(inst, rep)
+            else:
+                off += 11
+            offs[s] = off
+        runtime._qlen_sum = qlen_sum
+        runtime._qlen_max = qlen_max
+        runtime._qlen_valid = True
+        return (
+            reports, tot_processed, tot_results, lat_sum, lat_count,
+            work_done,
+        )
+
+    # ------------------------------------------------------------------ #
+    # barriers
+    # ------------------------------------------------------------------ #
+
+    def _gidx_of(self, inst) -> int:
+        try:
+            return self._index_of[id(inst)]
+        except KeyError:  # pragma: no cover - topology desync bug
+            raise SimulationError(
+                f"instance {inst.side}{inst.instance_id} is not in the "
+                "sharded topology"
+            ) from None
+
+    def pull(self, runtime, gidxs) -> None:
+        """Import the workers' live state for the given global indices."""
+        if not self.started:
+            return
+        by_shard: dict[int, list[int]] = {}
+        for gidx in gidxs:
+            by_shard.setdefault(gidx % self.nshards, []).append(gidx)
+        for s, ids in by_shard.items():
+            _send_msg(self._shards[s].cmd_w, ("pull", sorted(ids)))
+        for s in sorted(by_shard):
+            _, pairs = self._read_reply(self._shards[s])
+            for gidx, state in pairs:
+                runtime._instances[gidx].import_state(state)
+
+    def pull_all(self, runtime) -> None:
+        """Barrier: make the parent's instance state fully authoritative."""
+        if not self.started:
+            return
+        for sh in self._shards:
+            _send_msg(sh.cmd_w, ("pull", None))
+        for sh in self._shards:
+            _, pairs = self._read_reply(sh)
+            for gidx, state in pairs:
+                runtime._instances[gidx].import_state(state)
+
+    def push_all(self, runtime) -> None:
+        """Ship the parent's (post-event) instance state back out."""
+        if not self.started:
+            return
+        instances = runtime._instances
+        for sh in self._shards:
+            payload = [
+                (gidx, instances[gidx].export_state())
+                for gidx in range(sh.index, len(instances), self.nshards)
+            ]
+            _send_msg(sh.cmd_w, ("push", payload))
+        self._dirty.clear()
+
+    def _prepare_migration(self, side: str, source, target) -> None:
+        """Monitor hook: pull both parties before Algorithm 2 runs."""
+        if not self.started:
+            return
+        gs, gt = self._gidx_of(source), self._gidx_of(target)
+        self.pull(self._runtime, (gs, gt))
+        self._dirty.update((gs, gt))
+        obs = self._runtime.obs
+        if obs is not None:
+            obs.on_shard_event("barrier", 0.0, gs % self.nshards, 2)
+
+    def flush_dirty(self, runtime) -> None:
+        """Push every instance a barrier pulled since the last flush."""
+        if not self._dirty or not self.started:
+            return
+        instances = runtime._instances
+        by_shard: dict[int, list] = {}
+        for gidx in sorted(self._dirty):
+            by_shard.setdefault(gidx % self.nshards, []).append(
+                (gidx, instances[gidx].export_state())
+            )
+        for s, payload in by_shard.items():
+            _send_msg(self._shards[s].cmd_w, ("push", payload))
+        self._dirty.clear()
+
+    def rotate_all(self, runtime) -> None:
+        """Rotate every windowed store worker-side; resync husk totals."""
+        if not self.started:
+            for inst in runtime._instances:
+                inst.rotate_window()
+            return
+        from ..join.storage import KeyedStore
+
+        for sh in self._shards:
+            _send_msg(sh.cmd_w, ("rotate",))
+        instances = runtime._instances
+        for sh in self._shards:
+            _, totals = self._read_reply(sh)
+            for gidx, total in totals:
+                store = instances[gidx].store
+                if type(store) is KeyedStore:
+                    store._total = int(total)
+                else:
+                    store._store._total = int(total)
+
+    def refork(self, runtime) -> None:
+        """Restart the workers after a group-membership change.
+
+        Callers must have made the parent fully authoritative first
+        (``pull_all`` before the scaling event); the fresh fork then
+        inherits the complete post-event state.
+        """
+        if not self.started:
+            return
+        self._teardown(kill=False)
+        # The next tick's dispatch stages blocks BEFORE ensure_started
+        # re-forks, so the routing map (R-group length, instance->gidx,
+        # dirty marks) must reflect the new membership immediately — a
+        # stale ``_r_len`` would deliver S-side blocks one instance off.
+        self._refresh_topology(runtime)
+        self._dirty.clear()
+        obs = runtime.obs
+        if obs is not None:
+            obs.on_shard_event(
+                "refork", runtime.clock.now, self.nshards,
+                len(runtime._instances),
+            )
+        # Workers restart lazily on the next serviced tick.
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+
+    def _teardown(self, kill: bool) -> None:
+        for sh in self._shards:
+            if kill:
+                try:
+                    os.kill(sh.pid, 9)
+                except OSError:
+                    pass
+            else:
+                try:
+                    _send_msg(sh.cmd_w, ("exit",))
+                except OSError:
+                    pass
+        for sh in self._shards:
+            try:
+                os.waitpid(sh.pid, 0)
+            except ChildProcessError:
+                pass
+            os.close(sh.cmd_w)
+            os.close(sh.resp_r)
+            sh.down.close(unlink=True)
+            sh.up.close(unlink=True)
+        self._shards = []
+        self._dirty.clear()
+        self.started = False
+
+    def shutdown(self, runtime) -> None:
+        """Final barrier + worker teardown (idempotent).
+
+        Pulls every instance's live state into the parent first, so the
+        post-run readers (metrics finalization, conservation checks, the
+        differential harness's per-key result counts) see exactly the
+        state the serial engine would have left behind.
+        """
+        if not self.started:
+            return
+        self.pull_all(runtime)
+        self._teardown(kill=False)
+        obs = runtime.obs
+        if obs is not None:
+            obs.on_shard_event(
+                "shutdown", runtime.clock.now, self.nshards,
+                len(runtime._instances),
+            )

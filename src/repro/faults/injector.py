@@ -160,8 +160,27 @@ class FaultInjector:
     # per-tick application (runtime.step start)
     # ------------------------------------------------------------------ #
 
-    def before_tick(self, runtime, now: float) -> None:
-        """Checkpoints, then due recoveries, then due kills."""
+    def due(self, now: float) -> bool:
+        """Would :meth:`before_tick` act at ``now``?
+
+        Exactly the three gates of :meth:`before_tick` — the sharded
+        runtime uses this to decide whether the tick needs a fault
+        barrier (pull-all / apply / push-all) or the injector can be
+        skipped without any state transfer.
+        """
+        return (
+            now >= self._next_ckpt
+            or bool(self._recoveries and self._recoveries[0][0] <= now)
+            or bool(self._pending_kills and self._pending_kills[0].at <= now)
+        )
+
+    def before_tick(self, runtime, now: float) -> bool:
+        """Checkpoints, then due recoveries, then due kills.
+
+        Returns True when anything fired (the runtime invalidates its
+        queue-length cache on that signal).
+        """
+        acted = False
         if now >= self._next_ckpt:
             while self._next_ckpt <= now:
                 self._next_ckpt += self.checkpoint_period
@@ -173,6 +192,7 @@ class FaultInjector:
                     n_tuples += ckptr.checkpoint(now)
                     n_live += 1
             self.n_checkpoints += 1
+            acted = True
             obs = runtime.obs
             if obs is not None:
                 obs.on_checkpoint(now, n_live, n_tuples)
@@ -180,9 +200,11 @@ class FaultInjector:
         while self._recoveries and self._recoveries[0][0] <= now:
             _, side, idx, mode, crashed_at = self._recoveries.pop(0)
             self._recover(runtime, side, idx, mode, now, crashed_at)
+            acted = True
 
         while self._pending_kills and self._pending_kills[0].at <= now:
             action = self._pending_kills.pop(0)
+            acted = True
             inst = runtime.dispatcher.groups[action.side][action.instance]
             if inst.checkpointer.crashed:
                 self.log.append((now, f"skipped {action.spec}: already down"))
@@ -191,6 +213,7 @@ class FaultInjector:
                 self._crash(runtime, inst, action, now)
             else:
                 self._failover(runtime, inst, action, now)
+        return acted
 
     # -- kill paths ----------------------------------------------------- #
 

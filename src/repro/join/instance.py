@@ -786,6 +786,13 @@ class JoinInstance:
     # monitoring & migration hooks
     # ------------------------------------------------------------------ #
 
+    def load_backlog(self) -> float:
+        """The backlog scalar the monitor samples: the EWMA-smoothed probe
+        queue length, or the instantaneous one when smoothing is off."""
+        if self._tau > 0:
+            return self._backlog_ewma
+        return self.queue.probe_backlog
+
     def snapshot(self) -> InstanceLoad:
         """The two counters reported to the monitor (section III-A).
 
@@ -794,11 +801,10 @@ class JoinInstance:
         instantaneous per-key composition instead, because the tuples to be
         migrated are the ones actually queued.
         """
-        backlog = self._backlog_ewma if self._tau > 0 else self.queue.probe_backlog
         return InstanceLoad(
             instance=self.instance_id,
             stored=self.store.total,
-            backlog=backlog,
+            backlog=self.load_backlog(),
         )
 
     def enable_result_tracking(self) -> None:
@@ -932,6 +938,64 @@ class JoinInstance:
         if not isinstance(self.store, WindowedStore):
             raise ConfigError("rotate_window requires a windowed instance")
         return self.store.rotate()
+
+    # ------------------------------------------------------------------ #
+    # state transfer (sharded execution, DESIGN §10)
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of everything a barrier must move.
+
+        Covers exactly the mutable datapath state: store, queue, service
+        credit/pause bookkeeping, lifetime counters, the validation-only
+        result accounting and the fault-tolerance image (checkpoint + WAL).
+        Configuration (capacity, cost model, window shape) is immutable
+        and stays with the object.
+        """
+        return {
+            "queue": self.queue.export_state(),
+            "store": self.store.export_state(),
+            "paused_until": self._paused_until,
+            "work_credit": self._work_credit,
+            "backlog_ewma": self._backlog_ewma,
+            "pause_log": list(self._pause_log),
+            "total_stored": self.total_stored,
+            "total_probed": self.total_probed,
+            "total_results": self.total_results,
+            "result_counts": (
+                dict(self._result_counts)
+                if self._result_counts is not None
+                else None
+            ),
+            "ft": self._ft.export_state() if self._ft is not None else None,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Adopt an exported snapshot (the instance keeps its identity)."""
+        self.queue.import_state(state["queue"])
+        self.store.import_state(state["store"])
+        self._paused_until = float(state["paused_until"])
+        self._work_credit = float(state["work_credit"])
+        self._backlog_ewma = float(state["backlog_ewma"])
+        self._pause_log = list(state["pause_log"])
+        self.total_stored = int(state["total_stored"])
+        self.total_probed = int(state["total_probed"])
+        self.total_results = float(state["total_results"])
+        counts = state["result_counts"]
+        if counts is not None:
+            rc = defaultdict(float)
+            rc.update(counts)
+            self._result_counts = rc
+        elif self._result_counts is not None:
+            self._result_counts = defaultdict(float)
+        ft_state = state["ft"]
+        if ft_state is not None:
+            if self._ft is None:
+                raise ConfigError(
+                    "imported state carries fault-tolerance data but this "
+                    "instance has no checkpointer attached"
+                )
+            self._ft.import_state(ft_state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -444,6 +444,27 @@ class Observability:
                 trigger=trigger,
             )
 
+    def on_shard_event(
+        self, kind: str, now: float, shards: int, detail: int
+    ) -> None:
+        """Sharded-execution lifecycle (repro.engine.shard).
+
+        ``kind`` is ``"fork"``/``"refork"``/``"shutdown"`` (``shards`` =
+        worker count, ``detail`` = instances covered) or ``"barrier"``
+        (``shards`` = the shard quiesced, ``detail`` = instances pulled).
+        These are parent-side lifecycle markers: they never enter the
+        metrics collector, so aggregate results stay byte-identical to a
+        serial run — consumers comparing traces across shard counts must
+        filter the ``shard`` event type.
+        """
+        if self.bus is not None:
+            # ``op`` rather than ``kind``: the latter is the event type's
+            # own field (mirrors on_scale's ``direction``).
+            self.bus.emit(
+                now, "shard",
+                op=kind, shards=int(shards), detail=int(detail),
+            )
+
     def on_recovery(
         self,
         now: float,

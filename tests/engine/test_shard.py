@@ -1,0 +1,265 @@
+"""Sharded service execution (repro.engine.shard, DESIGN §10).
+
+Three layers of coverage:
+
+- :class:`TestShmRing` — the shared-memory transport's wraparound,
+  grow-on-overflow and torn-write guard paths, modeled on
+  ``TestWrappedPeek`` from the queue suite (the analogous ring datapath);
+- :class:`TestEffectiveShards` — the CLI demotion rule for hosts that
+  cannot run sharded (single core, no ``os.fork``);
+- the bit-exactness battery — pinned integration runs (plain zipf, the
+  fault campaign, the elastic campaign) plus a Hypothesis property, all
+  asserting that a sharded run's *finalized metrics pickle* is
+  byte-identical to the serial engine's, which subsumes every latency
+  float, attribution sum, migration schedule and reservoir draw.
+
+The integration tests attach :class:`ShardCoordinator` directly (via the
+differential harness) rather than going through ``--shards``: the CLI
+demotes on 1-core machines, and these tests must exercise real forked
+workers everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.shard import ShardCoordinator, ShmRing, effective_shards
+from repro.errors import ConfigError, TransportError
+from repro.validate.differential import DifferentialHarness
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="sharded execution requires os.fork"
+)
+
+
+# --------------------------------------------------------------------- #
+# transport
+# --------------------------------------------------------------------- #
+
+
+def _attach_receiver(tx: ShmRing) -> ShmRing:
+    """A receiving endpoint mapped onto ``tx``'s segment.
+
+    In production the worker inherits the parent's mapping through
+    ``os.fork``; in-process tests attach a second ring object to the same
+    segment through the grow-notice path, then realign the generation so
+    later genuine grow notices still apply.
+    """
+    rx = ShmRing(tx.label + "-rx", capacity_words=4,
+                 payload_dtype=tx.payload_dtype)
+    rx.apply_grow({"gen": rx.generation + 1, "path": tx.path,
+                   "words": tx.capacity})
+    rx.generation = tx.generation
+    return rx
+
+
+class TestShmRing:
+    def test_round_trip_preserves_payload_and_dtype(self):
+        tx = ShmRing("t-rt", capacity_words=64, payload_dtype=np.float64)
+        rx = _attach_receiver(tx)
+        payload = np.array([0.5, -1.25, 3e300, 0.0], dtype=np.float64)
+        assert tx.send(payload) is None
+        out = rx.recv()
+        assert out.dtype == np.float64
+        assert out.tolist() == payload.tolist()
+        # empty frames are legal (a shard with no staged blocks)
+        tx.send(np.empty(0, dtype=np.float64))
+        assert rx.recv().shape == (0,)
+
+    def test_wrapped_frame_round_trips(self):
+        # Capacity 16 words, frames of 5+3=8 words: the second frame ends
+        # exactly at the boundary and the third *wraps*, exercising both
+        # the two-slice write and the scratch-stitched read.
+        tx = ShmRing("t-wrap", capacity_words=16, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        frames = [
+            np.arange(i * 10, i * 10 + 5, dtype=np.int64) for i in range(5)
+        ]
+        for i, payload in enumerate(frames):
+            assert tx.send(payload) is None  # never grows: 8 words fit
+            got = rx.recv()
+            assert got.tolist() == payload.tolist(), f"frame {i}"
+        assert tx._pos == rx._pos  # both endpoints advanced in lockstep
+        assert tx._seq == rx._seq == len(frames)
+
+    def test_wrapped_read_copies_are_stable_until_next_recv(self):
+        tx = ShmRing("t-scratch", capacity_words=16, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        tx.send(np.arange(5, dtype=np.int64))
+        rx.recv()
+        wrapped = np.arange(100, 106, dtype=np.int64)  # 6+3=9 > 16-8 words
+        tx.send(wrapped)
+        out = rx.recv()
+        # The wrapped frame is stitched into ring-owned scratch (not a
+        # view of the segment), so a later *send* cannot clobber it.
+        tx.send(np.zeros(5, dtype=np.int64))
+        assert out.tolist() == wrapped.tolist()
+
+    def test_grow_on_overflow_switches_segments(self):
+        tx = ShmRing("t-grow", capacity_words=16, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        old_path = tx.path
+        big = np.arange(64, dtype=np.int64)  # 64+3 > 16: forces a grow
+        notice = tx.send(big)
+        assert notice is not None
+        assert notice["gen"] == 1 and notice["path"] != old_path
+        assert tx.capacity >= 64 + 3 and tx.capacity & (tx.capacity - 1) == 0
+        rx.apply_grow(notice)
+        assert rx.recv().tolist() == big.tolist()
+        # stale/duplicate notices are idempotent; traffic continues
+        rx.apply_grow(notice)
+        tx.send(np.arange(3, dtype=np.int64))
+        assert rx.recv().tolist() == [0, 1, 2]
+
+    def test_torn_write_guard_raises(self):
+        tx = ShmRing("t-torn", capacity_words=64, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        tx.send(np.arange(4, dtype=np.int64))
+        # Corrupt the trailing sequence word (frame at pos 0, m = 4+3).
+        tx._i64[6] = 999
+        with pytest.raises(TransportError, match="torn frame"):
+            rx.recv()
+
+    def test_corrupt_length_raises(self):
+        tx = ShmRing("t-len", capacity_words=64, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        tx.send(np.arange(4, dtype=np.int64))
+        tx._i64[1] = 10_000  # length word beyond capacity
+        with pytest.raises(TransportError, match="corrupt frame length"):
+            rx.recv()
+
+    def test_sequence_mismatch_raises(self):
+        tx = ShmRing("t-seq", capacity_words=64, payload_dtype=np.int64)
+        rx = _attach_receiver(tx)
+        tx.send(np.arange(4, dtype=np.int64))
+        rx.recv()
+        tx.send(np.arange(4, dtype=np.int64))
+        rx._seq += 1  # receiver out of step with the sender
+        with pytest.raises(TransportError, match="expected frame seq"):
+            rx.recv()
+
+    def test_non_8byte_dtype_rejected(self):
+        with pytest.raises(ConfigError, match="8-byte"):
+            ShmRing("t-dtype", payload_dtype=np.int32)
+
+
+# --------------------------------------------------------------------- #
+# host demotion
+# --------------------------------------------------------------------- #
+
+
+class TestEffectiveShards:
+    def test_serial_request_passes_through(self):
+        assert effective_shards(None) == (1, None)
+        assert effective_shards(1) == (1, None)
+
+    def test_multicore_honours_request(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert effective_shards(4) == (4, None)
+
+    def test_single_core_demotes_with_warning(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        shards, warning = effective_shards(4)
+        assert shards == 1
+        assert "single-core" in warning
+
+    def test_coordinator_rejects_serial_count(self):
+        with pytest.raises(ConfigError, match=">= 2 shards"):
+            ShardCoordinator(1)
+
+
+# --------------------------------------------------------------------- #
+# bit-exactness battery
+# --------------------------------------------------------------------- #
+
+
+def _campaign_fingerprint(shards: int, *, seed: int = 3, ticks: int = 150,
+                          zipf: float = 1.2, n_instances: int = 4,
+                          fault_spec: str | None = None,
+                          elastic_spec: str | None = None) -> bytes:
+    """One differential run's byte-level identity.
+
+    The pickle of the finalized metrics covers every latency sample,
+    attribution float, migration event and per-second series the run
+    produced; the differential report itself must also pass (the sharded
+    engine still matches the exact-semantics oracle).
+    """
+    harness = DifferentialHarness(
+        "fastjoin", workload="zipf", seed=seed, ticks=ticks,
+        n_instances=n_instances, tuples_per_stream=1_500, rate=2_000.0,
+        zipf=zipf, guards=True, shards=shards,
+        fault_spec=fault_spec, elastic_spec=elastic_spec,
+    )
+    report = harness.run()
+    assert report.ok, f"shards={shards}: {report.summary()}"
+    return pickle.dumps(harness.runtime.metrics.finalize())
+
+
+class TestShardedBitExactness:
+    """Pinned campaigns: serial vs sharded must be byte-identical."""
+
+    def test_zipf_campaign_identical_at_2_and_4_shards(self):
+        serial = _campaign_fingerprint(1)
+        assert _campaign_fingerprint(2) == serial
+        assert _campaign_fingerprint(4) == serial
+
+    def test_fault_campaign_identical(self):
+        # Failover + periodic checkpoints: the fault barrier pulls live
+        # worker state, replays the injector parent-side, pushes back.
+        kw = dict(seed=7, ticks=300, fault_spec="failover:R0@0.4+0.3,ckpt=0.2")
+        assert _campaign_fingerprint(2, **kw) == _campaign_fingerprint(1, **kw)
+
+    def test_elastic_campaign_identical(self):
+        # Scale-out then scale-in: membership changes refork the workers
+        # and must leave the routing map (R-group offset) coherent.
+        kw = dict(seed=7, ticks=300, elastic_spec="at:t=0.5+1,at:t=1.2-1")
+        assert _campaign_fingerprint(2, **kw) == _campaign_fingerprint(1, **kw)
+
+    def test_trace_identical_modulo_shard_lifecycle_events(self):
+        # The documented obs contract: a sharded trace equals the serial
+        # trace once the parent-side ``shard`` lifecycle markers (fork,
+        # barriers, shutdown) are filtered out.
+        from repro.obs import Observability
+
+        def events(shards: int) -> tuple[list[dict], list[dict]]:
+            obs = Observability.create(capture=True)
+            try:
+                harness = DifferentialHarness(
+                    "fastjoin", workload="zipf", seed=5, ticks=120,
+                    n_instances=4, tuples_per_stream=1_200, rate=2_000.0,
+                    guards=False, shards=shards, obs=obs,
+                )
+                harness.run()
+                dicts = obs.capture_sink.to_dicts()
+            finally:
+                obs.close()
+            shard_events = [e for e in dicts if e["kind"] == "shard"]
+            rest = [e for e in dicts if e["kind"] != "shard"]
+            return shard_events, rest
+
+        shard1, trace1 = events(1)
+        shard2, trace2 = events(2)
+        assert shard1 == []  # the serial path emits no shard markers
+        assert [e["op"] for e in shard2][:1] == ["fork"]
+        assert any(e["op"] == "shutdown" for e in shard2)
+        assert trace2 == trace1
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    zipf=st.sampled_from([0.8, 1.2, 1.6]),
+    n_instances=st.sampled_from([3, 4, 5]),
+    nshards=st.sampled_from([2, 3]),
+)
+def test_sharded_run_property(seed, zipf, n_instances, nshards):
+    """Property: for arbitrary seeds/skews/fleets, a sharded run is
+    byte-identical to the serial engine at every shard count."""
+    kw = dict(seed=seed, ticks=80, zipf=zipf, n_instances=n_instances)
+    assert _campaign_fingerprint(nshards, **kw) == _campaign_fingerprint(1, **kw)
